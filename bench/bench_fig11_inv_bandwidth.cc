@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 11 — total bandwidth cost of invalidation messages under HMG.
+ *
+ * Paper shape to check: "generally as low as just a few gigabytes per
+ * second" — invalidation traffic is negligible next to the hundreds of
+ * GB/s of data bandwidth, validating the claim that precise-but-
+ * hierarchical sharer tracking adds no meaningful coherence traffic.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hmgbench;
+    banner("Fig. 11: invalidation-message bandwidth (HMG)",
+           "HMG paper, Figure 11 (Section VII-A)");
+
+    std::printf("%-12s | %10s %12s %14s\n", "workload", "inv GB/s",
+                "inv msgs", "inv bytes");
+    double sum = 0;
+    int n = 0;
+    for (const auto &name : fullSuite()) {
+        hmg::SystemConfig cfg;
+        cfg.protocol = hmg::Protocol::Hmg;
+        auto res = run(cfg, name);
+        const double bytes = res.stats.get("noc.inv.intra_bytes") +
+                             res.stats.get("noc.inv.inter_bytes");
+        const double gbps = res.gbps(bytes);
+        std::printf("%-12s | %10.2f %12.0f %14.0f\n", name.c_str(), gbps,
+                    res.stats.get("protocol.inv_msgs"), bytes);
+        sum += gbps;
+        ++n;
+        std::fflush(stdout);
+    }
+    std::printf("%-12s | %10.2f\n", "Avg", sum / n);
+    std::printf("\npaper: a few GB/s at most (vs 200 GB/s links and "
+                "TB/s of data bandwidth); mst/graph are the heaviest\n");
+    return 0;
+}

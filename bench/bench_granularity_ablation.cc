@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Section VII-B's unpictured sensitivity: directory-entry tracking
+ * granularity. Each entry tracks {1,2,4,8} cache lines while the entry
+ * count is adjusted to keep total coverage constant (12K x 4 lines).
+ *
+ * Paper finding to check: "The results showed minimal sensitivity, and
+ * we therefore conclude that coarse-grained directory tracking is a
+ * useful optimization" — except where false sharing bites (mst).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hmgbench;
+    banner("Directory tracking-granularity ablation (constant coverage)",
+           "HMG paper, Section VII-B (results not pictured)");
+
+    std::printf("%-14s | %12s | per-workload HMG speedup\n",
+                "lines/entry", "geomean");
+    for (std::uint32_t g : {1, 2, 4, 8}) {
+        std::vector<double> sp;
+        std::printf("%-14u | ", g);
+        std::string detail;
+        for (const auto &name : sensitivitySuite()) {
+            hmg::SystemConfig cfg;
+            cfg.dirLinesPerEntry = g;
+            cfg.dirEntriesPerGpm = 12 * 1024 * 4 / g; // constant bytes
+            cfg.protocol = hmg::Protocol::NoRemoteCache;
+            const double base =
+                static_cast<double>(run(cfg, name).cycles);
+            cfg.protocol = hmg::Protocol::Hmg;
+            const double s =
+                base / static_cast<double>(run(cfg, name).cycles);
+            sp.push_back(s);
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%s=%.2f ", name.c_str(), s);
+            detail += buf;
+        }
+        std::printf("%12.2f | %s\n", geomean(sp), detail.c_str());
+        std::fflush(stdout);
+    }
+    std::printf("\npaper: minimal sensitivity at constant coverage; "
+                "finer entries only help the false-sharing-prone "
+                "workloads (mst)\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Extra ablation (not a paper figure): NUMA page-placement policy.
+ * The paper inherits first-touch placement from MCM-GPU / NUMA-aware
+ * multi-GPU work (Section VI); this ablation quantifies how much of
+ * HMG's performance rests on it by comparing against round-robin
+ * interleaving.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hmgbench;
+    banner("Page-placement ablation: first-touch vs round-robin (HMG)",
+           "HMG paper, Section VI (policy inherited from [5,13])");
+
+    std::printf("%-12s | %12s %12s %8s\n", "workload", "first-touch",
+                "round-robin", "ratio");
+    std::vector<double> ratios;
+    for (const auto &name : sensitivitySuite()) {
+        hmg::SystemConfig cfg;
+        cfg.protocol = hmg::Protocol::Hmg;
+        cfg.pagePlacement = hmg::PagePlacement::FirstTouch;
+        const double ft = static_cast<double>(run(cfg, name).cycles);
+        cfg.pagePlacement = hmg::PagePlacement::RoundRobin;
+        const double rr = static_cast<double>(run(cfg, name).cycles);
+        ratios.push_back(rr / ft);
+        std::printf("%-12s | %12.0f %12.0f %8.2f\n", name.c_str(), ft,
+                    rr, rr / ft);
+        std::fflush(stdout);
+    }
+    std::printf("%-12s | %25s %8.2f\n", "GeoMean", "", geomean(ratios));
+    std::printf("\nexpectation: first-touch beats round-robin on "
+                "locality-friendly workloads (ratio > 1)\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table III — the benchmark suite: paper footprints vs our scaled
+ * synthetic traces (see DESIGN.md for the substitution rationale), plus
+ * each workload's synchronization style (Section VI: cuSolver,
+ * namd2.10 and mst use explicit .gpu-scoped synchronization; most
+ * others communicate through frequent dependent kernels).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hmgbench;
+    banner("Table III: benchmark suite", "HMG paper, Table III");
+
+    std::printf("%-12s %-24s %-9s %10s %10s %8s %8s %-12s\n", "key",
+                "benchmark", "category", "paper fp", "our fp", "kernels",
+                "mem ops", "sync");
+    for (const auto &info : hmg::trace::workloads::list()) {
+        auto t = hmg::trace::workloads::make(info.name, benchScale());
+        std::printf("%-12s %-24s %-9s %8.0fMB %8.1fMB %8zu %8llu %-12s\n",
+                    info.name.c_str(), info.fullName.c_str(),
+                    info.category.c_str(), info.paperFootprintMB,
+                    static_cast<double>(t.footprintBytes()) / 1024 / 1024,
+                    t.kernels.size(),
+                    static_cast<unsigned long long>(t.memOps()),
+                    info.syncStyle.c_str());
+        std::fflush(stdout);
+    }
+    std::printf("\nfootprints are scaled for simulation speed; sharing "
+                "patterns per workload are documented in "
+                "src/trace/workloads_*.cc\n");
+    return 0;
+}

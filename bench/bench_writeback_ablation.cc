@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extra ablation (Section IV-B design alternative, not a paper figure):
+ * write-back vs write-through L2s under the two hardware protocols.
+ * The paper's evaluation uses write-through everywhere; this quantifies
+ * what the write-back option would change — less store traffic on the
+ * links, at the cost of flush bursts at releases and kernel boundaries.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hmgbench;
+    banner("Write-back vs write-through L2 ablation (NHCC / HMG)",
+           "HMG paper, Section IV-B \"Cache Eviction\"/\"Release\" "
+           "(design options; evaluation uses write-through)");
+
+    std::printf("%-12s | %10s %10s %8s | %12s %12s\n", "workload",
+                "WT cycles", "WB cycles", "WB/WT", "WT st-MB", "WB st-MB");
+    for (hmg::Protocol p : {hmg::Protocol::Nhcc, hmg::Protocol::Hmg}) {
+        std::printf("--- %s ---\n", toString(p));
+        std::vector<double> ratios;
+        for (const auto &name : sensitivitySuite()) {
+            hmg::SystemConfig cfg;
+            cfg.protocol = p;
+            cfg.l2WriteBack = false;
+            auto wt = run(cfg, name);
+            cfg.l2WriteBack = true;
+            auto wb = run(cfg, name);
+            const double ratio = static_cast<double>(wb.cycles) /
+                                 static_cast<double>(wt.cycles);
+            ratios.push_back(ratio);
+            std::printf("%-12s | %10llu %10llu %8.2f | %12.2f %12.2f\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(wt.cycles),
+                        static_cast<unsigned long long>(wb.cycles), ratio,
+                        (wt.stats.get("noc.write_through.intra_bytes") +
+                         wt.stats.get("noc.write_through.inter_bytes")) /
+                            1e6,
+                        (wb.stats.get("noc.write_through.intra_bytes") +
+                         wb.stats.get("noc.write_through.inter_bytes")) /
+                            1e6);
+            std::fflush(stdout);
+        }
+        std::printf("%-12s | %29s %8.2f\n", "GeoMean", "",
+                    geomean(ratios));
+    }
+    std::printf("\nexpectation: write-back cuts write-through traffic "
+                "substantially; runtime impact depends on how much "
+                "store bandwidth was on the critical path\n");
+    return 0;
+}

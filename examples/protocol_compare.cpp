@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Scenario: you are sizing a multi-GPU system and must pick a coherence
+ * protocol. This example runs one workload under all six configurations
+ * the paper compares (Fig. 8) and reports speedup over the no-caching
+ * baseline together with the traffic that explains it.
+ *
+ *   $ ./example_protocol_compare [workload] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gpu/simulator.hh"
+#include "trace/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "miniamr";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    auto trace = hmg::trace::workloads::make(name, scale);
+
+    const hmg::Protocol protocols[] = {
+        hmg::Protocol::NoRemoteCache, hmg::Protocol::SwNonHier,
+        hmg::Protocol::Nhcc,          hmg::Protocol::SwHier,
+        hmg::Protocol::Hmg,           hmg::Protocol::Ideal};
+
+    std::printf("workload: %s (%llu ops)\n\n", name.c_str(),
+                static_cast<unsigned long long>(trace.memOps()));
+    std::printf("%-14s %10s %8s %12s %12s %10s\n", "protocol", "cycles",
+                "speedup", "interGPU MB", "DRAM reads", "inv msgs");
+
+    double base = 0;
+    for (hmg::Protocol p : protocols) {
+        hmg::SystemConfig cfg;
+        cfg.protocol = p;
+        hmg::Simulator sim(cfg);
+        auto res = sim.run(trace);
+        if (p == hmg::Protocol::NoRemoteCache)
+            base = static_cast<double>(res.cycles);
+        std::printf("%-14s %10llu %8.2f %12.2f %12.0f %10.0f\n",
+                    toString(p),
+                    static_cast<unsigned long long>(res.cycles),
+                    base / static_cast<double>(res.cycles),
+                    res.stats.get("noc.total_inter_bytes") / 1e6,
+                    res.stats.get("total.dram.reads"),
+                    res.stats.get("protocol.inv_msgs"));
+    }
+    std::printf("\nreading the table: hierarchical protocols convert "
+                "inter-GPU fetches into GPU-home hits; HMG additionally "
+                "keeps L2s warm across dependent kernels, which software "
+                "coherence cannot.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+#include "cache/cache.hh"
+
+#include <vector>
+
+namespace hmg
+{
+
+Cache::Cache(std::uint64_t capacity_bytes, std::uint32_t ways,
+             std::uint32_t line_bytes, bool write_allocate)
+    : tags_(TagArray::fromCapacity(capacity_bytes, ways, line_bytes)),
+      write_allocate_(write_allocate)
+{
+}
+
+Cache::LoadResult
+Cache::load(Addr line_addr)
+{
+    ++loads_;
+    if (CacheLine *line = tags_.lookup(line_addr)) {
+        ++load_hits_;
+        return {true, line->version};
+    }
+    return {false, 0};
+}
+
+bool
+Cache::store(Addr line_addr, Version version, bool mark_dirty)
+{
+    ++stores_;
+    if (CacheLine *line = tags_.lookup(line_addr)) {
+        ++store_hits_;
+        if (line->version < version)
+            line->version = version;
+        line->dirty = line->dirty || mark_dirty;
+        return true;
+    }
+    if (!write_allocate_)
+        return false;
+    CacheLine evicted;
+    CacheLine *line = tags_.insert(line_addr, &evicted);
+    if (evicted.valid) {
+        ++evictions_;
+        if (eviction_hook_)
+            eviction_hook_(evicted);
+    }
+    line->version = version;
+    line->dirty = mark_dirty;
+    return true;
+}
+
+std::uint64_t
+Cache::flushDirty(const std::function<void(CacheLine)> &fn)
+{
+    std::uint64_t n = 0;
+    // Collect first: the callback may touch the cache.
+    std::vector<CacheLine> dirty;
+    tags_.forEachValidMutable([&](CacheLine &line) {
+        if (line.dirty) {
+            dirty.push_back(line);
+            line.dirty = false;
+        }
+    });
+    for (auto &line : dirty) {
+        fn(line);
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+Cache::dirtyLines() const
+{
+    std::uint64_t n = 0;
+    tags_.forEachValid([&](const CacheLine &line) {
+        if (line.dirty)
+            ++n;
+    });
+    return n;
+}
+
+void
+Cache::fill(Addr line_addr, Version version)
+{
+    ++fills_;
+    CacheLine evicted;
+    CacheLine *line = tags_.insert(line_addr, &evicted);
+    if (evicted.valid) {
+        ++evictions_;
+        if (eviction_hook_)
+            eviction_hook_(evicted);
+    }
+    // A racing store may have left a newer version in place; keep it.
+    if (line->version < version)
+        line->version = version;
+}
+
+bool
+Cache::invalidateLine(Addr line_addr)
+{
+    if (tags_.invalidate(line_addr)) {
+        ++invalidated_lines_;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Cache::invalidateRange(Addr base, std::uint64_t bytes)
+{
+    std::uint64_t n = tags_.invalidateRange(base, bytes);
+    invalidated_lines_ += n;
+    return n;
+}
+
+std::uint64_t
+Cache::invalidateRangeCollect(Addr base, std::uint64_t bytes,
+                              std::vector<CacheLine> &dropped)
+{
+    std::uint64_t n = 0;
+    for (Addr a = base; a < base + bytes; a += tags_.lineBytes()) {
+        if (const CacheLine *line = tags_.peek(a)) {
+            dropped.push_back(*line);
+            tags_.invalidate(a);
+            ++invalidated_lines_;
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+Cache::invalidateAll()
+{
+    ++bulk_invalidations_;
+    std::uint64_t n = tags_.invalidateAll();
+    invalidated_lines_ += n;
+    return n;
+}
+
+void
+Cache::reportStats(StatRecorder &r, const std::string &prefix) const
+{
+    r.record(prefix + ".loads", static_cast<double>(loads_));
+    r.record(prefix + ".load_hits", static_cast<double>(load_hits_));
+    r.record(prefix + ".stores", static_cast<double>(stores_));
+    r.record(prefix + ".store_hits", static_cast<double>(store_hits_));
+    r.record(prefix + ".fills", static_cast<double>(fills_));
+    r.record(prefix + ".evictions", static_cast<double>(evictions_));
+    r.record(prefix + ".invalidated_lines",
+             static_cast<double>(invalidated_lines_));
+    r.record(prefix + ".bulk_invalidations",
+             static_cast<double>(bulk_invalidations_));
+}
+
+} // namespace hmg

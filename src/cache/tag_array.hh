@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Generic set-associative tag array with LRU replacement.
+ *
+ * Shared by the L1 caches, the L2 caches and (via a different payload
+ * use) the coherence directory. Lines carry the store-version payload
+ * used by the correctness oracle (see mem/memory_state.hh).
+ */
+
+#ifndef HMG_CACHE_TAG_ARRAY_HH
+#define HMG_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    Addr addr = 0;          //!< full line address (tag + index)
+    bool valid = false;
+    bool dirty = false;     //!< holds a write not yet at the home (WB)
+    Version version = 0;    //!< newest store version this copy reflects
+    std::uint64_t lru = 0;  //!< larger = more recently used
+};
+
+/** Set-associative array of CacheLine with true-LRU replacement. */
+class TagArray
+{
+  public:
+    /**
+     * @param num_sets number of sets (any positive integer)
+     * @param ways associativity
+     * @param line_bytes line size; addresses are hashed by line number
+     */
+    TagArray(std::uint64_t num_sets, std::uint32_t ways,
+             std::uint32_t line_bytes);
+
+    /** Build geometry from a capacity in bytes. */
+    static TagArray fromCapacity(std::uint64_t capacity_bytes,
+                                 std::uint32_t ways,
+                                 std::uint32_t line_bytes);
+
+    /**
+     * Find `line_addr` and refresh its LRU stamp.
+     * @return the line, or nullptr on miss.
+     */
+    CacheLine *lookup(Addr line_addr);
+
+    /** Find without touching LRU state. */
+    const CacheLine *peek(Addr line_addr) const;
+
+    /**
+     * Allocate a slot for `line_addr`, evicting the set's LRU victim if
+     * the set is full. The returned line is valid with fresh LRU but its
+     * version is untouched — the caller sets it.
+     *
+     * @param evicted set to the evicted line (valid==true) when a live
+     *        victim was displaced, else valid==false.
+     * @return the allocated line (never nullptr). If the line is already
+     *         present it is reused in place.
+     */
+    CacheLine *insert(Addr line_addr, CacheLine *evicted = nullptr);
+
+    /** Invalidate one line. @return true if it was present. */
+    bool invalidate(Addr line_addr);
+
+    /** Invalidate every line in [base, base+bytes). @return count. */
+    std::uint64_t invalidateRange(Addr base, std::uint64_t bytes);
+
+    /** Invalidate everything. @return number of lines dropped. */
+    std::uint64_t invalidateAll();
+
+    /** Number of currently valid lines. */
+    std::uint64_t validCount() const;
+
+    std::uint64_t numSets() const { return num_sets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t lineBytes() const { return line_bytes_; }
+
+    /** Visit every valid line (tests and diagnostics). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &line : lines_)
+            if (line.valid)
+                fn(line);
+    }
+
+    /** Visit every valid line mutably (dirty-flush bookkeeping). */
+    template <typename Fn>
+    void
+    forEachValidMutable(Fn &&fn)
+    {
+        for (auto &line : lines_)
+            if (line.valid)
+                fn(line);
+    }
+
+  private:
+    std::uint64_t setOf(Addr line_addr) const;
+    CacheLine *setBase(std::uint64_t set) { return &lines_[set * ways_]; }
+
+    std::uint64_t num_sets_;
+    std::uint32_t ways_;
+    std::uint32_t line_bytes_;
+    unsigned line_shift_;
+    std::uint64_t next_lru_ = 1;
+    std::vector<CacheLine> lines_;
+};
+
+} // namespace hmg
+
+#endif // HMG_CACHE_TAG_ARRAY_HH

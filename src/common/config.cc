@@ -1,0 +1,125 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace hmg
+{
+
+const char *
+toString(Scope s)
+{
+    switch (s) {
+      case Scope::None: return "none";
+      case Scope::Cta:  return "cta";
+      case Scope::Gpu:  return "gpu";
+      case Scope::Sys:  return "sys";
+    }
+    return "?";
+}
+
+const char *
+toString(MemOpType t)
+{
+    switch (t) {
+      case MemOpType::Load:     return "ld";
+      case MemOpType::Store:    return "st";
+      case MemOpType::Atomic:   return "atom";
+      case MemOpType::AcqFence: return "fence.acq";
+      case MemOpType::RelFence: return "fence.rel";
+    }
+    return "?";
+}
+
+const char *
+toString(Protocol p)
+{
+    switch (p) {
+      case Protocol::NoRemoteCache: return "NoRemoteCache";
+      case Protocol::SwNonHier:     return "SW-NonHier";
+      case Protocol::SwHier:        return "SW-Hier";
+      case Protocol::Nhcc:          return "NHCC";
+      case Protocol::Hmg:           return "HMG";
+      case Protocol::Ideal:         return "Ideal";
+    }
+    return "?";
+}
+
+const char *
+toString(PagePlacement p)
+{
+    switch (p) {
+      case PagePlacement::FirstTouch: return "first-touch";
+      case PagePlacement::RoundRobin: return "round-robin";
+      case PagePlacement::LocalOnly:  return "local-only";
+    }
+    return "?";
+}
+
+void
+SystemConfig::validate() const
+{
+    if (numGpus == 0 || gpmsPerGpu == 0 || smsPerGpu == 0)
+        hmg_fatal("topology dimensions must be non-zero");
+    if (smsPerGpu % gpmsPerGpu != 0)
+        hmg_fatal("smsPerGpu (%u) must be divisible by gpmsPerGpu (%u)",
+                  smsPerGpu, gpmsPerGpu);
+    if (!isPowerOf2(cacheLineBytes))
+        hmg_fatal("cacheLineBytes must be a power of two");
+    if (!isPowerOf2(osPageBytes) || osPageBytes < cacheLineBytes)
+        hmg_fatal("osPageBytes must be a power of two >= a cache line");
+    if (l1Bytes % (cacheLineBytes * l1Ways) != 0)
+        hmg_fatal("L1 geometry does not divide into sets");
+    if (l2BytesPerGpu % gpmsPerGpu != 0)
+        hmg_fatal("l2BytesPerGpu must divide across GPMs");
+    if (l2BytesPerGpm() % (std::uint64_t{cacheLineBytes} * l2Ways) != 0)
+        hmg_fatal("L2 geometry does not divide into sets");
+    if (!isPowerOf2(dirLinesPerEntry))
+        hmg_fatal("dirLinesPerEntry must be a power of two");
+    if (dirEntriesPerGpm % dirWays != 0)
+        hmg_fatal("directory geometry does not divide into sets");
+    if (gpuFrequencyGhz <= 0 || interGpmGBpsPerGpu <= 0 ||
+        interGpuGBpsPerLink <= 0 || dramGBpsPerGpu <= 0)
+        hmg_fatal("rates must be positive");
+    if (smMaxOutstanding == 0 || smIssueWidth == 0)
+        hmg_fatal("SM issue parameters must be non-zero");
+    if (l2WriteBack && !isHardwareProtocol(protocol))
+        hmg_fatal("write-back L2s require a hardware coherence protocol");
+}
+
+std::string
+SystemConfig::toString() const
+{
+    std::ostringstream os;
+    os << "Number of GPUs              " << numGpus << "\n"
+       << "Number of SMs               " << smsPerGpu << " per GPU, "
+       << totalSms() << " in total\n"
+       << "Number of GPMs              " << gpmsPerGpu << " per GPU\n"
+       << "GPU frequency               " << gpuFrequencyGhz << "GHz\n"
+       << "Max number of warps         " << maxWarpsPerSm << " per SM\n"
+       << "OS Page Size                " << (osPageBytes >> 20) << "MB\n"
+       << "L1 data cache               " << (l1Bytes >> 10)
+       << "KB per SM, " << cacheLineBytes << "B lines\n"
+       << "L2 data cache               " << (l2BytesPerGpu >> 20)
+       << "MB per GPU, " << cacheLineBytes << "B lines, " << l2Ways
+       << " ways\n"
+       << "L2 coherence directory      " << (dirEntriesPerGpm >> 10)
+       << "K entries per GPU module, each entry covers "
+       << dirLinesPerEntry << " cache lines\n"
+       << "Inter-GPM bandwidth         " << interGpmGBpsPerGpu / 1000.0
+       << "TB/s per GPU, bi-directional\n"
+       << "Inter-GPU bandwidth         " << interGpuGBpsPerLink
+       << "GB/s per link, bi-directional\n"
+       << "Total DRAM bandwidth        " << dramGBpsPerGpu / 1000.0
+       << "TB/s per GPU\n"
+       << "Total DRAM capacity         " << (dramBytesPerGpu >> 30)
+       << "GB per GPU\n"
+       << "Protocol                    " << hmg::toString(protocol) << "\n"
+       << "Page placement              " << hmg::toString(pagePlacement)
+       << "\n";
+    return os.str();
+}
+
+} // namespace hmg

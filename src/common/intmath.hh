@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the cache and directory
+ * geometry code.
+ */
+
+#ifndef HMG_COMMON_INTMATH_HH
+#define HMG_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace hmg
+{
+
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round `a` up to the next multiple of `b`. */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t b)
+{
+    return divCeil(a, b) * b;
+}
+
+} // namespace hmg
+
+#endif // HMG_COMMON_INTMATH_HH

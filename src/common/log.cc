@@ -1,0 +1,63 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hmg
+{
+
+namespace
+{
+
+void
+vreport(const char *kind, const char *file, int line, const char *fmt,
+        va_list ap)
+{
+    std::fprintf(stderr, "%s: ", kind);
+    std::vfprintf(stderr, fmt, ap);
+    if (file)
+        std::fprintf(stderr, "  @ %s:%d", file, line);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", file, line, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", file, line, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+} // namespace hmg

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * `panic()` is for conditions that indicate a bug in the simulator itself;
+ * it aborts. `fatal()` is for user errors (bad configuration, impossible
+ * workload parameters); it exits with an error code. `warn()` and
+ * `inform()` print to stderr and continue.
+ */
+
+#ifndef HMG_COMMON_LOG_HH
+#define HMG_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hmg
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Abort: an internal invariant was violated (simulator bug). */
+#define hmg_panic(...) ::hmg::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit(1): the user asked for something impossible. */
+#define hmg_fatal(...) ::hmg::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Panic unless `cond` holds. Active in all build types. */
+#define hmg_assert(cond)                                                    \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::hmg::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion failed: %s", #cond);                \
+    } while (0)
+
+} // namespace hmg
+
+#endif // HMG_COMMON_LOG_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A splitmix64/xoshiro-style generator: fast, seedable, and identical
+ * across platforms, so every workload trace and every randomized property
+ * test is reproducible bit-for-bit.
+ */
+
+#ifndef HMG_COMMON_RNG_HH
+#define HMG_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hmg
+{
+
+/** xoshiro256** with a splitmix64-seeded state. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to spread a possibly-poor seed over the state.
+        std::uint64_t x = seed;
+        for (auto &word : s_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). `bound` must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability `p`. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * A crude Zipf-like draw in [0, n): rank skewed toward small values.
+     * Used by the graph workload generators to model power-law vertex
+     * degree distributions without a full Zipf sampler.
+     */
+    std::uint64_t
+    skewed(std::uint64_t n, double exponent = 1.2)
+    {
+        double u = uniform();
+        double v = 1.0;
+        for (double e = exponent; e > 0; e -= 1.0)
+            v *= u;
+        auto idx = static_cast<std::uint64_t>(v * static_cast<double>(n));
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+} // namespace hmg
+
+#endif // HMG_COMMON_RNG_HH

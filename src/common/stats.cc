@@ -1,0 +1,42 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace hmg
+{
+
+void
+StatRecorder::record(const std::string &name, double value)
+{
+    stats_[name] += value;
+}
+
+double
+StatRecorder::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+double
+StatRecorder::sumPrefix(const std::string &prefix) const
+{
+    double sum = 0;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second;
+    }
+    return sum;
+}
+
+std::string
+StatRecorder::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : stats_)
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace hmg

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components keep plain `std::uint64_t` counters for speed and implement a
+ * `reportStats(StatRecorder&)` method that names them. A StatRecorder
+ * accumulates `(name, value)` pairs; names are dot-separated paths such as
+ * "gpu0.gpm2.l2.hits". Identical names accumulate, which lets callers
+ * aggregate across sibling components simply by reusing a prefix.
+ */
+
+#ifndef HMG_COMMON_STATS_HH
+#define HMG_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hmg
+{
+
+/** An ordered name -> value map of simulation statistics. */
+class StatRecorder
+{
+  public:
+    /** Add `value` to the stat called `name` (creating it at zero). */
+    void record(const std::string &name, double value);
+
+    /** Value of `name`, or 0 if never recorded. */
+    double get(const std::string &name) const;
+
+    /** Sum of every stat whose name starts with `prefix`. */
+    double sumPrefix(const std::string &prefix) const;
+
+    /** All stats, sorted by name. */
+    const std::map<std::string, double> &all() const { return stats_; }
+
+    /** Multi-line "name value" dump. */
+    std::string toString() const;
+
+    void clear() { stats_.clear(); }
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+/**
+ * A tiny fixed-bucket histogram for quantities like "sharers invalidated
+ * per store" (Figures 9 and 10 report the means of these).
+ */
+class MeanStat
+{
+  public:
+    void sample(double v) { sum_ += v; ++count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0; count_ = 0; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_COMMON_STATS_HH

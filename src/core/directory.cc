@@ -1,0 +1,116 @@
+#include "core/directory.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace hmg
+{
+
+Directory::Directory(std::uint32_t num_entries, std::uint32_t ways,
+                     std::uint32_t sector_bytes)
+    : num_sets_(num_entries / ways),
+      ways_(ways),
+      sector_bytes_(sector_bytes),
+      sector_shift_(floorLog2(sector_bytes)),
+      sector_mask_(sector_bytes - 1),
+      entries_(num_entries)
+{
+    hmg_assert(num_entries % ways == 0);
+    hmg_assert(isPowerOf2(sector_bytes));
+}
+
+std::uint64_t
+Directory::setOf(Addr addr) const
+{
+    return (addr >> sector_shift_) % num_sets_;
+}
+
+DirEntry *
+Directory::find(Addr addr)
+{
+    ++lookups_;
+    Addr sector = sectorOf(addr);
+    DirEntry *base = &entries_[setOf(addr) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        DirEntry &e = base[w];
+        if (e.valid && e.sector == sector) {
+            ++hits_;
+            e.lru = next_lru_++;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+DirEntry *
+Directory::allocate(Addr addr, DirEntry *evicted)
+{
+    if (evicted)
+        evicted->valid = false;
+
+    Addr sector = sectorOf(addr);
+    DirEntry *base = &entries_[setOf(addr) * ways_];
+    DirEntry *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        DirEntry &e = base[w];
+        if (e.valid && e.sector == sector) {
+            e.lru = next_lru_++;
+            return &e;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim || (victim->valid && e.lru < victim->lru)) {
+            victim = &e;
+        }
+    }
+    hmg_assert(victim);
+    if (victim->valid) {
+        ++evictions_;
+        if (evicted)
+            *evicted = *victim;
+    }
+    ++allocations_;
+    victim->sector = sector;
+    victim->valid = true;
+    victim->gpmSharers = 0;
+    victim->gpuSharers = 0;
+    victim->lru = next_lru_++;
+    return victim;
+}
+
+bool
+Directory::remove(Addr addr)
+{
+    Addr sector = sectorOf(addr);
+    DirEntry *base = &entries_[setOf(addr) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        DirEntry &e = base[w];
+        if (e.valid && e.sector == sector) {
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+Directory::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+void
+Directory::reportStats(StatRecorder &r, const std::string &prefix) const
+{
+    r.record(prefix + ".lookups", static_cast<double>(lookups_));
+    r.record(prefix + ".hits", static_cast<double>(hits_));
+    r.record(prefix + ".allocations", static_cast<double>(allocations_));
+    r.record(prefix + ".evictions", static_cast<double>(evictions_));
+}
+
+} // namespace hmg

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The coherence directory (Sections IV-A and V-A, Table II).
+ *
+ * One directory is attached to each GPM's L2. It is a set-associative
+ * structure of 12K entries (default), where each entry covers a *sector*
+ * of four consecutive cache lines ("each entry covers 4 cache lines") —
+ * the coarse-grain tracking optimization evaluated in Section VII-B.
+ *
+ * Entries have just two stable states, Valid and Invalid (Table I);
+ * Invalid is represented by absence. An entry tracks sharers in two
+ * domains, following the hierarchical scheme of Section V-A:
+ *
+ *  - `gpmSharers`: local GPM indices within the home GPM's own GPU
+ *    (used by the GPU-home role, and by NHCC in flat mode where the
+ *    whole system is treated as one GPU of M*N GPMs);
+ *  - `gpuSharers`: GPU ids other than the home's (used by the
+ *    system-home role only).
+ *
+ * For an M-GPM, N-GPU system an entry therefore tracks at most
+ * M + N - 2 sharers (Section V-A), i.e. 6 bits of sharer vector in the
+ * default 4x4 configuration — the basis of the paper's 55-bits-per-entry
+ * hardware cost estimate (Section VII-C).
+ */
+
+#ifndef HMG_CORE_DIRECTORY_HH
+#define HMG_CORE_DIRECTORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** One coherence-directory entry (state Valid while present). */
+struct DirEntry
+{
+    Addr sector = 0;             //!< sector base address
+    bool valid = false;
+    std::uint64_t lru = 0;
+    std::uint32_t gpmSharers = 0; //!< bitmask of local GPM indices
+    std::uint32_t gpuSharers = 0; //!< bitmask of GPU ids
+
+    bool hasSharers() const { return gpmSharers != 0 || gpuSharers != 0; }
+
+    void addGpm(std::uint32_t local_gpm) { gpmSharers |= 1u << local_gpm; }
+    void addGpu(GpuId gpu) { gpuSharers |= 1u << gpu; }
+    void dropGpm(std::uint32_t local_gpm)
+    {
+        gpmSharers &= ~(1u << local_gpm);
+    }
+    void dropGpu(GpuId gpu) { gpuSharers &= ~(1u << gpu); }
+    bool hasGpm(std::uint32_t local_gpm) const
+    {
+        return gpmSharers & (1u << local_gpm);
+    }
+    bool hasGpu(GpuId gpu) const { return gpuSharers & (1u << gpu); }
+    std::uint32_t sharerCount() const
+    {
+        return static_cast<std::uint32_t>(__builtin_popcount(gpmSharers) +
+                                          __builtin_popcount(gpuSharers));
+    }
+};
+
+/** Set-associative sharer-tracking directory for one GPM. */
+class Directory
+{
+  public:
+    /**
+     * @param num_entries total entries (Table II: 12K per GPM)
+     * @param ways associativity
+     * @param sector_bytes bytes covered per entry (4 lines by default)
+     */
+    Directory(std::uint32_t num_entries, std::uint32_t ways,
+              std::uint32_t sector_bytes);
+
+    /** Find the entry covering `addr`, refreshing LRU. */
+    DirEntry *find(Addr addr);
+
+    /**
+     * Find-or-allocate the entry covering `addr`. On a conflict/capacity
+     * eviction the displaced entry (whose sharers must be invalidated —
+     * Table I "Replace Dir Entry") is copied to `evicted`.
+     * @return the (possibly recycled) entry, sharer sets preserved when
+     *         the sector was already tracked, empty otherwise.
+     */
+    DirEntry *allocate(Addr addr, DirEntry *evicted = nullptr);
+
+    /** Drop the entry covering `addr` (transition to Invalid). */
+    bool remove(Addr addr);
+
+    /** Sector base address of `addr`. */
+    Addr sectorOf(Addr addr) const { return addr & ~sector_mask_; }
+
+    std::uint32_t sectorBytes() const { return sector_bytes_; }
+    std::uint64_t numSets() const { return num_sets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint64_t validCount() const;
+
+    // Statistics.
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    void reportStats(StatRecorder &r, const std::string &prefix) const;
+
+    /** Visit all valid entries (tests / invariant checks). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &e : entries_)
+            if (e.valid)
+                fn(e);
+    }
+
+  private:
+    std::uint64_t setOf(Addr addr) const;
+
+    std::uint64_t num_sets_;
+    std::uint32_t ways_;
+    std::uint32_t sector_bytes_;
+    unsigned sector_shift_;
+    Addr sector_mask_;
+    std::uint64_t next_lru_ = 1;
+    std::vector<DirEntry> entries_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_CORE_DIRECTORY_HH

@@ -1,0 +1,927 @@
+#include "core/hw_protocol.hh"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+namespace
+{
+
+/** Iterate the set bits of `mask`, calling fn(bit_index). */
+template <typename Fn>
+void
+forEachBit(std::uint32_t mask, Fn &&fn)
+{
+    while (mask) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+        mask &= mask - 1;
+        fn(bit);
+    }
+}
+
+} // namespace
+
+HwProtocol::HwProtocol(SystemContext &ctx, bool hierarchical)
+    : CoherenceModel(ctx), hier_(hierarchical)
+{
+    for (auto &node : ctx_.gpms)
+        hmg_assert(node->dir() != nullptr);
+    if (ctx_.cfg.sharerDowngrade || ctx_.cfg.l2WriteBack)
+        installEvictionHooks();
+}
+
+GpmId
+HwProtocol::gpuHomeFor(GpuId gpu, Addr line) const
+{
+    return hier_ ? ctx_.amap.gpuHome(gpu, line) : ctx_.amap.systemHome(line);
+}
+
+// ---------------------------------------------------------------- loads
+
+void
+HwProtocol::load(const MemAccess &acc, LoadDoneCb done)
+{
+    ctx_.pages.touch(acc.lineAddr, acc.gpm);
+    const GpmId h = sysHome(acc.lineAddr);
+    const GpmId gh = gpuHomeFor(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr);
+
+    // Stage 1: the requester's local L2.
+    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+                                   done = std::move(done)]() mutable {
+        if (acc.gpm == h) {
+            // Local L2 is the system home; serve authoritatively.
+            loadAtSysHome(acc, acc.gpm, h, std::move(done));
+            return;
+        }
+        if (hier_ && acc.gpm == gh) {
+            loadAtGpuHome(acc, gh, h, std::move(done));
+            return;
+        }
+        GpmNode &local = ctx_.gpm(acc.gpm);
+        const bool mergeable = loadMayHit(acc.scope, CacheRole::NonHome);
+        if (mergeable) {
+            auto res = local.l2().load(acc.lineAddr);
+            if (res.hit) {
+                ++loads_local_hit_;
+                ctx_.engine.schedule(dataLat(),
+                                     [done, v = res.version]() {
+                    done(v);
+                });
+                return;
+            }
+            // Coalesce with an in-flight miss on the same line.
+            if (!local.mshrRegister(acc.lineAddr, std::move(done)))
+                return;
+        }
+        // Requester-side completion: fill the local L2 and wake every
+        // merged requester (or answer the single non-mergeable one).
+        LoadDoneCb finish;
+        if (mergeable) {
+            finish = [this, acc](Version v) {
+                GpmNode &n = ctx_.gpm(acc.gpm);
+                n.l2().fill(acc.lineAddr, v);
+                n.mshrComplete(acc.lineAddr, v);
+            };
+        } else {
+            finish = [this, acc, done = std::move(done)](Version v) {
+                ctx_.gpm(acc.gpm).l2().fill(acc.lineAddr, v);
+                done(v);
+            };
+        }
+
+        const GpmId next = hier_ ? gh : h;
+        ctx_.net.send(acc.gpm, next, MsgType::ReadReq,
+                      [this, acc, gh, h, finish = std::move(finish)]() {
+            if (hier_ && gh != h) {
+                loadAtGpuHome(acc, gh, h, finish);
+            } else {
+                // Flat protocol, or the GPU home *is* the system home:
+                // serve at h and ship the line straight back.
+                loadAtSysHome(acc, acc.gpm, h,
+                              [this, acc, h, finish](Version v) {
+                    ctx_.net.send(h, acc.gpm, MsgType::ReadResp,
+                                  [v, finish]() { finish(v); });
+                });
+            }
+        });
+    });
+}
+
+void
+HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
+{
+    hmg_assert(hier_ && gh != h);
+
+    // Deliver the final value from gh back to the requesting GPM. The
+    // caller-provided `done` performs any requester-side fill.
+    auto respond = [this, acc, gh, done = std::move(done)](Version v) {
+        if (acc.gpm == gh) {
+            done(v);
+            return;
+        }
+        recordSharer(gh, acc.gpm, acc.lineAddr);
+        ctx_.net.send(gh, acc.gpm, MsgType::ReadResp,
+                      [v, done]() { done(v); });
+    };
+
+    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+                                   respond = std::move(respond)]() mutable {
+        GpmNode &home = ctx_.gpm(gh);
+        const bool mergeable = loadMayHit(acc.scope, CacheRole::GpuHome);
+        if (mergeable) {
+            auto res = home.l2().load(acc.lineAddr);
+            if (res.hit) {
+                ++loads_gpu_home_hit_;
+                ctx_.engine.schedule(dataLat(),
+                                     [respond, v = res.version]() {
+                    respond(v);
+                });
+                return;
+            }
+            if (!home.mshrRegister(acc.lineAddr, std::move(respond)))
+                return;
+        }
+        // Miss at the GPU home: consult the system home. Only the GPU
+        // identity travels onward (Section V-B, "Loads").
+        ctx_.net.send(gh, h, MsgType::ReadReq,
+                      [this, acc, gh, h, mergeable,
+                       respond = std::move(respond)]() mutable {
+            loadAtSysHome(acc, gh, h,
+                          [this, acc, gh, h, mergeable,
+                           respond = std::move(respond)](Version v) {
+                ctx_.net.send(h, gh, MsgType::ReadResp,
+                              [this, acc, gh, v, mergeable,
+                               respond]() {
+                    GpmNode &home = ctx_.gpm(gh);
+                    home.l2().fill(acc.lineAddr, v);
+                    if (mergeable)
+                        home.mshrComplete(acc.lineAddr, v);
+                    else
+                        respond(v);
+                });
+            });
+        });
+    });
+}
+
+void
+HwProtocol::loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
+                          LoadDoneCb respond)
+{
+    // The sharer is recorded in the same event that emits the response,
+    // not at request arrival: a store processed while this load waits
+    // on DRAM would otherwise reset the sharer list and let its
+    // invalidation overtake the response, leaving an untracked stale
+    // copy at the requester.
+    if (via != h) {
+        respond = [this, acc, via, h,
+                   inner = std::move(respond)](Version v) {
+            recordSharer(h, via, acc.lineAddr);
+            inner(v);
+        };
+    }
+    ctx_.engine.schedule(tagLat(), [this, acc, h,
+                                   respond = std::move(respond)]() mutable {
+        GpmNode &home = ctx_.gpm(h);
+        auto res = home.l2().load(acc.lineAddr);
+        if (res.hit) {
+            ++loads_sys_home_hit_;
+            ctx_.engine.schedule(dataLat(),
+                                 [respond, v = res.version]() {
+                respond(v);
+            });
+            return;
+        }
+        // Coalesce concurrent DRAM fetches of the same line.
+        if (!home.mshrRegister(acc.lineAddr, std::move(respond)))
+            return;
+        ++loads_dram_;
+        Tick ready = home.dram().read(ctx_.cfg.cacheLineBytes);
+        ctx_.engine.scheduleAt(ready, [this, acc, h]() {
+            Version v = ctx_.mem.read(acc.lineAddr);
+            GpmNode &home = ctx_.gpm(h);
+            home.l2().fill(acc.lineAddr, v);
+            home.mshrComplete(acc.lineAddr, v);
+        });
+    });
+}
+
+// ---------------------------------------------------------------- stores
+
+void
+HwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
+                  DoneCb sys_done)
+{
+    ctx_.pages.touch(acc.lineAddr, acc.gpm);
+    const GpmId h = sysHome(acc.lineAddr);
+    const GpmId gh = gpuHomeFor(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr);
+
+    if (writeBack() && acc.scope <= Scope::Cta) {
+        // Write-back mode: the store completes in the local L2 as dirty
+        // data; it reaches the home when a release, kernel boundary,
+        // eviction or invalidation flushes it.
+        ctx_.engine.schedule(tagLat(), [this, acc, v, accepted,
+                                        sys_done =
+                                            std::move(sys_done)]() {
+            ctx_.gpm(acc.gpm).l2().store(acc.lineAddr, v,
+                                         /*mark_dirty=*/true);
+            accepted();
+            ctx_.tracker.reachedGpuLevel(acc.sm);
+            ctx_.tracker.reachedSysLevel(acc.sm);
+            if (sys_done)
+                sys_done();
+        });
+        return;
+    }
+
+    StoreFlow f{acc, v, std::move(sys_done), false, true, true};
+
+    ctx_.engine.schedule(tagLat(), [this, f = std::move(f), gh, h,
+                                   accepted]() mutable {
+        // Write-through: update (and allocate in) the local L2.
+        ctx_.gpm(f.acc.gpm).l2().store(f.acc.lineAddr, f.v);
+        accepted();
+        if (hier_) {
+            if (f.acc.gpm == gh) {
+                storeAtGpuHome(std::move(f), gh, h);
+            } else {
+                ctx_.net.send(f.acc.gpm, gh, MsgType::WriteThrough,
+                              [this, f = std::move(f), gh, h]() mutable {
+                    storeAtGpuHome(std::move(f), gh, h);
+                });
+            }
+        } else {
+            const GpmId src = f.acc.gpm;
+            if (src == h) {
+                storeAtSysHome(std::move(f), src, h);
+            } else {
+                ctx_.net.send(src, h, MsgType::WriteThrough,
+                              [this, f = std::move(f), src, h]() mutable {
+                    storeAtSysHome(std::move(f), src, h);
+                });
+            }
+        }
+    });
+}
+
+void
+HwProtocol::storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h)
+{
+    hmg_assert(hier_);
+    if (gh == h) {
+        // Home roles coincide; the system-home stage handles everything.
+        const GpmId src = f.acc.gpm;
+        storeAtSysHome(std::move(f), src, h);
+        return;
+    }
+    GpmNode &home = ctx_.gpm(gh);
+    home.l2().store(f.acc.lineAddr, f.v);
+
+    auto job = makeInvJob(/*from_store=*/true);
+    invalidateSharers(gh, f.recordWriter ? f.acc.gpm : kInvalidGpm,
+                      f.acc.lineAddr, job);
+    if (f.recordWriter && f.acc.gpm != gh)
+        recordSharer(gh, f.acc.gpm, f.acc.lineAddr);
+
+    if (f.tracked)
+        ctx_.tracker.reachedGpuLevel(f.acc.sm);
+    f.gpuCleared = true;
+
+    ctx_.net.send(gh, h, MsgType::WriteThrough,
+                  [this, f = std::move(f), gh, h]() mutable {
+        storeAtSysHome(std::move(f), gh, h);
+    });
+}
+
+void
+HwProtocol::storeAtSysHome(StoreFlow f, GpmId via, GpmId h)
+{
+    GpmNode &home = ctx_.gpm(h);
+    home.l2().store(f.acc.lineAddr, f.v);
+    ctx_.mem.write(f.acc.lineAddr, f.v);
+    home.dram().write(ctx_.cfg.cacheLineBytes);
+
+    auto job = makeInvJob(/*from_store=*/true);
+    invalidateSharers(h, f.recordWriter ? via : kInvalidGpm,
+                      f.acc.lineAddr, job);
+    if (f.recordWriter && via != h)
+        recordSharer(h, via, f.acc.lineAddr);
+
+    if (f.tracked) {
+        if (!f.gpuCleared)
+            ctx_.tracker.reachedGpuLevel(f.acc.sm);
+        ctx_.tracker.reachedSysLevel(f.acc.sm);
+    }
+    if (f.sysDone)
+        f.sysDone();
+}
+
+// --------------------------------------------------------------- atomics
+
+void
+HwProtocol::atomic(const MemAccess &acc, Version v, LoadDoneCb done,
+                   DoneCb sys_done)
+{
+    ctx_.pages.touch(acc.lineAddr, acc.gpm);
+    const GpmId h = sysHome(acc.lineAddr);
+    const GpmId gh = gpuHomeFor(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr);
+
+    // Performed at the home node for the scope in question (Section
+    // V-B); NHCC always uses the (single) home node (Section IV-B).
+    const GpmId target = (hier_ && acc.scope <= Scope::Gpu) ? gh : h;
+
+    if (target == acc.gpm) {
+        atomicAtHome(acc, target, h, v, std::move(done),
+                     std::move(sys_done));
+    } else {
+        ctx_.net.send(acc.gpm, target, MsgType::AtomicReq,
+                      [this, acc, target, h, v, done = std::move(done),
+                       sys_done = std::move(sys_done)]() mutable {
+            atomicAtHome(acc, target, h, v, std::move(done),
+                         std::move(sys_done));
+        });
+    }
+}
+
+void
+HwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
+                         LoadDoneCb done, DoneCb sys_done)
+{
+    ctx_.engine.schedule(tagLat(), [this, acc, target, h, v,
+                                   done = std::move(done),
+                                   sys_done = std::move(sys_done)]() mutable {
+        GpmNode &node = ctx_.gpm(target);
+        auto res = node.l2().load(acc.lineAddr);
+        if (res.hit) {
+            atomicPerform(acc, target, h, v, res.version, std::move(done),
+                          std::move(sys_done));
+            return;
+        }
+        if (target == h) {
+            // Home misses go to local DRAM.
+            Tick ready = node.dram().read(ctx_.cfg.cacheLineBytes);
+            ctx_.engine.scheduleAt(ready, [this, acc, target, h, v,
+                                           done = std::move(done),
+                                           sys_done =
+                                               std::move(sys_done)]() mutable {
+                Version old_v = ctx_.mem.read(acc.lineAddr);
+                atomicPerform(acc, target, h, v, old_v, std::move(done),
+                              std::move(sys_done));
+            });
+            return;
+        }
+        // A GPU home without the line fetches it from the system home
+        // first (recording itself as a GPU-level sharer), then performs
+        // the RMW locally.
+        ctx_.net.send(target, h, MsgType::ReadReq,
+                      [this, acc, target, h, v, done = std::move(done),
+                       sys_done = std::move(sys_done)]() mutable {
+            loadAtSysHome(acc, target, h,
+                          [this, acc, target, h, v, done = std::move(done),
+                           sys_done =
+                               std::move(sys_done)](Version old_v) mutable {
+                ctx_.net.send(h, target, MsgType::ReadResp,
+                              [this, acc, target, h, v, old_v,
+                               done = std::move(done),
+                               sys_done = std::move(sys_done)]() mutable {
+                    ctx_.gpm(target).l2().fill(acc.lineAddr, old_v);
+                    atomicPerform(acc, target, h, v, old_v, std::move(done),
+                                  std::move(sys_done));
+                });
+            });
+        });
+    });
+}
+
+void
+HwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
+                          Version old_v, LoadDoneCb done, DoneCb sys_done)
+{
+    GpmNode &node = ctx_.gpm(target);
+    node.l2().store(acc.lineAddr, v);
+
+    // Coherence-wise an atomic is a store: invalidate every sharer
+    // (including the requester's stale copy — atomics do not refresh the
+    // requester's own L2).
+    auto job = makeInvJob(/*from_store=*/true);
+    invalidateSharers(target, kInvalidGpm, acc.lineAddr, job);
+
+    // Return the pre-op value to the requester.
+    if (target == acc.gpm) {
+        done(old_v);
+    } else {
+        ctx_.net.send(target, acc.gpm, MsgType::AtomicResp,
+                      [done = std::move(done), old_v]() { done(old_v); });
+    }
+
+    // Write the result onward, exactly as a store from `target` would
+    // propagate (Section V-B, "Atomics and Reductions").
+    StoreFlow f{acc, v, std::move(sys_done), false, false, true};
+    if (target == h) {
+        ctx_.mem.write(acc.lineAddr, v);
+        node.dram().write(ctx_.cfg.cacheLineBytes);
+        ctx_.tracker.reachedGpuLevel(acc.sm);
+        ctx_.tracker.reachedSysLevel(acc.sm);
+        // recordSharer: the performing node is the home itself.
+        if (f.sysDone)
+            f.sysDone();
+        return;
+    }
+    ctx_.tracker.reachedGpuLevel(acc.sm);
+    f.gpuCleared = true;
+    // The performing GPU home keeps a fresh copy: it must stay a sharer
+    // at the system home, so the write-through names the GPU home as the
+    // node to record.
+    f.recordWriter = true;
+    ctx_.net.send(target, h, MsgType::WriteThrough,
+                  [this, f = std::move(f), target, h]() mutable {
+        storeAtSysHome(std::move(f), target, h);
+    });
+}
+
+// --------------------------------------------------- directory plumbing
+
+void
+HwProtocol::recordSharer(GpmId h, GpmId via, Addr line)
+{
+    GpmNode &home = ctx_.gpm(h);
+    DirEntry evicted;
+    DirEntry *e = home.dir()->allocate(line, &evicted);
+    if (evicted.valid && evicted.hasSharers())
+        evictEntry(h, evicted);
+
+    if (!hier_) {
+        e->addGpm(via);
+    } else if (ctx_.cfg.gpuOf(via) == ctx_.cfg.gpuOf(h)) {
+        e->addGpm(ctx_.cfg.localGpmOf(via));
+    } else {
+        e->addGpu(ctx_.cfg.gpuOf(via));
+    }
+}
+
+void
+HwProtocol::invalidateSharers(GpmId h, GpmId via, Addr line,
+                              const InvJobPtr &job)
+{
+    GpmNode &home = ctx_.gpm(h);
+    DirEntry *e = home.dir()->find(line);
+    if (!e || !e->hasSharers())
+        return;
+
+    const Addr sector = home.dir()->sectorOf(line);
+    const std::uint32_t gpms = e->gpmSharers;
+    const std::uint32_t gpus = e->gpuSharers;
+    // Table I: the entry goes Invalid; a remote writer is re-recorded
+    // as the sole sharer by the caller's recordSharer() right after.
+    home.dir()->remove(line);
+
+    if (!hier_) {
+        forEachBit(gpms, [&](unsigned flat) {
+            GpmId dst = static_cast<GpmId>(flat);
+            if (dst != via && dst != h)
+                sendInv(h, dst, sector, job);
+        });
+        return;
+    }
+
+    const GpuId hg = ctx_.cfg.gpuOf(h);
+    forEachBit(gpms, [&](unsigned local) {
+        GpmId dst = ctx_.cfg.gpmId(hg, local);
+        if (dst != via && dst != h)
+            sendInv(h, dst, sector, job);
+    });
+    const GpuId via_gpu =
+        via == kInvalidGpm ? ~GpuId{0} : ctx_.cfg.gpuOf(via);
+    forEachBit(gpus, [&](unsigned gpu) {
+        if (gpu == via_gpu || gpu == hg)
+            return;
+        // GPU-level invalidations target the sharing GPU's home node,
+        // which re-fans them to its GPM sharers (Table I, HMG).
+        GpmId dst = gpuHomeFor(static_cast<GpuId>(gpu), sector);
+        sendInv(h, dst, sector, job);
+    });
+}
+
+void
+HwProtocol::sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job)
+{
+    ++inv_msgs_;
+    ++job->pending;
+    Tick arrival = ctx_.net.send(from, to, MsgType::Inv,
+                                 [this, to, sector, job]() {
+        handleInv(to, sector, job);
+    });
+    ctx_.gpm(from).noteInvSent(arrival);
+}
+
+void
+HwProtocol::handleInv(GpmId at, Addr sector, InvJobPtr job)
+{
+    GpmNode &node = ctx_.gpm(at);
+    const std::uint32_t sector_bytes = node.dir()->sectorBytes();
+    std::uint64_t lines;
+    if (writeBack()) {
+        // An invalidated dirty line carries the newest write: send it
+        // home (update-only) rather than losing it to the race.
+        std::vector<CacheLine> dropped;
+        lines = node.l2().invalidateRangeCollect(sector, sector_bytes,
+                                                 dropped);
+        for (const auto &line : dropped)
+            if (line.dirty)
+                writeBackLine(at, line.addr, line.version,
+                              /*record=*/false);
+    } else {
+        lines = node.l2().invalidateRange(sector, sector_bytes);
+    }
+
+    if (hier_) {
+        // The HMG-only transition of Table I: a GPU home receiving an
+        // invalidation forwards it to its GPM sharers and drops the
+        // entry.
+        const GpuId g = ctx_.cfg.gpuOf(at);
+        if (ctx_.pages.isPlaced(sector) && gpuHomeFor(g, sector) == at) {
+            if (DirEntry *e = node.dir()->find(sector)) {
+                const std::uint32_t gpms = e->gpmSharers;
+                node.dir()->remove(sector);
+                forEachBit(gpms, [&](unsigned local) {
+                    GpmId dst = ctx_.cfg.gpmId(g, local);
+                    if (dst != at)
+                        sendInv(at, dst, sector, job);
+                });
+            }
+        }
+    }
+    finishInvMsg(job, lines);
+}
+
+void
+HwProtocol::evictEntry(GpmId h, const DirEntry &victim)
+{
+    auto job = makeInvJob(/*from_store=*/false);
+    const Addr sector = victim.sector;
+
+    if (!hier_) {
+        forEachBit(victim.gpmSharers, [&](unsigned flat) {
+            GpmId dst = static_cast<GpmId>(flat);
+            if (dst != h)
+                sendInv(h, dst, sector, job);
+        });
+        return;
+    }
+    const GpuId hg = ctx_.cfg.gpuOf(h);
+    forEachBit(victim.gpmSharers, [&](unsigned local) {
+        GpmId dst = ctx_.cfg.gpmId(hg, local);
+        if (dst != h)
+            sendInv(h, dst, sector, job);
+    });
+    forEachBit(victim.gpuSharers, [&](unsigned gpu) {
+        if (gpu != hg)
+            sendInv(h, gpuHomeFor(static_cast<GpuId>(gpu), sector), sector,
+                    job);
+    });
+}
+
+// -------------------------------------------------------- acquire/release
+
+void
+HwProtocol::acquire(const MemAccess &acc, DoneCb done)
+{
+    // Hardware L2 coherence: acquires only invalidate the L1 (done by
+    // the SM front-end). A cycle of fence bookkeeping.
+    (void)acc;
+    ctx_.engine.schedule(1, std::move(done));
+}
+
+void
+HwProtocol::release(const MemAccess &acc, DoneCb done)
+{
+    ++releases_;
+    if (acc.scope <= Scope::Cta) {
+        // Intra-SM visibility is immediate through the shared L1.
+        ctx_.engine.schedule(1, std::move(done));
+        return;
+    }
+
+    const GpmId r = acc.gpm;
+    const GpuId g = ctx_.cfg.gpuOf(r);
+
+    std::vector<GpmId> targets;
+    if (hier_ && acc.scope == Scope::Gpu) {
+        for (std::uint32_t l = 0; l < ctx_.cfg.gpmsPerGpu; ++l) {
+            GpmId d = ctx_.cfg.gpmId(g, l);
+            if (d != r)
+                targets.push_back(d);
+        }
+    } else {
+        for (GpmId d = 0; d < ctx_.cfg.totalGpms(); ++d)
+            if (d != r)
+                targets.push_back(d);
+    }
+
+    const bool two_rounds = hier_ && acc.scope == Scope::Sys;
+
+    const bool relayed =
+        hier_ && acc.scope == Scope::Sys &&
+        ctx_.cfg.hierarchicalReleaseFanout;
+
+    auto one_round = [this, r, targets, relayed](DoneCb then) {
+        if (relayed)
+            markerRoundRelayed(r, std::move(then));
+        else
+            markerRound(r, targets, std::move(then));
+    };
+
+    auto after_drain = [this, one_round, two_rounds,
+                        done = std::move(done)]() mutable {
+        if (!two_rounds) {
+            one_round(std::move(done));
+            return;
+        }
+        // HMG `.sys` releases need two marker rounds: round one drains
+        // the system homes' GPU-level invalidations into the GPU homes;
+        // round two drains the re-fanned GPM-level invalidations.
+        one_round([one_round, done = std::move(done)]() mutable {
+            one_round(std::move(done));
+        });
+    };
+
+    // Write-back mode: "Release operations trigger a writeback of all
+    // dirty data to the respective home nodes" (Section IV-B) — flush
+    // the releasing GPM's dirty lines, then wait for both the SM's
+    // write-throughs and this GPM's in-flight write-backs.
+    if (writeBack()) {
+        // Only after the SM's posted stores have landed in the local L2
+        // (tracker drained) is its dirty set final: flush it, then wait
+        // for this GPM's in-flight write-backs.
+        auto flush_then_wait = [this, r, after_drain =
+                                             std::move(after_drain)]() mutable {
+            flushDirty(r);
+            ctx_.gpm(r).waitWbDrained(std::move(after_drain));
+        };
+        if (hier_ && acc.scope == Scope::Gpu)
+            ctx_.tracker.waitGpuLevel(acc.sm, std::move(flush_then_wait));
+        else
+            ctx_.tracker.waitSysLevel(acc.sm,
+                                      std::move(flush_then_wait));
+        return;
+    }
+
+    if (hier_ && acc.scope == Scope::Gpu)
+        ctx_.tracker.waitGpuLevel(acc.sm, std::move(after_drain));
+    else
+        ctx_.tracker.waitSysLevel(acc.sm, std::move(after_drain));
+}
+
+void
+HwProtocol::drainForBoundary(DoneCb done)
+{
+    if (!writeBack()) {
+        ctx_.tracker.waitAllDrained(std::move(done));
+        return;
+    }
+    // Order matters: only once every SM's posted stores have landed in
+    // their L2s (tracker drained) is the dirty set final; then flush it
+    // and wait for the write-back ledgers to empty.
+    ctx_.tracker.waitAllDrained([this, done = std::move(done)]() mutable {
+        for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g)
+            flushDirty(g);
+        auto chain = std::make_shared<std::function<void(GpmId)>>();
+        auto done_p = std::make_shared<DoneCb>(std::move(done));
+        *chain = [this, chain, done_p](GpmId g) {
+            if (g >= ctx_.cfg.totalGpms()) {
+                (*done_p)();
+                return;
+            }
+            ctx_.gpm(g).waitWbDrained([chain, g]() { (*chain)(g + 1); });
+        };
+        (*chain)(0);
+    });
+}
+
+std::uint64_t
+HwProtocol::flushDirty(GpmId g)
+{
+    return ctx_.gpm(g).l2().flushDirty([this, g](CacheLine line) {
+        writeBackLine(g, line.addr, line.version, /*record=*/true);
+    });
+}
+
+void
+HwProtocol::writeBackLine(GpmId src, Addr line, Version v, bool record)
+{
+    GpmNode &node = ctx_.gpm(src);
+    node.wbIssued();
+
+    const GpmId h = sysHome(line);
+    const GpmId gh = gpuHomeFor(ctx_.cfg.gpuOf(src), line);
+
+    StoreFlow f;
+    f.acc = MemAccess{0, src, line, Scope::None};
+    f.v = v;
+    f.recordWriter = record;
+    f.tracked = false;
+    f.sysDone = [this, src]() { ctx_.gpm(src).wbLanded(); };
+
+    if (hier_) {
+        if (src == gh)
+            storeAtGpuHome(std::move(f), gh, h);
+        else
+            ctx_.net.send(src, gh, MsgType::WriteThrough,
+                          [this, f = std::move(f), gh, h]() mutable {
+                storeAtGpuHome(std::move(f), gh, h);
+            });
+    } else {
+        if (src == h)
+            storeAtSysHome(std::move(f), src, h);
+        else
+            ctx_.net.send(src, h, MsgType::WriteThrough,
+                          [this, f = std::move(f), src, h]() mutable {
+                storeAtSysHome(std::move(f), src, h);
+            });
+    }
+}
+
+void
+HwProtocol::markerRound(GpmId r, const std::vector<GpmId> &targets,
+                        DoneCb done)
+{
+    auto pending = std::make_shared<std::uint32_t>(
+        static_cast<std::uint32_t>(targets.size()) + 1);
+    auto one_done = [pending, done = std::move(done)]() {
+        if (--*pending == 0)
+            done();
+    };
+
+    // The releasing GPM's own outbound invalidations must land too.
+    ctx_.engine.scheduleAt(ctx_.gpm(r).invDrainTick(ctx_.engine.now()),
+                           one_done);
+
+    for (GpmId dst : targets) {
+        ++rel_markers_;
+        ctx_.net.send(r, dst, MsgType::RelMarker,
+                      [this, r, dst, one_done]() {
+            Tick drained = ctx_.gpm(dst).invDrainTick(ctx_.engine.now());
+            ctx_.engine.scheduleAt(drained, [this, r, dst, one_done]() {
+                ctx_.net.send(dst, r, MsgType::RelAck, one_done);
+            });
+        });
+    }
+}
+
+void
+HwProtocol::markerRoundRelayed(GpmId r, DoneCb done)
+{
+    const GpuId g = ctx_.cfg.gpuOf(r);
+    const std::uint32_t m = ctx_.cfg.gpmsPerGpu;
+
+    // Own GPU's GPMs are reached directly; each remote GPU gets one
+    // relay (the GPM with r's local index).
+    std::vector<GpmId> direct;
+    for (std::uint32_t l = 0; l < m; ++l)
+        if (ctx_.cfg.gpmId(g, l) != r)
+            direct.push_back(ctx_.cfg.gpmId(g, l));
+    std::vector<GpmId> relays;
+    for (GpuId u = 0; u < ctx_.cfg.numGpus; ++u)
+        if (u != g)
+            relays.push_back(ctx_.cfg.gpmId(u, ctx_.cfg.localGpmOf(r)));
+
+    auto pending = std::make_shared<std::uint32_t>(
+        static_cast<std::uint32_t>(direct.size() + relays.size()) + 1);
+    auto one_done = [pending, done = std::move(done)]() {
+        if (--*pending == 0)
+            done();
+    };
+
+    ctx_.engine.scheduleAt(ctx_.gpm(r).invDrainTick(ctx_.engine.now()),
+                           one_done);
+
+    for (GpmId dst : direct) {
+        ++rel_markers_;
+        ctx_.net.send(r, dst, MsgType::RelMarker,
+                      [this, r, dst, one_done]() {
+            Tick drained = ctx_.gpm(dst).invDrainTick(ctx_.engine.now());
+            ctx_.engine.scheduleAt(drained, [this, r, dst, one_done]() {
+                ctx_.net.send(dst, r, MsgType::RelAck, one_done);
+            });
+        });
+    }
+    for (GpmId relay : relays) {
+        ++rel_markers_;
+        ctx_.net.send(r, relay, MsgType::RelMarker,
+                      [this, r, relay, one_done]() {
+            // The relay fans markers inside its own GPU, waits for its
+            // own drain plus its siblings' acks, then acknowledges.
+            const GpuId u = ctx_.cfg.gpuOf(relay);
+            auto sub = std::make_shared<std::uint32_t>(
+                ctx_.cfg.gpmsPerGpu); // siblings + own drain
+            auto sub_done = [this, sub, relay, r, one_done]() {
+                if (--*sub == 0)
+                    ctx_.net.send(relay, r, MsgType::RelAck, one_done);
+            };
+            ctx_.engine.scheduleAt(
+                ctx_.gpm(relay).invDrainTick(ctx_.engine.now()),
+                sub_done);
+            for (std::uint32_t l = 0; l < ctx_.cfg.gpmsPerGpu; ++l) {
+                GpmId d = ctx_.cfg.gpmId(u, l);
+                if (d == relay)
+                    continue;
+                ++rel_markers_;
+                ctx_.net.send(relay, d, MsgType::RelMarker,
+                              [this, relay, d, sub_done]() {
+                    Tick t =
+                        ctx_.gpm(d).invDrainTick(ctx_.engine.now());
+                    ctx_.engine.scheduleAt(t, [this, relay, d,
+                                               sub_done]() {
+                        ctx_.net.send(d, relay, MsgType::RelAck,
+                                      sub_done);
+                    });
+                });
+            }
+        });
+    }
+}
+
+void
+HwProtocol::kernelBoundary()
+{
+    // Hardware coherence keeps all L2s clean across kernel boundaries;
+    // only the (software-managed) L1s are invalidated by the front-end.
+}
+
+// ------------------------------------------------------------- downgrade
+
+void
+HwProtocol::installEvictionHooks()
+{
+    // Dirty victims must be written back (write-back mode); clean
+    // victims may optionally send the downgrade message of Section IV-B
+    // ("Cache Eviction") — exact only when a directory entry covers a
+    // single line, since with coarse sectors a downgrade could prune a
+    // sharer that still caches a sibling line.
+    const bool downgrade =
+        ctx_.cfg.sharerDowngrade && ctx_.cfg.dirLinesPerEntry == 1;
+    for (auto &node : ctx_.gpms) {
+        GpmId id = node->id();
+        node->l2().setEvictionHook([this, id,
+                                    downgrade](const CacheLine &victim) {
+            const Addr line = victim.addr;
+            if (!ctx_.pages.isPlaced(line))
+                return;
+            if (victim.dirty && writeBack()) {
+                // The paper's update-without-tracking write-back.
+                writeBackLine(id, line, victim.version,
+                              /*record=*/false);
+                return;
+            }
+            if (!downgrade)
+                return;
+            const GpmId h = sysHome(line);
+            const GpmId gh = gpuHomeFor(ctx_.cfg.gpuOf(id), line);
+            const GpmId home = hier_ ? (id == gh ? h : gh) : h;
+            if (home == id)
+                return;
+            ++downgrades_;
+            ctx_.net.send(id, home, MsgType::Downgrade,
+                          [this, home, id, line]() {
+                handleDowngrade(home, id, line);
+            });
+        });
+    }
+}
+
+void
+HwProtocol::handleDowngrade(GpmId h, GpmId from, Addr line)
+{
+    DirEntry *e = ctx_.gpm(h).dir()->find(line);
+    if (!e)
+        return;
+    if (!hier_)
+        e->dropGpm(from);
+    else if (ctx_.cfg.gpuOf(from) == ctx_.cfg.gpuOf(h))
+        e->dropGpm(ctx_.cfg.localGpmOf(from));
+    // GPU-level sharer bits are left alone: one GPM's eviction says
+    // nothing about the rest of its GPU.
+}
+
+void
+HwProtocol::reportStats(StatRecorder &r) const
+{
+    CoherenceModel::reportStats(r);
+    r.record("protocol.loads_local_hit",
+             static_cast<double>(loads_local_hit_));
+    r.record("protocol.loads_gpu_home_hit",
+             static_cast<double>(loads_gpu_home_hit_));
+    r.record("protocol.loads_sys_home_hit",
+             static_cast<double>(loads_sys_home_hit_));
+    r.record("protocol.loads_dram", static_cast<double>(loads_dram_));
+    r.record("protocol.releases", static_cast<double>(releases_));
+    r.record("protocol.rel_markers", static_cast<double>(rel_markers_));
+    r.record("protocol.downgrades", static_cast<double>(downgrades_));
+}
+
+} // namespace hmg

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The hardware directory protocols: NHCC (Section IV) and HMG
+ * (Section V), selected by the `hierarchical` flag.
+ *
+ * Both implement Table I: two stable states (Valid while a directory
+ * entry exists, Invalid otherwise), no transient states, no invalidation
+ * acknowledgments. Stores proceed instantly; invalidations propagate in
+ * the background; only release operations gather acknowledgments, via
+ * per-L2 release markers that drain the in-flight invalidation channels
+ * (Section IV-B, "Release").
+ *
+ * NHCC mode treats the whole machine as one flat GPU of M*N GPMs: one
+ * home (the system home) per address, flat sharer bits, `.gpu` releases
+ * pay full-system cost.
+ *
+ * HMG mode adds the second level of Section V: every address has a GPU
+ * home inside each GPU (same local GPM index as the system home); loads
+ * and write-throughs route requester -> GPU home -> system home; the GPU
+ * home's directory tracks GPM sharers of its GPU, the system home's
+ * directory tracks GPU-level sharers; and invalidations received by a
+ * GPU home are re-fanned to its GPM sharers (the HMG-only transition of
+ * Table I).
+ */
+
+#ifndef HMG_CORE_HW_PROTOCOL_HH
+#define HMG_CORE_HW_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "core/protocol.hh"
+
+namespace hmg
+{
+
+/** NHCC / HMG protocol engine. */
+class HwProtocol : public CoherenceModel
+{
+  public:
+    HwProtocol(SystemContext &ctx, bool hierarchical);
+
+    void load(const MemAccess &acc, LoadDoneCb done) override;
+    void store(const MemAccess &acc, Version v, DoneCb accepted,
+               DoneCb sys_done) override;
+    void atomic(const MemAccess &acc, Version v, LoadDoneCb done,
+                DoneCb sys_done) override;
+    void acquire(const MemAccess &acc, DoneCb done) override;
+    void release(const MemAccess &acc, DoneCb done) override;
+    void kernelBoundary() override;
+    void drainForBoundary(DoneCb done) override;
+
+    const char *name() const override { return hier_ ? "HMG" : "NHCC"; }
+
+    void reportStats(StatRecorder &r) const override;
+
+    bool hierarchical() const { return hier_; }
+
+    // Per-level load-service counters (where loads found their data).
+    std::uint64_t loadsLocalHit() const { return loads_local_hit_; }
+    std::uint64_t loadsGpuHomeHit() const { return loads_gpu_home_hit_; }
+    std::uint64_t loadsSysHomeHit() const { return loads_sys_home_hit_; }
+    std::uint64_t loadsDram() const { return loads_dram_; }
+
+  private:
+    // --- routing helpers ---
+
+    /** System home GPM of a line (touches the page on first access). */
+    GpmId sysHome(Addr line) const { return ctx_.amap.systemHome(line); }
+
+    /** GPU home of `line` within `gpu` (== sysHome in flat mode). */
+    GpmId gpuHomeFor(GpuId gpu, Addr line) const;
+
+    Tick l2Lat() const { return ctx_.cfg.l2HitLatency; }
+    /** Tag-check cost (misses); hits additionally pay dataLat(). */
+    Tick tagLat() const { return ctx_.cfg.l2TagLatency; }
+    Tick dataLat() const
+    {
+        return ctx_.cfg.l2HitLatency - ctx_.cfg.l2TagLatency;
+    }
+
+    // --- load flow stages (each runs as an engine event) ---
+    void loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done);
+    void loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
+                       LoadDoneCb respond);
+
+    // --- store flow stages ---
+
+    /** State threaded through a write-through chain. */
+    struct StoreFlow
+    {
+        MemAccess acc;
+        Version v = 0;
+        DoneCb sysDone;         //!< per-op completion for the SM
+        bool gpuCleared = false; //!< GPU-level tracker already released
+        bool recordWriter = true; //!< writer caches the line (not atomics)
+        bool tracked = true;     //!< counts against the ReleaseTracker
+    };
+
+    void storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h);
+    void storeAtSysHome(StoreFlow f, GpmId via, GpmId h);
+
+    // --- atomic flow ---
+    void atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
+                      LoadDoneCb done, DoneCb sys_done);
+    void atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
+                       Version old_v, LoadDoneCb done, DoneCb sys_done);
+
+    // --- release machinery ---
+
+    /**
+     * One round of release markers from `r` to `targets`: each target
+     * acknowledges once its previously-sent invalidations have landed;
+     * `done` runs at `r` when all acks (plus r's own drain) are in.
+     */
+    void markerRound(GpmId r, const std::vector<GpmId> &targets,
+                     DoneCb done);
+
+    /**
+     * Hierarchical variant (cfg.hierarchicalReleaseFanout): one marker
+     * per remote GPU to a relay GPM, which drains itself, fans markers
+     * to its GPU's other GPMs, collects their acknowledgments, and
+     * acknowledges back to `r`. Same drain guarantees, fewer inter-GPU
+     * messages.
+     */
+    void markerRoundRelayed(GpmId r, DoneCb done);
+
+    // --- directory maintenance ---
+
+    /**
+     * Record `via` as a sharer at home `h` (GPM-level when `via` sits on
+     * h's GPU, GPU-level otherwise; flat GPM-level in NHCC mode).
+     * Allocates a directory entry, sending eviction invalidations for a
+     * displaced victim.
+     */
+    void recordSharer(GpmId h, GpmId via, Addr line);
+
+    /**
+     * Invalidate every sharer of `line`'s sector at home `h` except the
+     * writer reached through `via`; `job` aggregates Fig. 9/10 stats.
+     * When `gpu_level_only` the GPU-sharer bits are left untouched
+     * (used at a GPU home, whose entries have no GPU sharers anyway).
+     */
+    void invalidateSharers(GpmId h, GpmId via, Addr line,
+                           const InvJobPtr &job);
+
+    /** Send one invalidation and process it at the destination. */
+    void sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job);
+
+    /** Invalidation arriving at `at` (may re-fan at a GPU home). */
+    void handleInv(GpmId at, Addr sector, InvJobPtr job);
+
+    /** Fan eviction invalidations for a displaced directory entry. */
+    void evictEntry(GpmId h, const DirEntry &victim);
+
+    /** Optional clean-eviction downgrade (Section IV-B, off by
+     *  default; exact only at 1-line directory granularity). */
+    void handleDowngrade(GpmId h, GpmId from, Addr line);
+    void installEvictionHooks();
+
+    // --- write-back mode (Section IV-B design alternative) ---
+
+    bool writeBack() const { return ctx_.cfg.l2WriteBack; }
+
+    /**
+     * Send one line from `src` toward its home. Flushes (release /
+     * boundary) keep the line cached clean and record `src` as a
+     * sharer; eviction- and invalidation-triggered write-backs use the
+     * paper's update-without-tracking message (`record` = false).
+     * Completion is reported to src's GpmNode write-back ledger.
+     */
+    void writeBackLine(GpmId src, Addr line, Version v, bool record);
+
+    /** Flush every dirty line of `g`'s L2 toward its home. */
+    std::uint64_t flushDirty(GpmId g);
+
+    bool hier_;
+
+    std::uint64_t loads_local_hit_ = 0;
+    std::uint64_t loads_gpu_home_hit_ = 0;
+    std::uint64_t loads_sys_home_hit_ = 0;
+    std::uint64_t loads_dram_ = 0;
+    std::uint64_t releases_ = 0;
+    std::uint64_t rel_markers_ = 0;
+    std::uint64_t downgrades_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_CORE_HW_PROTOCOL_HH

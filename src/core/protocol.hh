@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The coherence-model interface.
+ *
+ * A CoherenceModel implements everything below the L1: routing of loads,
+ * stores and atomics through the L2 hierarchy, directory maintenance,
+ * invalidation, and the L2-level part of acquire/release semantics. The
+ * SM front-end (gpu/sm.hh) handles the L1 and calls down into this
+ * interface; one concrete model exists per evaluated configuration:
+ *
+ *   NoRemoteCacheModel  — the normalization baseline of Figs. 2 and 8
+ *   SwProtocol          — non-hierarchical / hierarchical SW coherence
+ *   HwProtocol          — NHCC (flat) and HMG (hierarchical)
+ *   IdealModel          — caching everywhere, no coherence enforcement
+ */
+
+#ifndef HMG_CORE_PROTOCOL_HH
+#define HMG_CORE_PROTOCOL_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/release_tracker.hh"
+#include "gpu/gpm.hh"
+#include "mem/address_map.hh"
+#include "mem/memory_state.hh"
+#include "mem/page_table.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+
+/** One memory access as seen below the L1. Addresses are line-aligned. */
+struct MemAccess
+{
+    SmId sm = 0;
+    GpmId gpm = 0;       //!< requesting GPM
+    Addr lineAddr = 0;
+    Scope scope = Scope::None;
+};
+
+/** Everything a protocol engine needs to reach the rest of the system. */
+struct SystemContext
+{
+    Engine &engine;
+    const SystemConfig &cfg;
+    Network &net;
+    PageTable &pages;
+    AddressMap &amap;
+    MemoryState &mem;
+    ReleaseTracker &tracker;
+    std::vector<std::unique_ptr<GpmNode>> &gpms;
+
+    GpmNode &gpm(GpmId id) { return *gpms.at(id); }
+};
+
+/** Completion callback carrying the version a load observed. */
+using LoadDoneCb = std::function<void(Version)>;
+/** Completion callback for stores/fences. */
+using DoneCb = std::function<void()>;
+
+/**
+ * Abstract coherence model. All entry points are asynchronous: they may
+ * complete in zero or more engine events and then invoke the callback.
+ */
+class CoherenceModel
+{
+  public:
+    explicit CoherenceModel(SystemContext &ctx) : ctx_(ctx) {}
+    virtual ~CoherenceModel() = default;
+
+    CoherenceModel(const CoherenceModel &) = delete;
+    CoherenceModel &operator=(const CoherenceModel &) = delete;
+
+    /** Handle a load that missed (or bypassed) the L1. */
+    virtual void load(const MemAccess &acc, LoadDoneCb done) = 0;
+
+    /**
+     * Handle a store of version `v`. `accepted` fires when the SM may
+     * retire the op locally; `sys_done` fires when the write-through has
+     * reached the system home (the SM uses it to retire store-buffer /
+     * MSHR resources). Scope-level completion for releases is reported
+     * through the ReleaseTracker (issued() has already been called by
+     * the SM).
+     */
+    virtual void store(const MemAccess &acc, Version v, DoneCb accepted,
+                       DoneCb sys_done) = 0;
+
+    /**
+     * Handle an atomic RMW: `done` returns the pre-op version when the
+     * response reaches the SM; `sys_done` fires when the atomic's result
+     * has been written through to the system home.
+     */
+    virtual void atomic(const MemAccess &acc, Version v, LoadDoneCb done,
+                        DoneCb sys_done) = 0;
+
+    /** L2-level work of an acquire fence (L1 inval is done by the SM). */
+    virtual void acquire(const MemAccess &acc, DoneCb done) = 0;
+
+    /** Release fence at `acc.scope`; `done` fires at completion. */
+    virtual void release(const MemAccess &acc, DoneCb done) = 0;
+
+    /**
+     * Cache maintenance at a dependent-kernel boundary (all in-flight
+     * writes have already drained). HW protocols do nothing at the L2;
+     * SW protocols bulk-invalidate per their scope rules.
+     */
+    virtual void kernelBoundary() = 0;
+
+    /**
+     * Quiesce all globally visible writes before a kernel boundary (and
+     * before the end of the trace). The default waits for every SM's
+     * in-flight write-throughs; write-back mode additionally flushes
+     * dirty L2 lines first.
+     */
+    virtual void
+    drainForBoundary(DoneCb done)
+    {
+        ctx_.tracker.waitAllDrained(std::move(done));
+    }
+
+    /** May the SM's L1 keep a copy of this line? */
+    virtual bool
+    mayCacheInL1(GpmId gpm, Addr line_addr) const
+    {
+        (void)gpm;
+        (void)line_addr;
+        return true;
+    }
+
+    /**
+     * Do acquires (and kernel boundaries) invalidate the issuing SM's
+     * L1? True for every real protocol; the idealized-caching model
+     * turns it off to serve as the no-coherence-overhead upper bound.
+     */
+    virtual bool invalidatesL1OnAcquire() const { return true; }
+
+    virtual const char *name() const = 0;
+
+    virtual void reportStats(StatRecorder &r) const;
+
+    // --- shared coherence statistics (Figures 9-11) ---
+
+    /** Lines invalidated per store that found other sharers (Fig. 9). */
+    const MeanStat &storeInvStat() const { return store_inv_; }
+    /** Lines invalidated per directory eviction (Fig. 10). */
+    const MeanStat &evictInvStat() const { return evict_inv_; }
+    std::uint64_t invMessagesSent() const { return inv_msgs_; }
+
+  protected:
+    /**
+     * A tree of invalidation messages triggered by one cause (a store or
+     * a directory eviction). Tracks how many messages are still in
+     * flight and how many cache lines they dropped, and samples the
+     * right mean-statistic when the last one lands.
+     */
+    struct InvJob
+    {
+        std::uint32_t pending = 0;
+        std::uint64_t lines = 0;
+        MeanStat *stat = nullptr;
+    };
+
+    using InvJobPtr = std::shared_ptr<InvJob>;
+
+    InvJobPtr
+    makeInvJob(bool from_store)
+    {
+        auto job = std::make_shared<InvJob>();
+        job->stat = from_store ? &store_inv_ : &evict_inv_;
+        return job;
+    }
+
+    /** Finish one message of `job`; samples the stat when all landed. */
+    void finishInvMsg(const InvJobPtr &job, std::uint64_t lines_dropped);
+
+    SystemContext &ctx_;
+    MeanStat store_inv_;
+    MeanStat evict_inv_;
+    std::uint64_t inv_msgs_ = 0;
+};
+
+/** Instantiate the model selected by `ctx.cfg.protocol`. */
+std::unique_ptr<CoherenceModel> makeCoherenceModel(SystemContext &ctx);
+
+// --- shared scope helpers ---
+
+/** Where in the hierarchy a cache sits relative to an address. */
+enum class CacheRole : std::uint8_t
+{
+    NonHome,   //!< any L2 that is neither home level
+    GpuHome,   //!< the requester-GPU home (hierarchical protocols)
+    SysHome,   //!< the system home
+};
+
+/**
+ * May a load of scope `s` hit in a cache playing `role`? Implements the
+ * forward-progress miss rules of Sections IV-B and V-B: `.gpu` loads
+ * must miss below the GPU home; `.sys` loads may hit only at the system
+ * home.
+ */
+constexpr bool
+loadMayHit(Scope s, CacheRole role)
+{
+    switch (role) {
+      case CacheRole::NonHome:
+        return s <= Scope::Cta;
+      case CacheRole::GpuHome:
+        return s <= Scope::Gpu;
+      case CacheRole::SysHome:
+        return true;
+    }
+    return false;
+}
+
+} // namespace hmg
+
+#endif // HMG_CORE_PROTOCOL_HH

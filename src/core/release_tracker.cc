@@ -1,0 +1,102 @@
+#include "core/release_tracker.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+ReleaseTracker::ReleaseTracker(std::uint32_t num_sms) : sms_(num_sms)
+{
+}
+
+void
+ReleaseTracker::issued(SmId sm)
+{
+    PerSm &s = sms_.at(sm);
+    ++s.pendingGpu;
+    ++s.pendingSys;
+    ++total_pending_sys_;
+}
+
+void
+ReleaseTracker::reachedGpuLevel(SmId sm)
+{
+    PerSm &s = sms_.at(sm);
+    hmg_assert(s.pendingGpu > 0);
+    if (--s.pendingGpu == 0)
+        drainGpuWaiters(s);
+}
+
+void
+ReleaseTracker::reachedSysLevel(SmId sm)
+{
+    PerSm &s = sms_.at(sm);
+    hmg_assert(s.pendingSys > 0);
+    hmg_assert(total_pending_sys_ > 0);
+    --s.pendingSys;
+    --total_pending_sys_;
+    if (s.pendingSys == 0)
+        drainSysWaiters(s);
+    if (total_pending_sys_ == 0)
+        drainGlobalWaiters();
+}
+
+void
+ReleaseTracker::waitGpuLevel(SmId sm, Callback cb)
+{
+    PerSm &s = sms_.at(sm);
+    if (s.pendingGpu == 0)
+        cb();
+    else
+        s.gpuWaiters.push_back(std::move(cb));
+}
+
+void
+ReleaseTracker::waitSysLevel(SmId sm, Callback cb)
+{
+    PerSm &s = sms_.at(sm);
+    if (s.pendingSys == 0)
+        cb();
+    else
+        s.sysWaiters.push_back(std::move(cb));
+}
+
+void
+ReleaseTracker::waitAllDrained(Callback cb)
+{
+    if (total_pending_sys_ == 0)
+        cb();
+    else
+        global_waiters_.push_back(std::move(cb));
+}
+
+void
+ReleaseTracker::drainGpuWaiters(PerSm &s)
+{
+    auto waiters = std::move(s.gpuWaiters);
+    s.gpuWaiters.clear();
+    for (auto &cb : waiters)
+        cb();
+}
+
+void
+ReleaseTracker::drainSysWaiters(PerSm &s)
+{
+    auto waiters = std::move(s.sysWaiters);
+    s.sysWaiters.clear();
+    for (auto &cb : waiters)
+        cb();
+}
+
+void
+ReleaseTracker::drainGlobalWaiters()
+{
+    auto waiters = std::move(global_waiters_);
+    global_waiters_.clear();
+    for (auto &cb : waiters)
+        cb();
+}
+
+} // namespace hmg

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-SM tracking of in-flight writes, used to implement release
+ * semantics (Sections IV-B and V-B, "Release").
+ *
+ * Every store/atomic a SM issues is counted as pending at two levels:
+ *  - *GPU level*: cleared when the write reaches the home node inside
+ *    the issuing GPU (the GPU home for hierarchical protocols; for flat
+ *    protocols this level coincides with the system level);
+ *  - *system level*: cleared when the write reaches the system home.
+ *
+ * A `.gpu`-scoped release waits for the GPU level to drain; a `.sys`
+ * release (and a kernel boundary) waits for the system level. This is
+ * exactly the paper's "a .gpu-scoped release operation need not flush
+ * all write-back operations across the inter-GPU network".
+ *
+ * No acknowledgment messages are required for this: the protocol engine
+ * knows the arrival event of every write it forwarded and simply calls
+ * back into the tracker at that tick.
+ */
+
+#ifndef HMG_CORE_RELEASE_TRACKER_HH
+#define HMG_CORE_RELEASE_TRACKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** Outstanding-write ledger for every SM in the system. */
+class ReleaseTracker
+{
+  public:
+    using Callback = std::function<void()>;
+
+    explicit ReleaseTracker(std::uint32_t num_sms);
+
+    /** A store/atomic left SM `sm` (pending at both levels). */
+    void issued(SmId sm);
+
+    /** The write reached the GPU-level home. */
+    void reachedGpuLevel(SmId sm);
+
+    /** The write reached the system home (implies GPU level cleared). */
+    void reachedSysLevel(SmId sm);
+
+    /** Run `cb` once SM `sm` has no writes pending below the GPU level. */
+    void waitGpuLevel(SmId sm, Callback cb);
+
+    /** Run `cb` once SM `sm` has no writes pending below the sys level. */
+    void waitSysLevel(SmId sm, Callback cb);
+
+    /** Run `cb` once *every* SM's system level is drained. */
+    void waitAllDrained(Callback cb);
+
+    std::uint64_t pendingGpu(SmId sm) const { return sms_[sm].pendingGpu; }
+    std::uint64_t pendingSys(SmId sm) const { return sms_[sm].pendingSys; }
+    std::uint64_t totalPendingSys() const { return total_pending_sys_; }
+
+  private:
+    struct PerSm
+    {
+        std::uint64_t pendingGpu = 0;
+        std::uint64_t pendingSys = 0;
+        std::vector<Callback> gpuWaiters;
+        std::vector<Callback> sysWaiters;
+    };
+
+    void drainGpuWaiters(PerSm &s);
+    void drainSysWaiters(PerSm &s);
+    void drainGlobalWaiters();
+
+    std::vector<PerSm> sms_;
+    std::uint64_t total_pending_sys_ = 0;
+    std::vector<Callback> global_waiters_;
+};
+
+} // namespace hmg
+
+#endif // HMG_CORE_RELEASE_TRACKER_HH

@@ -1,0 +1,420 @@
+#include "core/sw_protocol.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+SwProtocol::SwProtocol(SystemContext &ctx, bool hierarchical,
+                       bool cache_remote)
+    : CoherenceModel(ctx), hier_(hierarchical), cache_remote_(cache_remote)
+{
+}
+
+bool
+SwProtocol::mayCacheAt(GpmId node, Addr line) const
+{
+    if (cache_remote_)
+        return true;
+    return ctx_.cfg.gpuOf(node) ==
+           ctx_.cfg.gpuOf(ctx_.amap.systemHome(line));
+}
+
+bool
+SwProtocol::mayCacheInL1(GpmId gpm, Addr line_addr) const
+{
+    return mayCacheAt(gpm, line_addr);
+}
+
+// ---------------------------------------------------------------- loads
+
+void
+SwProtocol::load(const MemAccess &acc, LoadDoneCb done)
+{
+    ctx_.pages.touch(acc.lineAddr, acc.gpm);
+    const GpmId h = ctx_.amap.systemHome(acc.lineAddr);
+    const GpmId gh =
+        hier_ ? ctx_.amap.gpuHome(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr)
+              : h;
+
+    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+                                   done = std::move(done)]() mutable {
+        if (acc.gpm == h) {
+            loadAtSysHome(acc, h, std::move(done));
+            return;
+        }
+        if (hier_ && acc.gpm == gh) {
+            loadAtGpuHome(acc, gh, h, std::move(done));
+            return;
+        }
+        GpmNode &local = ctx_.gpm(acc.gpm);
+        const bool mergeable = loadMayHit(acc.scope, CacheRole::NonHome) &&
+                               mayCacheAt(acc.gpm, acc.lineAddr);
+        if (mergeable) {
+            auto res = local.l2().load(acc.lineAddr);
+            if (res.hit) {
+                ++loads_local_hit_;
+                ctx_.engine.schedule(dataLat(),
+                                     [done, v = res.version]() {
+                    done(v);
+                });
+                return;
+            }
+            if (!local.mshrRegister(acc.lineAddr, std::move(done)))
+                return;
+        }
+        LoadDoneCb finish;
+        if (mergeable) {
+            finish = [this, acc](Version v) {
+                GpmNode &n = ctx_.gpm(acc.gpm);
+                n.l2().fill(acc.lineAddr, v);
+                n.mshrComplete(acc.lineAddr, v);
+            };
+        } else {
+            finish = [this, acc, done = std::move(done)](Version v) {
+                if (mayCacheAt(acc.gpm, acc.lineAddr))
+                    ctx_.gpm(acc.gpm).l2().fill(acc.lineAddr, v);
+                done(v);
+            };
+        }
+
+        const GpmId next = hier_ ? gh : h;
+        ctx_.net.send(acc.gpm, next, MsgType::ReadReq,
+                      [this, acc, gh, h, finish = std::move(finish)]() {
+            if (hier_ && gh != h) {
+                loadAtGpuHome(acc, gh, h, finish);
+            } else {
+                loadAtSysHome(acc, h, [this, acc, h, finish](Version v) {
+                    ctx_.net.send(h, acc.gpm, MsgType::ReadResp,
+                                  [v, finish]() { finish(v); });
+                });
+            }
+        });
+    });
+}
+
+void
+SwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
+{
+    hmg_assert(hier_ && gh != h);
+
+    auto respond = [this, acc, gh, done = std::move(done)](Version v) {
+        if (acc.gpm == gh) {
+            done(v);
+            return;
+        }
+        ctx_.net.send(gh, acc.gpm, MsgType::ReadResp,
+                      [v, done]() { done(v); });
+    };
+
+    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+                                   respond = std::move(respond)]() mutable {
+        GpmNode &home = ctx_.gpm(gh);
+        const bool mergeable = loadMayHit(acc.scope, CacheRole::GpuHome) &&
+                               mayCacheAt(gh, acc.lineAddr);
+        if (mergeable) {
+            auto res = home.l2().load(acc.lineAddr);
+            if (res.hit) {
+                ++loads_gpu_home_hit_;
+                ctx_.engine.schedule(dataLat(),
+                                     [respond, v = res.version]() {
+                    respond(v);
+                });
+                return;
+            }
+            if (!home.mshrRegister(acc.lineAddr, std::move(respond)))
+                return;
+        }
+        ctx_.net.send(gh, h, MsgType::ReadReq,
+                      [this, acc, gh, h, mergeable,
+                       respond = std::move(respond)]() mutable {
+            loadAtSysHome(acc, h,
+                          [this, acc, gh, h, mergeable,
+                           respond = std::move(respond)](Version v) {
+                ctx_.net.send(h, gh, MsgType::ReadResp,
+                              [this, acc, gh, v, mergeable, respond]() {
+                    GpmNode &home = ctx_.gpm(gh);
+                    if (mayCacheAt(gh, acc.lineAddr))
+                        home.l2().fill(acc.lineAddr, v);
+                    if (mergeable)
+                        home.mshrComplete(acc.lineAddr, v);
+                    else
+                        respond(v);
+                });
+            });
+        });
+    });
+}
+
+void
+SwProtocol::loadAtSysHome(MemAccess acc, GpmId h, LoadDoneCb respond)
+{
+    ctx_.engine.schedule(tagLat(), [this, acc, h,
+                                   respond = std::move(respond)]() mutable {
+        GpmNode &home = ctx_.gpm(h);
+        auto res = home.l2().load(acc.lineAddr);
+        if (res.hit) {
+            ++loads_sys_home_hit_;
+            ctx_.engine.schedule(dataLat(),
+                                 [respond, v = res.version]() {
+                respond(v);
+            });
+            return;
+        }
+        if (!home.mshrRegister(acc.lineAddr, std::move(respond)))
+            return;
+        ++loads_dram_;
+        Tick ready = home.dram().read(ctx_.cfg.cacheLineBytes);
+        ctx_.engine.scheduleAt(ready, [this, acc, h]() {
+            Version v = ctx_.mem.read(acc.lineAddr);
+            GpmNode &home = ctx_.gpm(h);
+            home.l2().fill(acc.lineAddr, v);
+            home.mshrComplete(acc.lineAddr, v);
+        });
+    });
+}
+
+// ---------------------------------------------------------------- stores
+
+void
+SwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
+                  DoneCb sys_done)
+{
+    ctx_.pages.touch(acc.lineAddr, acc.gpm);
+    const GpmId h = ctx_.amap.systemHome(acc.lineAddr);
+    const GpmId gh =
+        hier_ ? ctx_.amap.gpuHome(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr)
+              : h;
+
+    StoreFlow f{acc, v, std::move(sys_done), false};
+
+    ctx_.engine.schedule(tagLat(), [this, f = std::move(f), gh, h,
+                                   accepted]() mutable {
+        if (mayCacheAt(f.acc.gpm, f.acc.lineAddr))
+            ctx_.gpm(f.acc.gpm).l2().store(f.acc.lineAddr, f.v);
+        accepted();
+        const GpmId src = f.acc.gpm;
+        if (hier_) {
+            if (src == gh) {
+                storeAtGpuHome(std::move(f), gh, h);
+            } else {
+                ctx_.net.send(src, gh, MsgType::WriteThrough,
+                              [this, f = std::move(f), gh, h]() mutable {
+                    storeAtGpuHome(std::move(f), gh, h);
+                });
+            }
+        } else {
+            if (src == h) {
+                storeAtSysHome(std::move(f), h);
+            } else {
+                ctx_.net.send(src, h, MsgType::WriteThrough,
+                              [this, f = std::move(f), h]() mutable {
+                    storeAtSysHome(std::move(f), h);
+                });
+            }
+        }
+    });
+}
+
+void
+SwProtocol::storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h)
+{
+    hmg_assert(hier_);
+    if (gh == h) {
+        storeAtSysHome(std::move(f), h);
+        return;
+    }
+    if (mayCacheAt(gh, f.acc.lineAddr))
+        ctx_.gpm(gh).l2().store(f.acc.lineAddr, f.v);
+    ctx_.tracker.reachedGpuLevel(f.acc.sm);
+    f.gpuCleared = true;
+    ctx_.net.send(gh, h, MsgType::WriteThrough,
+                  [this, f = std::move(f), h]() mutable {
+        storeAtSysHome(std::move(f), h);
+    });
+}
+
+void
+SwProtocol::storeAtSysHome(StoreFlow f, GpmId h)
+{
+    GpmNode &home = ctx_.gpm(h);
+    home.l2().store(f.acc.lineAddr, f.v);
+    ctx_.mem.write(f.acc.lineAddr, f.v);
+    home.dram().write(ctx_.cfg.cacheLineBytes);
+    if (!f.gpuCleared)
+        ctx_.tracker.reachedGpuLevel(f.acc.sm);
+    ctx_.tracker.reachedSysLevel(f.acc.sm);
+    if (f.sysDone)
+        f.sysDone();
+}
+
+// --------------------------------------------------------------- atomics
+
+void
+SwProtocol::atomic(const MemAccess &acc, Version v, LoadDoneCb done,
+                   DoneCb sys_done)
+{
+    ctx_.pages.touch(acc.lineAddr, acc.gpm);
+    const GpmId h = ctx_.amap.systemHome(acc.lineAddr);
+    const GpmId gh =
+        hier_ ? ctx_.amap.gpuHome(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr)
+              : h;
+    const GpmId target = (hier_ && acc.scope <= Scope::Gpu) ? gh : h;
+
+    if (target == acc.gpm) {
+        atomicAtHome(acc, target, h, v, std::move(done),
+                     std::move(sys_done));
+    } else {
+        ctx_.net.send(acc.gpm, target, MsgType::AtomicReq,
+                      [this, acc, target, h, v, done = std::move(done),
+                       sys_done = std::move(sys_done)]() mutable {
+            atomicAtHome(acc, target, h, v, std::move(done),
+                         std::move(sys_done));
+        });
+    }
+}
+
+void
+SwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
+                         LoadDoneCb done, DoneCb sys_done)
+{
+    ctx_.engine.schedule(tagLat(), [this, acc, target, h, v,
+                                   done = std::move(done),
+                                   sys_done = std::move(sys_done)]() mutable {
+        GpmNode &node = ctx_.gpm(target);
+        auto res = node.l2().load(acc.lineAddr);
+        if (res.hit) {
+            atomicPerform(acc, target, h, v, res.version, std::move(done),
+                          std::move(sys_done));
+            return;
+        }
+        if (target == h) {
+            Tick ready = node.dram().read(ctx_.cfg.cacheLineBytes);
+            ctx_.engine.scheduleAt(ready, [this, acc, target, h, v,
+                                           done = std::move(done),
+                                           sys_done =
+                                               std::move(sys_done)]() mutable {
+                Version old_v = ctx_.mem.read(acc.lineAddr);
+                atomicPerform(acc, target, h, v, old_v, std::move(done),
+                              std::move(sys_done));
+            });
+            return;
+        }
+        // GPU-home atomic without the line: fetch from the system home.
+        ctx_.net.send(target, h, MsgType::ReadReq,
+                      [this, acc, target, h, v, done = std::move(done),
+                       sys_done = std::move(sys_done)]() mutable {
+            loadAtSysHome(acc, h,
+                          [this, acc, target, h, v, done = std::move(done),
+                           sys_done =
+                               std::move(sys_done)](Version old_v) mutable {
+                ctx_.net.send(h, target, MsgType::ReadResp,
+                              [this, acc, target, h, v, old_v,
+                               done = std::move(done),
+                               sys_done = std::move(sys_done)]() mutable {
+                    if (mayCacheAt(target, acc.lineAddr))
+                        ctx_.gpm(target).l2().fill(acc.lineAddr, old_v);
+                    atomicPerform(acc, target, h, v, old_v, std::move(done),
+                                  std::move(sys_done));
+                });
+            });
+        });
+    });
+}
+
+void
+SwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
+                          Version old_v, LoadDoneCb done, DoneCb sys_done)
+{
+    if (target == h || mayCacheAt(target, acc.lineAddr))
+        ctx_.gpm(target).l2().store(acc.lineAddr, v);
+
+    if (target == acc.gpm) {
+        done(old_v);
+    } else {
+        ctx_.net.send(target, acc.gpm, MsgType::AtomicResp,
+                      [done = std::move(done), old_v]() { done(old_v); });
+    }
+
+    StoreFlow f{acc, v, std::move(sys_done), false};
+    if (target == h) {
+        ctx_.mem.write(acc.lineAddr, v);
+        ctx_.gpm(h).dram().write(ctx_.cfg.cacheLineBytes);
+        ctx_.tracker.reachedGpuLevel(acc.sm);
+        ctx_.tracker.reachedSysLevel(acc.sm);
+        if (f.sysDone)
+            f.sysDone();
+        return;
+    }
+    ctx_.tracker.reachedGpuLevel(acc.sm);
+    f.gpuCleared = true;
+    ctx_.net.send(target, h, MsgType::WriteThrough,
+                  [this, f = std::move(f), h]() mutable {
+        storeAtSysHome(std::move(f), h);
+    });
+}
+
+// -------------------------------------------------------- acquire/release
+
+void
+SwProtocol::acquire(const MemAccess &acc, DoneCb done)
+{
+    if (acc.scope <= Scope::Cta) {
+        ctx_.engine.schedule(1, std::move(done));
+        return;
+    }
+    // Bulk-invalidate the caches between this SM and the scope home.
+    acquire_l2_invs_ += ctx_.gpm(acc.gpm).l2().invalidateAll();
+    if (hier_ && acc.scope == Scope::Sys) {
+        const GpuId g = ctx_.cfg.gpuOf(acc.gpm);
+        for (std::uint32_t l = 0; l < ctx_.cfg.gpmsPerGpu; ++l) {
+            GpmId d = ctx_.cfg.gpmId(g, l);
+            if (d != acc.gpm)
+                acquire_l2_invs_ += ctx_.gpm(d).l2().invalidateAll();
+        }
+    }
+    ctx_.engine.schedule(tagLat(), std::move(done));
+}
+
+void
+SwProtocol::release(const MemAccess &acc, DoneCb done)
+{
+    if (acc.scope <= Scope::Cta) {
+        ctx_.engine.schedule(1, std::move(done));
+        return;
+    }
+    if (hier_ && acc.scope == Scope::Gpu)
+        ctx_.tracker.waitGpuLevel(acc.sm, std::move(done));
+    else
+        ctx_.tracker.waitSysLevel(acc.sm, std::move(done));
+}
+
+void
+SwProtocol::kernelBoundary()
+{
+    // Every SM performs an implicit system-scope acquire at a dependent
+    // kernel launch, so every L2 in the machine loses its contents.
+    for (auto &node : ctx_.gpms)
+        kernel_boundary_invs_ += node->l2().invalidateAll();
+}
+
+void
+SwProtocol::reportStats(StatRecorder &r) const
+{
+    CoherenceModel::reportStats(r);
+    r.record("protocol.loads_local_hit",
+             static_cast<double>(loads_local_hit_));
+    r.record("protocol.loads_gpu_home_hit",
+             static_cast<double>(loads_gpu_home_hit_));
+    r.record("protocol.loads_sys_home_hit",
+             static_cast<double>(loads_sys_home_hit_));
+    r.record("protocol.loads_dram", static_cast<double>(loads_dram_));
+    r.record("protocol.acquire_l2_inv_lines",
+             static_cast<double>(acquire_l2_invs_));
+    r.record("protocol.kernel_boundary_inv_lines",
+             static_cast<double>(kernel_boundary_invs_));
+}
+
+} // namespace hmg

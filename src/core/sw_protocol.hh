@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Software-managed scoped coherence, non-hierarchical and hierarchical
+ * (the "Non-Hierarchical SW Coherence" and "Hierarchical SW Coherence"
+ * configurations of Figures 2 and 8).
+ *
+ * There is no directory and there are no invalidation messages. Instead,
+ * correctness comes entirely from the acquire side: load-acquires bulk-
+ * invalidate every cache between the issuing SM and the home node for
+ * the scope in question (Section VI, "Coherence Protocol
+ * Implementations"):
+ *
+ *  - `.gpu` acquire: the SM's L1 plus the GPM-local L2;
+ *  - `.sys` acquire, non-hierarchical: the SM's L1 plus the GPM-local
+ *    L2 (other GPMs' L2s are never consulted by this GPM's loads);
+ *  - `.sys` acquire, hierarchical: the SM's L1 plus all L2 caches of
+ *    the issuing GPU (loads route through the GPU home).
+ *
+ * Dependent-kernel boundaries act as system-wide acquires by every SM,
+ * which bulk-invalidates every L2 in the machine — the cost the paper's
+ * hardware protocols exist to avoid.
+ *
+ * Store-releases stall until the home node for the scope has absorbed
+ * all of the SM's pending writes; with write-through caches and FIFO
+ * channels no marker/ack traffic is needed.
+ */
+
+#ifndef HMG_CORE_SW_PROTOCOL_HH
+#define HMG_CORE_SW_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "core/protocol.hh"
+
+namespace hmg
+{
+
+/** Scoped software coherence (bulk invalidation based). */
+class SwProtocol : public CoherenceModel
+{
+  public:
+    /**
+     * @param hierarchical route and cache through a GPU home node
+     * @param cache_remote when false, data homed on a remote GPU is
+     *        never cached outside its home GPM — this yields the
+     *        "no caching of remote GPU data" normalization baseline
+     */
+    SwProtocol(SystemContext &ctx, bool hierarchical,
+               bool cache_remote = true);
+
+    void load(const MemAccess &acc, LoadDoneCb done) override;
+    void store(const MemAccess &acc, Version v, DoneCb accepted,
+               DoneCb sys_done) override;
+    void atomic(const MemAccess &acc, Version v, LoadDoneCb done,
+                DoneCb sys_done) override;
+    void acquire(const MemAccess &acc, DoneCb done) override;
+    void release(const MemAccess &acc, DoneCb done) override;
+    void kernelBoundary() override;
+
+    bool mayCacheInL1(GpmId gpm, Addr line_addr) const override;
+
+    const char *
+    name() const override
+    {
+        if (!cache_remote_)
+            return "NoRemoteCache";
+        return hier_ ? "SW-Hier" : "SW-NonHier";
+    }
+
+    void reportStats(StatRecorder &r) const override;
+
+  protected:
+    /** May GPM `node` keep a copy of `line` in its L2? */
+    bool mayCacheAt(GpmId node, Addr line) const;
+
+    Tick l2Lat() const { return ctx_.cfg.l2HitLatency; }
+    /** Tag-check cost (misses); hits additionally pay dataLat(). */
+    Tick tagLat() const { return ctx_.cfg.l2TagLatency; }
+    Tick dataLat() const
+    {
+        return ctx_.cfg.l2HitLatency - ctx_.cfg.l2TagLatency;
+    }
+
+    void loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done);
+    void loadAtSysHome(MemAccess acc, GpmId h, LoadDoneCb respond);
+
+    struct StoreFlow
+    {
+        MemAccess acc;
+        Version v = 0;
+        DoneCb sysDone;
+        bool gpuCleared = false;
+    };
+
+    void storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h);
+    void storeAtSysHome(StoreFlow f, GpmId h);
+
+    void atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
+                      LoadDoneCb done, DoneCb sys_done);
+    void atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
+                       Version old_v, LoadDoneCb done, DoneCb sys_done);
+
+    bool hier_;
+    bool cache_remote_;
+
+    std::uint64_t acquire_l2_invs_ = 0;
+    std::uint64_t kernel_boundary_invs_ = 0;
+    std::uint64_t loads_local_hit_ = 0;
+    std::uint64_t loads_gpu_home_hit_ = 0;
+    std::uint64_t loads_sys_home_hit_ = 0;
+    std::uint64_t loads_dram_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_CORE_SW_PROTOCOL_HH

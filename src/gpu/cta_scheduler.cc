@@ -1,0 +1,121 @@
+#include "gpu/cta_scheduler.hh"
+
+#include <utility>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace hmg
+{
+
+CtaScheduler::CtaScheduler(SystemContext &ctx, CoherenceModel &model,
+                           std::vector<std::unique_ptr<Sm>> &sms)
+    : ctx_(ctx),
+      model_(model),
+      sms_(sms),
+      gpm_queues_(ctx.cfg.totalGpms()),
+      gpm_sm_cursor_(ctx.cfg.totalGpms(), 0)
+{
+}
+
+GpmId
+CtaScheduler::ctaGpm(std::uint64_t cta_idx, std::uint64_t num_ctas,
+                     std::uint32_t total_gpms)
+{
+    const std::uint64_t per_gpm = divCeil(num_ctas, total_gpms);
+    auto gpm = static_cast<GpmId>(cta_idx / per_gpm);
+    return gpm < total_gpms ? gpm : total_gpms - 1;
+}
+
+void
+CtaScheduler::run(const trace::Trace &trace, std::function<void()> on_done)
+{
+    hmg_assert(trace_ == nullptr);
+    hmg_assert(!trace.kernels.empty());
+    trace_ = &trace;
+    on_done_ = std::move(on_done);
+    kernel_idx_ = 0;
+    startKernel(0);
+}
+
+void
+CtaScheduler::startKernel(std::size_t idx)
+{
+    const trace::Kernel &kernel = trace_->kernels[idx];
+    hmg_assert(!kernel.ctas.empty());
+    ++kernels_launched_;
+
+    const std::uint64_t n = kernel.ctas.size();
+    ctas_remaining_ = n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        GpmId gpm = ctaGpm(i, n, ctx_.cfg.totalGpms());
+        gpm_queues_[gpm].push_back(&kernel.ctas[i]);
+    }
+    for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g)
+        feedGpm(g);
+}
+
+void
+CtaScheduler::feedGpm(GpmId gpm)
+{
+    auto &queue = gpm_queues_[gpm];
+    const std::uint32_t sms_per_gpm = ctx_.cfg.smsPerGpm();
+    const SmId first_sm = gpm * sms_per_gpm;
+
+    // Round-robin over the GPM's SMs, placing CTAs while any SM has
+    // room. A CTA too large for the current SM waits for retirements.
+    std::uint32_t scanned = 0;
+    while (!queue.empty() && scanned < sms_per_gpm) {
+        std::uint32_t &cursor = gpm_sm_cursor_[gpm];
+        Sm &sm = *sms_[first_sm + cursor];
+        cursor = (cursor + 1) % sms_per_gpm;
+        if (!sm.canAccept(*queue.front())) {
+            ++scanned;
+            continue;
+        }
+        scanned = 0;
+        const trace::Cta *cta = queue.front();
+        queue.pop_front();
+        sm.runCta(*cta, [this, gpm]() { ctaFinished(gpm); });
+    }
+}
+
+void
+CtaScheduler::ctaFinished(GpmId gpm)
+{
+    hmg_assert(ctas_remaining_ > 0);
+    --ctas_remaining_;
+    if (ctas_remaining_ == 0) {
+        kernelFinished();
+        return;
+    }
+    if (!gpm_queues_[gpm].empty())
+        feedGpm(gpm);
+}
+
+void
+CtaScheduler::kernelFinished()
+{
+    // Implicit end-of-kernel system release: every in-flight write must
+    // land (write-back mode also flushes dirty L2 data) before dependent
+    // work may observe it.
+    model_.drainForBoundary([this]() {
+        ++kernel_idx_;
+        if (kernel_idx_ >= trace_->kernels.size()) {
+            auto done = std::move(on_done_);
+            trace_ = nullptr;
+            done();
+            return;
+        }
+        // Implicit start-of-kernel system acquire.
+        if (model_.invalidatesL1OnAcquire()) {
+            for (auto &sm : sms_)
+                sm->invalidateL1();
+        }
+        model_.kernelBoundary();
+        ctx_.engine.schedule(ctx_.cfg.kernelLaunchLatency,
+                             [this]() { startKernel(kernel_idx_); });
+    });
+}
+
+} // namespace hmg

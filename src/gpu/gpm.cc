@@ -1,0 +1,75 @@
+#include "gpu/gpm.hh"
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+GpmNode::GpmNode(Engine &engine, const SystemConfig &cfg, GpmId id,
+                 bool with_directory)
+    : id_(id),
+      l2_(cfg.l2BytesPerGpm(), cfg.l2Ways, cfg.cacheLineBytes,
+          /*write_allocate=*/true),
+      dram_(engine, cfg)
+{
+    if (with_directory) {
+        dir_ = std::make_unique<Directory>(
+            cfg.dirEntriesPerGpm, cfg.dirWays,
+            cfg.cacheLineBytes * cfg.dirLinesPerEntry);
+    }
+}
+
+bool
+GpmNode::mshrRegister(Addr line, MissCb cb)
+{
+    auto [it, first] = mshr_.try_emplace(line);
+    it->second.push_back(std::move(cb));
+    if (!first)
+        ++mshr_merges_;
+    return first;
+}
+
+void
+GpmNode::mshrComplete(Addr line, Version v)
+{
+    auto it = mshr_.find(line);
+    if (it == mshr_.end())
+        return;
+    auto waiters = std::move(it->second);
+    mshr_.erase(it);
+    for (auto &cb : waiters)
+        cb(v);
+}
+
+void
+GpmNode::wbLanded()
+{
+    hmg_assert(pending_writebacks_ > 0);
+    if (--pending_writebacks_ == 0) {
+        auto waiters = std::move(wb_waiters_);
+        wb_waiters_.clear();
+        for (auto &cb : waiters)
+            cb();
+    }
+}
+
+void
+GpmNode::waitWbDrained(std::function<void()> cb)
+{
+    if (pending_writebacks_ == 0)
+        cb();
+    else
+        wb_waiters_.push_back(std::move(cb));
+}
+
+void
+GpmNode::reportStats(StatRecorder &r, const std::string &prefix) const
+{
+    l2_.reportStats(r, prefix + ".l2");
+    dram_.reportStats(r, prefix + ".dram");
+    r.record(prefix + ".mshr_merges", static_cast<double>(mshr_merges_));
+    if (dir_)
+        dir_->reportStats(r, prefix + ".dir");
+}
+
+} // namespace hmg

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The memory-side node of one GPU module (GPM): its L2 cache slice, its
+ * local DRAM partition, and — for the hardware protocols — its coherence
+ * directory (Fig. 4 / Fig. 5 of the paper).
+ */
+
+#ifndef HMG_GPU_GPM_HH
+#define HMG_GPU_GPM_HH
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/directory.hh"
+#include "mem/dram.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+
+/** L2 + DRAM (+ directory) of one GPM. */
+class GpmNode
+{
+  public:
+    GpmNode(Engine &engine, const SystemConfig &cfg, GpmId id,
+            bool with_directory);
+
+    GpmId id() const { return id_; }
+    Cache &l2() { return l2_; }
+    const Cache &l2() const { return l2_; }
+    Dram &dram() { return dram_; }
+    Directory *dir() { return dir_.get(); }
+    const Directory *dir() const { return dir_.get(); }
+
+    /**
+     * Record that this node sent an invalidation scheduled to arrive at
+     * `arrival`. A release marker received later must not be
+     * acknowledged before every such invalidation has landed
+     * (Section IV-B, "Release").
+     */
+    void noteInvSent(Tick arrival)
+    {
+        last_inv_arrival_ = std::max(last_inv_arrival_, arrival);
+    }
+
+    /** Earliest tick at which a release marker arriving now may be
+     *  acknowledged. */
+    Tick invDrainTick(Tick now) const
+    {
+        return std::max(now, last_inv_arrival_);
+    }
+
+    // --- miss-status handling registers (request coalescing) ---
+    //
+    // Concurrent misses on the same line at one L2 merge into a single
+    // outbound fetch; secondary requesters park a callback that fires
+    // when the fill lands. This is the request coalescing Section V-A
+    // attributes to the hierarchy ("multiple cache requests from
+    // individual GPMs to be coalesced and/or cached within a single
+    // GPU").
+
+    using MissCb = std::function<void(Version)>;
+
+    /**
+     * Join the miss on `line`. @return true if the caller is the
+     * primary and must perform the fetch (its own continuation is
+     * already parked); false if it merged behind an in-flight fetch.
+     */
+    bool mshrRegister(Addr line, MissCb cb);
+
+    /** The fill for `line` landed: fire every parked continuation. */
+    void mshrComplete(Addr line, Version v);
+
+    std::uint64_t mshrMerges() const { return mshr_merges_; }
+
+    // --- in-flight write-back ledger (cfg.l2WriteBack) ---
+
+    /** A dirty-line write-back left this node. */
+    void wbIssued() { ++pending_writebacks_; }
+
+    /** The write-back reached the system home. */
+    void wbLanded();
+
+    /** Run `cb` once no write-backs from this node are in flight. */
+    void waitWbDrained(std::function<void()> cb);
+
+    std::uint64_t pendingWritebacks() const { return pending_writebacks_; }
+
+    void reportStats(StatRecorder &r, const std::string &prefix) const;
+
+  private:
+    GpmId id_;
+    Cache l2_;
+    Dram dram_;
+    std::unique_ptr<Directory> dir_;
+    Tick last_inv_arrival_ = 0;
+    std::unordered_map<Addr, std::vector<MissCb>> mshr_;
+    std::uint64_t mshr_merges_ = 0;
+    std::uint64_t pending_writebacks_ = 0;
+    std::vector<std::function<void()>> wb_waiters_;
+};
+
+} // namespace hmg
+
+#endif // HMG_GPU_GPM_HH

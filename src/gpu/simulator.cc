@@ -1,0 +1,47 @@
+#include "gpu/simulator.hh"
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+Simulator::Simulator(const SystemConfig &cfg)
+    : system_(std::make_unique<System>(cfg))
+{
+}
+
+Simulator::~Simulator() = default;
+
+SimResult
+Simulator::run(const trace::Trace &trace)
+{
+    if (used_)
+        hmg_fatal("Simulator::run() called twice; build a fresh Simulator");
+    used_ = true;
+
+    bool finished = false;
+    system_->scheduler().run(trace, [&finished]() { finished = true; });
+    system_->engine().run();
+
+    if (!finished)
+        hmg_panic("simulation deadlocked: event queue drained with the "
+                  "trace '%s' unfinished", trace.name.c_str());
+
+    SimResult res;
+    res.cycles = system_->engine().now();
+    res.seconds = static_cast<double>(res.cycles) /
+                  (system_->cfg().gpuFrequencyGhz * 1e9);
+    res.memOps = trace.memOps();
+    system_->reportStats(res.stats);
+    return res;
+}
+
+SimResult
+runWith(SystemConfig cfg, Protocol protocol, const trace::Trace &trace)
+{
+    cfg.protocol = protocol;
+    Simulator sim(cfg);
+    return sim.run(trace);
+}
+
+} // namespace hmg

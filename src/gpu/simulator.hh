@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The public facade: build a system from a SystemConfig, run a trace,
+ * get back cycles and statistics. This is the API the examples and all
+ * benchmark harnesses use.
+ *
+ * Typical use:
+ * @code
+ *   hmg::SystemConfig cfg;            // Table II defaults
+ *   cfg.protocol = hmg::Protocol::Hmg;
+ *   hmg::Simulator sim(cfg);
+ *   auto trace = hmg::trace::workloads::make("lstm", 0.25);
+ *   hmg::SimResult res = sim.run(trace);
+ *   std::cout << res.cycles << "\n";
+ * @endcode
+ */
+
+#ifndef HMG_GPU_SIMULATOR_HH
+#define HMG_GPU_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "gpu/system.hh"
+#include "trace/trace.hh"
+
+namespace hmg
+{
+
+/** Outcome of one simulation run. */
+struct SimResult
+{
+    Tick cycles = 0;          //!< simulated execution time
+    double seconds = 0;       //!< cycles / frequency
+    std::uint64_t memOps = 0; //!< trace memory operations executed
+    StatRecorder stats;       //!< every component's counters
+
+    /** GB/s consumed on inter-GPU links by messages of type `t`. */
+    double
+    gbps(double bytes) const
+    {
+        return seconds > 0 ? bytes / seconds / 1e9 : 0.0;
+    }
+};
+
+/**
+ * One-shot simulator: owns a System and runs a single trace. Build a
+ * fresh Simulator per run — caches, directories, the page table and
+ * statistics all carry state.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const SystemConfig &cfg);
+    ~Simulator();
+
+    /** Run `trace` to completion. @return timing and statistics. */
+    SimResult run(const trace::Trace &trace);
+
+    System &system() { return *system_; }
+
+  private:
+    std::unique_ptr<System> system_;
+    bool used_ = false;
+};
+
+/**
+ * Convenience: run `trace` under `protocol`, leaving every other knob
+ * of `cfg` untouched.
+ */
+SimResult runWith(SystemConfig cfg, Protocol protocol,
+                  const trace::Trace &trace);
+
+} // namespace hmg
+
+#endif // HMG_GPU_SIMULATOR_HH

@@ -1,0 +1,48 @@
+#include "gpu/system.hh"
+
+namespace hmg
+{
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), pages_(cfg_), tracker_(cfg_.totalSms())
+{
+    cfg_.validate();
+
+    amap_ = std::make_unique<AddressMap>(cfg_, pages_);
+    net_ = std::make_unique<Network>(engine_, cfg_);
+
+    const bool with_dir = isHardwareProtocol(cfg_.protocol);
+    for (GpmId g = 0; g < cfg_.totalGpms(); ++g)
+        gpms_.push_back(
+            std::make_unique<GpmNode>(engine_, cfg_, g, with_dir));
+
+    ctx_ = std::make_unique<SystemContext>(SystemContext{
+        engine_, cfg_, *net_, pages_, *amap_, mem_, tracker_, gpms_});
+
+    model_ = makeCoherenceModel(*ctx_);
+
+    for (SmId s = 0; s < cfg_.totalSms(); ++s)
+        sms_.push_back(std::make_unique<Sm>(*ctx_, *model_, s));
+
+    scheduler_ = std::make_unique<CtaScheduler>(*ctx_, *model_, sms_);
+}
+
+void
+System::reportStats(StatRecorder &r) const
+{
+    for (const auto &gpm : gpms_) {
+        // Aggregate the GPM-side stats per GPU and totals.
+        std::string gpu_prefix =
+            "gpu" + std::to_string(cfg_.gpuOf(gpm->id()));
+        gpm->reportStats(r, gpu_prefix);
+        gpm->reportStats(r, "total");
+    }
+    for (const auto &sm : sms_)
+        sm->reportStats(r, "sm_total");
+    net_->reportStats(r, "noc");
+    model_->reportStats(r);
+    r.record("mem.pages_placed", static_cast<double>(pages_.pageCount()));
+    r.record("engine.events", static_cast<double>(engine_.eventsExecuted()));
+}
+
+} // namespace hmg

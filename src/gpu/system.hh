@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Wiring of the whole simulated machine: engine, page table, address
+ * map, memory oracle, interconnect, GPM nodes, release tracker, the
+ * selected coherence model, SMs, and the CTA scheduler.
+ */
+
+#ifndef HMG_GPU_SYSTEM_HH
+#define HMG_GPU_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/protocol.hh"
+#include "gpu/cta_scheduler.hh"
+#include "gpu/gpm.hh"
+#include "gpu/sm.hh"
+#include "mem/address_map.hh"
+#include "mem/memory_state.hh"
+#include "mem/page_table.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+
+/** The fully assembled simulated multi-GPU machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    Engine &engine() { return engine_; }
+    const SystemConfig &cfg() const { return cfg_; }
+    SystemContext &ctx() { return *ctx_; }
+    CoherenceModel &model() { return *model_; }
+    Network &network() { return *net_; }
+    PageTable &pageTable() { return pages_; }
+    AddressMap &addressMap() { return *amap_; }
+    MemoryState &memory() { return mem_; }
+    ReleaseTracker &tracker() { return tracker_; }
+    CtaScheduler &scheduler() { return *scheduler_; }
+
+    Sm &sm(SmId id) { return *sms_.at(id); }
+    GpmNode &gpm(GpmId id) { return *gpms_.at(id); }
+    std::uint32_t numSms() const
+    {
+        return static_cast<std::uint32_t>(sms_.size());
+    }
+
+    /** Gather every component's statistics. */
+    void reportStats(StatRecorder &r) const;
+
+  private:
+    SystemConfig cfg_;
+    Engine engine_;
+    PageTable pages_;
+    std::unique_ptr<AddressMap> amap_;
+    MemoryState mem_;
+    ReleaseTracker tracker_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<GpmNode>> gpms_;
+    std::unique_ptr<SystemContext> ctx_;
+    std::unique_ptr<CoherenceModel> model_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::unique_ptr<CtaScheduler> scheduler_;
+};
+
+} // namespace hmg
+
+#endif // HMG_GPU_SYSTEM_HH

@@ -1,0 +1,33 @@
+#include "mem/dram.hh"
+
+namespace hmg
+{
+
+Dram::Dram(Engine &engine, const SystemConfig &cfg)
+    : channel_(engine, cfg.dramPortBytesPerCycle(), cfg.dramLatency)
+{
+}
+
+Tick
+Dram::read(std::uint32_t bytes)
+{
+    ++reads_;
+    return channel_.send(bytes);
+}
+
+Tick
+Dram::write(std::uint32_t bytes)
+{
+    ++writes_;
+    return channel_.send(bytes);
+}
+
+void
+Dram::reportStats(StatRecorder &r, const std::string &prefix) const
+{
+    r.record(prefix + ".reads", static_cast<double>(reads_));
+    r.record(prefix + ".writes", static_cast<double>(writes_));
+    r.record(prefix + ".bytes", static_cast<double>(bytesTransferred()));
+}
+
+} // namespace hmg

@@ -1,0 +1,21 @@
+#include "mem/memory_state.hh"
+
+namespace hmg
+{
+
+Version
+MemoryState::read(Addr line_addr) const
+{
+    auto it = lines_.find(line_addr);
+    return it == lines_.end() ? Version{0} : it->second;
+}
+
+void
+MemoryState::write(Addr line_addr, Version version)
+{
+    auto [it, inserted] = lines_.emplace(line_addr, version);
+    if (!inserted && it->second < version)
+        it->second = version;
+}
+
+} // namespace hmg

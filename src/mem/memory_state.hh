@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Authoritative memory contents for the coherence-correctness oracle.
+ *
+ * The simulator does not carry real data; instead every dynamic store is
+ * assigned a globally unique, monotonically increasing *version*. DRAM
+ * and every cache line remember the version they hold, and every load
+ * reports the version it observed. Memory-model conformance tests then
+ * check observed versions against the scoped release/acquire ordering
+ * the NVIDIA PTX model requires. This gives full-value-equivalent
+ * checking at the cost of 8 bytes per line.
+ */
+
+#ifndef HMG_MEM_MEMORY_STATE_HH
+#define HMG_MEM_MEMORY_STATE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** Per-line version store modeling DRAM contents. */
+class MemoryState
+{
+  public:
+    /** Allocate a fresh, globally unique store version. */
+    Version allocateVersion() { return ++next_version_; }
+
+    /** Latest version written to `line_addr` (0 = initial value). */
+    Version read(Addr line_addr) const;
+
+    /**
+     * Record that `version` reached DRAM at `line_addr`. Versions are
+     * monotonic per line: an older in-flight write must not clobber a
+     * newer one that already landed (write-throughs from a single L2 are
+     * FIFO, but two different L2s may race to the home — the home's
+     * arrival order defines the winner, which this models).
+     */
+    void write(Addr line_addr, Version version);
+
+    std::uint64_t linesWritten() const { return lines_.size(); }
+    Version latestVersion() const { return next_version_; }
+
+    void clear() { lines_.clear(); next_version_ = 0; }
+
+  private:
+    std::unordered_map<Addr, Version> lines_;
+    Version next_version_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_MEM_MEMORY_STATE_HH

@@ -1,0 +1,67 @@
+#include "mem/page_table.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace hmg
+{
+
+PageTable::PageTable(const SystemConfig &cfg)
+    : cfg_(cfg), page_shift_(floorLog2(cfg.osPageBytes))
+{
+}
+
+GpmId
+PageTable::touch(Addr addr, GpmId toucher)
+{
+    hmg_assert(toucher < cfg_.totalGpms());
+    std::uint64_t page = pageNumber(addr);
+    auto it = home_.find(page);
+    if (it != home_.end())
+        return it->second;
+
+    GpmId home = kInvalidGpm;
+    switch (cfg_.pagePlacement) {
+      case PagePlacement::FirstTouch:
+        home = toucher;
+        break;
+      case PagePlacement::RoundRobin:
+        home = static_cast<GpmId>(page % cfg_.totalGpms());
+        break;
+      case PagePlacement::LocalOnly:
+        home = 0;
+        break;
+    }
+    home_.emplace(page, home);
+    return home;
+}
+
+GpmId
+PageTable::homeOf(Addr addr) const
+{
+    auto it = home_.find(pageNumber(addr));
+    if (it == home_.end())
+        hmg_panic("homeOf() on unplaced page %llx",
+                  static_cast<unsigned long long>(addr));
+    return it->second;
+}
+
+bool
+PageTable::isPlaced(Addr addr) const
+{
+    return home_.count(pageNumber(addr)) != 0;
+}
+
+std::uint64_t
+PageTable::pagesOn(GpmId gpm) const
+{
+    std::uint64_t n = 0;
+    for (const auto &[page, home] : home_) {
+        (void)page;
+        if (home == gpm)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace hmg

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * NUMA page placement.
+ *
+ * Maps each 2 MB OS page to the GPM whose DRAM physically holds it (its
+ * system home). The default first-touch policy — the page lands on the
+ * GPM of the first accessor — matches the policy the paper inherits from
+ * MCM-GPU and NUMA-aware multi-GPU work (Section VI: "Our simulator
+ * inherits the contiguous CTA scheduling and first-touch page placement
+ * policies from prior work").
+ */
+
+#ifndef HMG_MEM_PAGE_TABLE_HH
+#define HMG_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** Page -> home-GPM map with pluggable placement policy. */
+class PageTable
+{
+  public:
+    explicit PageTable(const SystemConfig &cfg);
+
+    /**
+     * Record an access to the page containing `addr` by GPM `toucher`,
+     * placing the page if this is its first touch.
+     * @return the page's home GPM.
+     */
+    GpmId touch(Addr addr, GpmId toucher);
+
+    /** Home GPM of a page that must already be placed. */
+    GpmId homeOf(Addr addr) const;
+
+    /** True once the page containing `addr` has been placed. */
+    bool isPlaced(Addr addr) const;
+
+    /** Number of placed pages. */
+    std::size_t pageCount() const { return home_.size(); }
+
+    /** Pages homed on each GPM (placement-skew diagnostics). */
+    std::uint64_t pagesOn(GpmId gpm) const;
+
+    void clear() { home_.clear(); }
+
+  private:
+    std::uint64_t pageNumber(Addr a) const { return a >> page_shift_; }
+
+    const SystemConfig &cfg_;
+    unsigned page_shift_;
+    std::unordered_map<std::uint64_t, GpmId> home_;
+};
+
+} // namespace hmg
+
+#endif // HMG_MEM_PAGE_TABLE_HH

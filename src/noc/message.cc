@@ -1,0 +1,41 @@
+#include "noc/message.hh"
+
+namespace hmg
+{
+
+const char *
+toString(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:      return "read_req";
+      case MsgType::ReadResp:     return "read_resp";
+      case MsgType::WriteThrough: return "write_through";
+      case MsgType::WriteAck:     return "write_ack";
+      case MsgType::Inv:          return "inv";
+      case MsgType::AtomicReq:    return "atomic_req";
+      case MsgType::AtomicResp:   return "atomic_resp";
+      case MsgType::RelMarker:    return "rel_marker";
+      case MsgType::RelAck:       return "rel_ack";
+      case MsgType::Downgrade:    return "downgrade";
+      case MsgType::NumTypes:     break;
+    }
+    return "?";
+}
+
+std::uint32_t
+msgBytes(const SystemConfig &cfg, MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadResp:
+      case MsgType::WriteThrough:
+        return cfg.msgHeaderBytes + cfg.cacheLineBytes;
+      case MsgType::AtomicReq:
+      case MsgType::AtomicResp:
+        // RMWs move an operand/result word, not a line.
+        return cfg.ctrlMsgBytes + 8;
+      default:
+        return cfg.ctrlMsgBytes;
+    }
+}
+
+} // namespace hmg

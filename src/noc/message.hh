@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Message classification and sizing for the interconnect.
+ *
+ * Control messages (requests, invalidations, acks, release markers) are
+ * small (16 B by default — the paper notes "The size of each invalidation
+ * message is also relatively small compared to a GPU cache line",
+ * Section VII-A). Data-bearing messages carry a full 128 B line plus a
+ * header.
+ */
+
+#ifndef HMG_NOC_MESSAGE_HH
+#define HMG_NOC_MESSAGE_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** All message classes exchanged between L2/directory nodes. */
+enum class MsgType : std::uint8_t
+{
+    ReadReq,       //!< load request (control)
+    ReadResp,      //!< load response (data)
+    WriteThrough,  //!< store propagating toward home / DRAM (data)
+    WriteAck,      //!< home's completion notice for a tracked write (ctrl)
+    Inv,           //!< invalidation (control; covers one directory sector)
+    AtomicReq,     //!< RMW request (data-sized payload, small)
+    AtomicResp,    //!< RMW response (control + value)
+    RelMarker,     //!< release marker fanned out to L2s (control)
+    RelAck,        //!< release acknowledgment (control)
+    Downgrade,     //!< optional sharer-prune notice on clean evict (ctrl)
+    NumTypes
+};
+
+constexpr std::size_t kNumMsgTypes =
+    static_cast<std::size_t>(MsgType::NumTypes);
+
+const char *toString(MsgType t);
+
+/** True for message classes that carry a full cache line of data. */
+constexpr bool
+carriesData(MsgType t)
+{
+    return t == MsgType::ReadResp || t == MsgType::WriteThrough;
+}
+
+/** Wire size of a message of type `t` under configuration `cfg`. */
+std::uint32_t msgBytes(const SystemConfig &cfg, MsgType t);
+
+} // namespace hmg
+
+#endif // HMG_NOC_MESSAGE_HH

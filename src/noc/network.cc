@@ -1,0 +1,107 @@
+#include "noc/network.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+Network::Network(Engine &engine, const SystemConfig &cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    const double gpm_bpc = cfg.intraGpuPortBytesPerCycle();
+    const double gpu_bpc = cfg.interGpuPortBytesPerCycle();
+    const Tick intra_half = cfg.intraGpuHopLatency / 2;
+    const Tick inter_half = cfg.interGpuHopLatency / 2;
+
+    for (std::uint32_t i = 0; i < cfg.totalGpms(); ++i) {
+        gpm_egress_.push_back(
+            std::make_unique<Channel>(engine, gpm_bpc, intra_half));
+        gpm_ingress_.push_back(
+            std::make_unique<Channel>(engine, gpm_bpc,
+                                      cfg.intraGpuHopLatency - intra_half));
+    }
+    for (std::uint32_t g = 0; g < cfg.numGpus; ++g) {
+        gpu_egress_.push_back(
+            std::make_unique<Channel>(engine, gpu_bpc, inter_half));
+        gpu_ingress_.push_back(
+            std::make_unique<Channel>(engine, gpu_bpc,
+                                      cfg.interGpuHopLatency - inter_half));
+    }
+}
+
+Tick
+Network::send(GpmId src, GpmId dst, MsgType t, Engine::Callback on_arrival)
+{
+    return sendAt(engine_.now(), src, dst, t, std::move(on_arrival));
+}
+
+Tick
+Network::sendAt(Tick earliest, GpmId src, GpmId dst, MsgType t,
+                Engine::Callback on_arrival)
+{
+    hmg_assert(src < cfg_.totalGpms() && dst < cfg_.totalGpms());
+    hmg_assert(src != dst);
+
+    const std::uint32_t bytes = msgBytes(cfg_, t);
+    const auto ti = static_cast<std::size_t>(t);
+    ++msg_count_[ti];
+
+    Tick at = gpm_egress_[src]->sendAt(earliest, bytes);
+    if (sameGpu(src, dst)) {
+        intra_bytes_[ti] += bytes;
+    } else {
+        GpuId sg = cfg_.gpuOf(src);
+        GpuId dg = cfg_.gpuOf(dst);
+        at = gpu_egress_[sg]->sendAt(at, bytes);
+        at = gpu_ingress_[dg]->sendAt(at, bytes);
+        intra_bytes_[ti] += bytes;
+        inter_bytes_[ti] += bytes;
+    }
+    at = gpm_ingress_[dst]->sendAt(at, bytes);
+
+    if (on_arrival)
+        engine_.scheduleAt(at, std::move(on_arrival));
+    return at;
+}
+
+std::uint64_t
+Network::totalInterGpuBytes() const
+{
+    std::uint64_t sum = 0;
+    for (auto b : inter_bytes_)
+        sum += b;
+    return sum;
+}
+
+std::uint64_t
+Network::totalIntraGpuBytes() const
+{
+    std::uint64_t sum = 0;
+    for (auto b : intra_bytes_)
+        sum += b;
+    return sum;
+}
+
+void
+Network::reportStats(StatRecorder &r, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < kNumMsgTypes; ++i) {
+        auto t = static_cast<MsgType>(i);
+        if (msg_count_[i] == 0)
+            continue;
+        std::string base = prefix + "." + toString(t);
+        r.record(base + ".msgs", static_cast<double>(msg_count_[i]));
+        r.record(base + ".intra_bytes",
+                 static_cast<double>(intra_bytes_[i]));
+        r.record(base + ".inter_bytes",
+                 static_cast<double>(inter_bytes_[i]));
+    }
+    r.record(prefix + ".total_intra_bytes",
+             static_cast<double>(totalIntraGpuBytes()));
+    r.record(prefix + ".total_inter_bytes",
+             static_cast<double>(totalInterGpuBytes()));
+}
+
+} // namespace hmg

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The two-tier interconnect: intra-GPU crossbars and the inter-GPU
+ * switch (Fig. 1 / Fig. 4 of the paper).
+ *
+ * Each GPM owns a pair of directed channels (egress/ingress) into its
+ * GPU's crossbar, sized so the per-GPU aggregate matches Table II's
+ * 2 TB/s. Each GPU owns a pair of directed channels into the NVSwitch
+ * fabric at 200 GB/s each. A GPM-to-GPM transfer traverses:
+ *
+ *   same GPM:   nothing (handled locally by the caller)
+ *   same GPU:   gpmEgress[src] -> gpmIngress[dst]
+ *   cross GPU:  gpmEgress[src] -> gpuEgress[srcGpu]
+ *               -> gpuIngress[dstGpu] -> gpmIngress[dst]
+ *
+ * Paths are chained analytically with Channel::sendAt, so a multi-hop
+ * message costs one engine event. Per-(src,dst) FIFO ordering is
+ * preserved, which the protocols' release/invalidation-drain logic
+ * requires. (Cross-source interleaving at a shared hop is approximated
+ * in call order — an acceptable fidelity tradeoff documented in
+ * DESIGN.md.)
+ */
+
+#ifndef HMG_NOC_NETWORK_HH
+#define HMG_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "noc/message.hh"
+#include "sim/channel.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+
+/** The full system interconnect. */
+class Network
+{
+  public:
+    Network(Engine &engine, const SystemConfig &cfg);
+
+    /**
+     * Send a message of type `t` from GPM `src` to GPM `dst`.
+     * When `on_arrival` is provided it runs at the arrival tick.
+     * @return the absolute arrival tick.
+     */
+    Tick send(GpmId src, GpmId dst, MsgType t,
+              Engine::Callback on_arrival = {});
+
+    /**
+     * Like send(), but the message enters the network no earlier than
+     * `earliest` (chaining after a local cache/DRAM latency).
+     */
+    Tick sendAt(Tick earliest, GpmId src, GpmId dst, MsgType t,
+                Engine::Callback on_arrival = {});
+
+    /** True when both GPMs sit on the same GPU. */
+    bool sameGpu(GpmId a, GpmId b) const
+    {
+        return cfg_.gpuOf(a) == cfg_.gpuOf(b);
+    }
+
+    // --- statistics (drive Fig. 11 and the bandwidth analyses) ---
+
+    /** Bytes of messages of type `t` that crossed inter-GPU links. */
+    std::uint64_t interGpuBytes(MsgType t) const
+    {
+        return inter_bytes_[static_cast<std::size_t>(t)];
+    }
+
+    /** Bytes of type `t` on intra-GPU crossbars. */
+    std::uint64_t intraGpuBytes(MsgType t) const
+    {
+        return intra_bytes_[static_cast<std::size_t>(t)];
+    }
+
+    std::uint64_t messages(MsgType t) const
+    {
+        return msg_count_[static_cast<std::size_t>(t)];
+    }
+
+    std::uint64_t totalInterGpuBytes() const;
+    std::uint64_t totalIntraGpuBytes() const;
+
+    void reportStats(StatRecorder &r, const std::string &prefix) const;
+
+  private:
+    Engine &engine_;
+    const SystemConfig &cfg_;
+
+    // Channels are non-movable (they hold an Engine&), hence unique_ptr.
+    std::vector<std::unique_ptr<Channel>> gpm_egress_;
+    std::vector<std::unique_ptr<Channel>> gpm_ingress_;
+    std::vector<std::unique_ptr<Channel>> gpu_egress_;
+    std::vector<std::unique_ptr<Channel>> gpu_ingress_;
+
+    std::uint64_t intra_bytes_[kNumMsgTypes] = {};
+    std::uint64_t inter_bytes_[kNumMsgTypes] = {};
+    std::uint64_t msg_count_[kNumMsgTypes] = {};
+};
+
+} // namespace hmg
+
+#endif // HMG_NOC_NETWORK_HH

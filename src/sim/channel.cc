@@ -1,0 +1,57 @@
+#include "sim/channel.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+Channel::Channel(Engine &engine, double bytes_per_cycle, Tick latency)
+    : engine_(engine), bytes_per_cycle_(bytes_per_cycle), latency_(latency)
+{
+    hmg_assert(bytes_per_cycle > 0);
+}
+
+Tick
+Channel::send(std::uint32_t bytes)
+{
+    return sendAt(engine_.now(), bytes);
+}
+
+Tick
+Channel::sendAt(Tick earliest, std::uint32_t bytes)
+{
+    double start = std::max(next_free_, static_cast<double>(earliest));
+    double occupancy = static_cast<double>(bytes) / bytes_per_cycle_;
+    next_free_ = start + occupancy;
+
+    auto arrival = static_cast<Tick>(std::ceil(next_free_)) + latency_;
+    // Guard FIFO delivery against floating-point rounding making two
+    // back-to-back messages appear to arrive in the same ceil'd cycle in
+    // reversed engine order: arrivals are forced monotonic.
+    arrival = std::max(arrival, last_arrival_);
+    last_arrival_ = arrival;
+
+    bytes_sent_ += bytes;
+    ++messages_sent_;
+    return arrival;
+}
+
+Tick
+Channel::send(std::uint32_t bytes, Engine::Callback on_arrival)
+{
+    Tick arrival = send(bytes);
+    engine_.scheduleAt(arrival, std::move(on_arrival));
+    return arrival;
+}
+
+Tick
+Channel::busyUntil() const
+{
+    return static_cast<Tick>(std::ceil(next_free_));
+}
+
+} // namespace hmg

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bandwidth-serialized, fixed-latency FIFO channel.
+ *
+ * Every bandwidth-limited resource in the machine — a GPM's port into the
+ * intra-GPU crossbar, a GPU's NVLink port into the switch, a GPM's DRAM
+ * channel — is modeled as a Channel. A message of B bytes occupies the
+ * channel for B / bytes_per_cycle cycles starting no earlier than the
+ * channel's previous departure, then arrives after an additional
+ * propagation latency. Because occupancy intervals are non-overlapping
+ * and monotonic, delivery order per channel is FIFO, a property the
+ * release/invalidation-drain machinery of the coherence protocols relies
+ * on (Section IV-B "Release").
+ */
+
+#ifndef HMG_SIM_CHANNEL_HH
+#define HMG_SIM_CHANNEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+
+/** A one-directional bandwidth/latency-modeled link. */
+class Channel
+{
+  public:
+    /**
+     * @param engine the simulation engine
+     * @param bytes_per_cycle serialization bandwidth (may be fractional)
+     * @param latency propagation delay added after serialization
+     */
+    Channel(Engine &engine, double bytes_per_cycle, Tick latency);
+
+    /**
+     * Enqueue a message of `bytes` bytes now.
+     * @return the absolute tick at which the message fully arrives.
+     */
+    Tick send(std::uint32_t bytes);
+
+    /**
+     * Enqueue a message that reaches this channel's serializer no
+     * earlier than `earliest` (used to chain multi-hop paths without
+     * intermediate events). `earliest` may be in the future.
+     * @return the absolute arrival tick.
+     */
+    Tick sendAt(Tick earliest, std::uint32_t bytes);
+
+    /** Enqueue a message and run `on_arrival` when it arrives. */
+    Tick send(std::uint32_t bytes, Engine::Callback on_arrival);
+
+    /** Tick at which the channel next becomes free to serialize. */
+    Tick busyUntil() const;
+
+    /** The latest arrival tick of any message sent so far. */
+    Tick lastArrival() const { return last_arrival_; }
+
+    // Occupancy statistics.
+    std::uint64_t bytesSent() const { return bytes_sent_; }
+    std::uint64_t messagesSent() const { return messages_sent_; }
+
+    double bytesPerCycle() const { return bytes_per_cycle_; }
+    Tick latency() const { return latency_; }
+
+  private:
+    Engine &engine_;
+    double bytes_per_cycle_;
+    Tick latency_;
+    /** Exact (fractional-cycle) time the serializer frees up. */
+    double next_free_ = 0.0;
+    Tick last_arrival_ = 0;
+    std::uint64_t bytes_sent_ = 0;
+    std::uint64_t messages_sent_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_SIM_CHANNEL_HH

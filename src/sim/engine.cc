@@ -1,0 +1,43 @@
+#include "sim/engine.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+void
+Engine::scheduleAt(Tick when, Callback cb)
+{
+    hmg_assert(when >= now_);
+    queue_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+Engine::runOne()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() is const; the callback must be moved out, so
+    // copy the small fields first and const_cast the payload. This is the
+    // standard idiom for move-only payloads in a priority_queue.
+    auto &top = const_cast<Event &>(queue_.top());
+    hmg_assert(top.when >= now_);
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    queue_.pop();
+    ++executed_;
+    cb();
+    return true;
+}
+
+Tick
+Engine::run(Tick until)
+{
+    while (!queue_.empty() && queue_.top().when <= until)
+        runOne();
+    return now_;
+}
+
+} // namespace hmg

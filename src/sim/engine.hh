@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The event-driven simulation kernel.
+ *
+ * A single Engine owns simulated time. Components schedule closures at
+ * future ticks; the engine executes them in (tick, insertion-order)
+ * order, which makes simulation results fully deterministic.
+ */
+
+#ifndef HMG_SIM_ENGINE_HH
+#define HMG_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** Discrete-event simulation engine. */
+class Engine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return now_; }
+
+    /** Schedule `cb` to run `delay` cycles from now. */
+    void schedule(Tick delay, Callback cb) { scheduleAt(now_ + delay, std::move(cb)); }
+
+    /** Schedule `cb` at absolute tick `when` (must be >= now). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Execute the next event, if any. @return false when queue empty. */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or simulated time would pass `until`.
+     * @return the final simulated time.
+     */
+    Tick run(Tick until = kTickMax);
+
+    /** Total events executed over the engine's lifetime. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_SIM_ENGINE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace (de)serialization.
+ *
+ * A simple line-oriented text format so traces can be generated once,
+ * inspected, edited, versioned, or produced by external tools (e.g. a
+ * real-trace converter) and replayed:
+ *
+ *   hmgtrace 1
+ *   name <trace-name>
+ *   kernel <kernel-name> <num-ctas>
+ *   cta <num-warps>
+ *   warp <num-ops>
+ *   <op> <scope> <addr-hex> <delay> <flags>
+ *
+ * where <op> is one of l/s/a/F/R (load, store, atomic, acquire fence,
+ * release fence), <scope> is -/c/g/s (none/cta/gpu/sys) and <flags> is
+ * a combination of a (acquire) and r (release), or '-'.
+ */
+
+#ifndef HMG_TRACE_IO_HH
+#define HMG_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace hmg::trace
+{
+
+/** Serialize `t` to `os`. */
+void save(const Trace &t, std::ostream &os);
+
+/** Serialize `t` to `path`; fatal on I/O failure. */
+void saveFile(const Trace &t, const std::string &path);
+
+/** Parse a trace from `is`; fatal on malformed input. */
+Trace load(std::istream &is);
+
+/** Parse a trace from `path`; fatal on I/O failure. */
+Trace loadFile(const std::string &path);
+
+} // namespace hmg::trace
+
+#endif // HMG_TRACE_IO_HH

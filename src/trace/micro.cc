@@ -1,0 +1,192 @@
+#include "trace/micro.hh"
+
+#include "trace/workloads_impl.hh"
+
+namespace hmg::trace::micro
+{
+
+namespace
+{
+
+constexpr std::uint32_t kWarps = 2;
+constexpr std::uint64_t kLine = 128;
+
+/** Fixed cost of the placement kernel and the dependent-kernel launch
+ *  boundary that precedes every micro's measured kernel. */
+double
+placementOverhead(const hmg::SystemConfig &cfg)
+{
+    return static_cast<double>(cfg.kernelLaunchLatency) + 1200.0;
+}
+
+} // namespace
+
+Trace
+localStream(std::uint64_t lines_per_warp, std::uint64_t num_ctas)
+{
+    GenContext ctx(1.0, 7);
+    Trace t;
+    t.name = "micro.local_stream";
+
+    const std::uint64_t total_lines = lines_per_warp * kWarps * num_ctas;
+    // Distributed per-GPM slices so every CTA's chunk really is local
+    // (see DistArray: plain first-touch would concentrate a small array
+    // on a few 2 MB pages).
+    const DistArray arr = allocDist(ctx, total_lines * kLine);
+
+    Kernel place = makePlacementKernel(num_ctas);
+    placeDist(place, ctx, arr, 0, num_ctas);
+    t.kernels.push_back(std::move(place));
+
+    Kernel ker;
+    ker.name = "stream";
+    ker.ctas.resize(num_ctas);
+    for (std::uint64_t i = 0; i < num_ctas; ++i) {
+        Cta &cta = ker.ctas[i];
+        cta.warps.resize(kWarps);
+        for (std::uint64_t w = 0; w < kWarps; ++w) {
+            const std::uint64_t first =
+                i * total_lines / num_ctas + w * lines_per_warp;
+            for (std::uint64_t j = 0; j < lines_per_warp; ++j)
+                cta.warps[w].ld(arr.line(first + j), 0);
+        }
+    }
+    t.kernels.push_back(std::move(ker));
+    return t;
+}
+
+Trace
+remoteStream(std::uint64_t lines_per_warp, std::uint64_t num_ctas)
+{
+    GenContext ctx(1.0, 7);
+    Trace t;
+    t.name = "micro.remote_stream";
+
+    const std::uint64_t total_lines = lines_per_warp * kWarps * num_ctas;
+    // The whole array is homed on GPU 0: four chunks pinned to the
+    // first quarter of the CTAs (GPU 0's four GPMs).
+    const DistArray arr = allocDist(ctx, total_lines * kLine, 4);
+
+    Kernel place = makePlacementKernel(num_ctas);
+    placeDist(place, ctx, arr, 0,
+              std::max<std::uint64_t>(num_ctas / 4, 4));
+    t.kernels.push_back(std::move(place));
+
+    Kernel ker;
+    ker.name = "remote_stream";
+    ker.ctas.resize(num_ctas);
+    for (std::uint64_t i = 0; i < num_ctas; ++i) {
+        Cta &cta = ker.ctas[i];
+        cta.warps.resize(kWarps);
+        for (std::uint64_t w = 0; w < kWarps; ++w) {
+            const std::uint64_t first =
+                (i * kWarps + w) * lines_per_warp;
+            for (std::uint64_t j = 0; j < lines_per_warp; ++j)
+                cta.warps[w].ld(arr.line(first + j), 0);
+        }
+    }
+    t.kernels.push_back(std::move(ker));
+    return t;
+}
+
+Trace
+pointerChase(std::uint64_t n)
+{
+    GenContext ctx(1.0, 7);
+    Trace t;
+    t.name = "micro.pointer_chase";
+
+    const Addr arr = ctx.alloc(n * kLine);
+
+    // Home the chased array on the third GPU (placement CTA 40 of 64
+    // maps to GPM 10) while the single chasing CTA runs on GPM 0.
+    Kernel place = makePlacementKernel(64);
+    placeContiguous(place, ctx, arr, n * kLine, 40, 1);
+    t.kernels.push_back(std::move(place));
+
+    Kernel ker;
+    ker.name = "chase";
+    ker.ctas.resize(1);
+    ker.ctas[0].warps.resize(1);
+    // A draining .cta fence after every load serializes the chain
+    // (loads are posted by default; a real pointer chase is dependent).
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ker.ctas[0].warps[0].ld(arr + i * kLine, 0);
+        ker.ctas[0].warps[0].acqFence(Scope::Cta, 0);
+    }
+    t.kernels.push_back(std::move(ker));
+    return t;
+}
+
+double
+predictLocalStream(const SystemConfig &cfg, std::uint64_t lines_per_warp,
+                   std::uint64_t num_ctas)
+{
+    const double per_gpm_lines =
+        static_cast<double>(lines_per_warp * kWarps * num_ctas) /
+        cfg.totalGpms();
+    const double startup = static_cast<double>(
+        cfg.l1HitLatency + cfg.l2TagLatency + cfg.dramLatency);
+    return placementOverhead(cfg) + startup +
+           per_gpm_lines * cfg.cacheLineBytes /
+               cfg.dramPortBytesPerCycle();
+}
+
+double
+predictRemoteStream(const SystemConfig &cfg, std::uint64_t lines_per_warp,
+                    std::uint64_t num_ctas)
+{
+    const double total_lines =
+        static_cast<double>(lines_per_warp * kWarps * num_ctas);
+    // Three quarters of the readers sit on remote GPUs; their response
+    // data serializes through GPU 0's single inter-GPU egress port.
+    const double remote_lines = total_lines * 3.0 / 4.0;
+    const double resp_bytes = cfg.cacheLineBytes + cfg.msgHeaderBytes;
+    const double startup = static_cast<double>(
+        cfg.l1HitLatency + 2 * cfg.l2TagLatency + cfg.dramLatency +
+        cfg.intraGpuHopLatency + cfg.interGpuHopLatency);
+    return placementOverhead(cfg) + startup +
+           remote_lines * resp_bytes / cfg.interGpuPortBytesPerCycle();
+}
+
+double
+predictPointerChase(const SystemConfig &cfg, std::uint64_t n)
+{
+    // Per-load round trip under the NHCC/no-cache request path:
+    // SM/L1 stage + local L2 + request network + home L2 + DRAM +
+    // response network.
+    const double net_one_way = static_cast<double>(
+        cfg.intraGpuHopLatency + cfg.interGpuHopLatency);
+    const double per_load =
+        static_cast<double>(cfg.l1HitLatency + 2 * cfg.l2TagLatency +
+                            cfg.dramLatency) +
+        2.0 * net_one_way +
+        static_cast<double>(cfg.cacheLineBytes) /
+            cfg.dramPortBytesPerCycle() +
+        2.0; // serializing fence
+    return placementOverhead(cfg) + static_cast<double>(n) * per_load;
+}
+
+std::vector<MicroSpec>
+correlationSuite(const SystemConfig &cfg)
+{
+    std::vector<MicroSpec> suite;
+    for (std::uint64_t lines : {8, 16, 32, 64}) {
+        suite.push_back({"local_stream/" + std::to_string(lines),
+                         localStream(lines, 512),
+                         predictLocalStream(cfg, lines, 512)});
+    }
+    for (std::uint64_t lines : {4, 8, 16, 32}) {
+        suite.push_back({"remote_stream/" + std::to_string(lines),
+                         remoteStream(lines, 512),
+                         predictRemoteStream(cfg, lines, 512)});
+    }
+    for (std::uint64_t n : {200, 400, 800, 1600}) {
+        suite.push_back({"pointer_chase/" + std::to_string(n),
+                         pointerChase(n),
+                         predictPointerChase(cfg, n)});
+    }
+    return suite;
+}
+
+} // namespace hmg::trace::micro

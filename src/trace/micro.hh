@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Targeted microbenchmarks plus a closed-form analytical performance
+ * oracle.
+ *
+ * The paper validates its simulator against a Quadro GV100 across
+ * "targeted microbenchmarks, public, and proprietary workloads"
+ * (Fig. 7). We have no GV100, so — per the substitution rule — the
+ * reference is an independent analytical bandwidth/latency model of
+ * the same microbenchmarks (a roofline oracle): local DRAM streaming,
+ * remote-GPU streaming through the inter-GPU links, and a serialized
+ * pointer chase. bench_fig7_correlation sweeps their sizes, runs each
+ * through the full simulator, and reports correlation and error against
+ * the oracle together with simulator wall-clock runtimes.
+ */
+
+#ifndef HMG_TRACE_MICRO_HH
+#define HMG_TRACE_MICRO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "trace/trace.hh"
+
+namespace hmg::trace::micro
+{
+
+/** One correlation point: a trace plus its analytic prediction. */
+struct MicroSpec
+{
+    std::string name;
+    Trace trace;
+    double predictedCycles;
+};
+
+/**
+ * Every CTA streams a private chunk of a distributed array: bound by
+ * aggregate DRAM bandwidth.
+ */
+Trace localStream(std::uint64_t lines_per_warp, std::uint64_t num_ctas);
+
+/**
+ * Every GPM reads distinct lines homed on GPU 0: bound by GPU 0's
+ * inter-GPU egress bandwidth.
+ */
+Trace remoteStream(std::uint64_t lines_per_warp, std::uint64_t num_ctas);
+
+/** One warp chases `n` dependent remote lines: pure latency. */
+Trace pointerChase(std::uint64_t n);
+
+/** Analytic predictions for the three shapes (cycles). */
+double predictLocalStream(const SystemConfig &cfg,
+                          std::uint64_t lines_per_warp,
+                          std::uint64_t num_ctas);
+double predictRemoteStream(const SystemConfig &cfg,
+                           std::uint64_t lines_per_warp,
+                           std::uint64_t num_ctas);
+double predictPointerChase(const SystemConfig &cfg, std::uint64_t n);
+
+/** The sized sweep bench_fig7_correlation runs. */
+std::vector<MicroSpec> correlationSuite(const SystemConfig &cfg);
+
+} // namespace hmg::trace::micro
+
+#endif // HMG_TRACE_MICRO_HH

@@ -1,0 +1,136 @@
+#include "trace/patterns.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace hmg::trace
+{
+
+Addr
+GenContext::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    hmg_assert(bytes > 0);
+    next = roundUp(next, align);
+    Addr base = next;
+    next += roundUp(bytes, align);
+    return base;
+}
+
+std::uint64_t
+GenContext::scaleN(std::uint64_t n, std::uint64_t min_n) const
+{
+    auto scaled = static_cast<std::uint64_t>(static_cast<double>(n) * scale);
+    return std::max(scaled, min_n);
+}
+
+std::uint64_t
+GenContext::scaleBytes(std::uint64_t bytes) const
+{
+    auto scaled =
+        static_cast<std::uint64_t>(static_cast<double>(bytes) * scale);
+    return roundUp(std::max<std::uint64_t>(scaled, lineBytes), lineBytes);
+}
+
+void
+GenContext::loadStream(Warp &w, Addr base, std::uint64_t first,
+                       std::uint64_t count, std::uint32_t delay)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        w.ld(line(base, first + i), delay);
+}
+
+void
+GenContext::storeStream(Warp &w, Addr base, std::uint64_t first,
+                        std::uint64_t count, std::uint32_t delay)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        w.st(line(base, first + i), delay);
+}
+
+void
+GenContext::loadStrided(Warp &w, Addr base, std::uint64_t first,
+                        std::uint64_t count, std::uint64_t stride,
+                        std::uint32_t delay)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        w.ld(line(base, first + i * stride), delay);
+}
+
+void
+GenContext::loadRandom(Warp &w, Addr base, std::uint64_t bytes,
+                       std::uint64_t count, std::uint32_t delay)
+{
+    const std::uint64_t n = lines(bytes);
+    for (std::uint64_t i = 0; i < count; ++i)
+        w.ld(line(base, rng.below(n)), delay);
+}
+
+void
+GenContext::loadSkewed(Warp &w, Addr base, std::uint64_t bytes,
+                       std::uint64_t count, std::uint32_t delay)
+{
+    const std::uint64_t n = lines(bytes);
+    for (std::uint64_t i = 0; i < count; ++i)
+        w.ld(line(base, rng.skewed(n)), delay);
+}
+
+Kernel
+makePlacementKernel(std::uint64_t num_ctas)
+{
+    Kernel k;
+    k.name = "placement";
+    k.ctas.resize(num_ctas);
+    for (auto &cta : k.ctas)
+        cta.warps.resize(1);
+    return k;
+}
+
+void
+placeContiguous(Kernel &placement, GenContext &ctx, Addr base,
+                std::uint64_t bytes, std::uint64_t first_cta,
+                std::uint64_t span)
+{
+    hmg_assert(span > 0);
+    hmg_assert(first_cta + span <= placement.ctas.size());
+    const std::uint64_t page = 2ull * 1024 * 1024;
+    const std::uint64_t pages = divCeil(bytes, page);
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        std::uint64_t cta = first_cta + p * span / pages;
+        placement.ctas[cta].warps[0].st(base + p * page, 1);
+        (void)ctx;
+    }
+}
+
+DistArray
+allocDist(GenContext &ctx, std::uint64_t bytes, std::uint32_t chunks)
+{
+    DistArray a;
+    a.chunks = chunks;
+    a.lineBytes = ctx.lineBytes;
+    a.totalLines = ctx.lines(bytes);
+    a.chunkLines = divCeil(a.totalLines, chunks);
+    a.chunkSpanBytes =
+        roundUp(a.chunkLines * ctx.lineBytes, 2ull * 1024 * 1024);
+    a.base = ctx.alloc(a.chunkSpanBytes * chunks);
+    return a;
+}
+
+void
+placeDist(Kernel &placement, GenContext &ctx, const DistArray &arr,
+          std::uint64_t first_cta, std::uint64_t span)
+{
+    hmg_assert(span > 0);
+    const std::uint64_t page = 2ull * 1024 * 1024;
+    for (std::uint32_t c = 0; c < arr.chunks; ++c) {
+        const std::uint64_t cta = first_cta + c * span / arr.chunks;
+        hmg_assert(cta < placement.ctas.size());
+        const std::uint64_t chunk_bytes = arr.chunkLines * ctx.lineBytes;
+        for (std::uint64_t p = 0; p * page < chunk_bytes; ++p)
+            placement.ctas[cta].warps[0].st(
+                arr.base + c * arr.chunkSpanBytes + p * page, 1);
+    }
+}
+
+} // namespace hmg::trace

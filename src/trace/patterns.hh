@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Building blocks for the synthetic workload generators.
+ *
+ * GenContext carries the generator's RNG, the footprint/op scale knob,
+ * and a bump allocator that hands out 2 MB-page-aligned "arrays" in the
+ * global address space. Aligning arrays to OS pages keeps first-touch
+ * placement from entangling unrelated arrays on one page.
+ *
+ * The emit helpers append line-granular loads/stores to a warp in the
+ * common shapes the 20 workloads are built from: contiguous streams,
+ * strided sweeps, and random draws from a range.
+ */
+
+#ifndef HMG_TRACE_PATTERNS_HH
+#define HMG_TRACE_PATTERNS_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace hmg::trace
+{
+
+/** Shared state for one generator invocation. */
+struct GenContext
+{
+    explicit GenContext(double scale_ = 1.0, std::uint64_t seed = 1)
+        : rng(seed), scale(scale_)
+    {
+    }
+
+    Rng rng;
+    double scale;
+    std::uint32_t lineBytes = 128;
+    Addr next = 0;
+
+    /** Allocate a page-aligned array of `bytes`. */
+    Addr alloc(std::uint64_t bytes,
+               std::uint64_t align = 2ull * 1024 * 1024);
+
+    /** Scale an op/element count, clamped below by `min_n`. */
+    std::uint64_t scaleN(std::uint64_t n, std::uint64_t min_n = 1) const;
+
+    /** Scale a byte size, rounded up to a line, clamped to >= 1 line. */
+    std::uint64_t scaleBytes(std::uint64_t bytes) const;
+
+    /** Address of line `idx` within the array at `base`. */
+    Addr
+    line(Addr base, std::uint64_t idx) const
+    {
+        return base + idx * lineBytes;
+    }
+
+    /** Lines spanned by `bytes`. */
+    std::uint64_t
+    lines(std::uint64_t bytes) const
+    {
+        return (bytes + lineBytes - 1) / lineBytes;
+    }
+
+    // --- emit helpers (append ops to `w`) ---
+
+    /** `count` consecutive line loads starting at `base + first*line`. */
+    void loadStream(Warp &w, Addr base, std::uint64_t first,
+                    std::uint64_t count, std::uint32_t delay = 2);
+
+    /** `count` consecutive line stores. */
+    void storeStream(Warp &w, Addr base, std::uint64_t first,
+                     std::uint64_t count, std::uint32_t delay = 2);
+
+    /** `count` loads at a `stride`-line stride. */
+    void loadStrided(Warp &w, Addr base, std::uint64_t first,
+                     std::uint64_t count, std::uint64_t stride,
+                     std::uint32_t delay = 2);
+
+    /** `count` uniform-random line loads within `[base, base+bytes)`. */
+    void loadRandom(Warp &w, Addr base, std::uint64_t bytes,
+                    std::uint64_t count, std::uint32_t delay = 4);
+
+    /** `count` skewed (power-law-ish) random loads — graph workloads. */
+    void loadSkewed(Warp &w, Addr base, std::uint64_t bytes,
+                    std::uint64_t count, std::uint32_t delay = 4);
+};
+
+/**
+ * An array whose lines are block-distributed over `chunks` page-aligned
+ * slices of the address space.
+ *
+ * With 2 MB OS pages (Table II), any structure smaller than
+ * chunks x 2 MB would land on just one or two GPMs under first-touch
+ * placement — an artifact of our scaled-down footprints, not of the
+ * paper's full-size runs. DistArray restores the distribution the
+ * full-size data would have: line i lives in chunk i / chunk_lines,
+ * and each chunk occupies its own page(s), so the placement kernel can
+ * pin chunk c to the CTAs (and hence the GPM) that own it.
+ */
+struct DistArray
+{
+    Addr base = 0;
+    std::uint64_t totalLines = 0;
+    std::uint64_t chunkLines = 0;
+    std::uint64_t chunkSpanBytes = 0;
+    std::uint32_t chunks = 1;
+    std::uint32_t lineBytes = 128;
+
+    /** Address of global line `idx`. */
+    Addr
+    line(std::uint64_t idx) const
+    {
+        idx %= totalLines;
+        const std::uint64_t c = idx / chunkLines;
+        const std::uint64_t off = idx % chunkLines;
+        return base + c * chunkSpanBytes + off * lineBytes;
+    }
+
+    std::uint64_t lines() const { return totalLines; }
+};
+
+/** Allocate a DistArray of `bytes` over `chunks` slices. */
+DistArray allocDist(GenContext &ctx, std::uint64_t bytes,
+                    std::uint32_t chunks = 16);
+
+/**
+ * Build a kernel of `num_ctas` single-warp CTAs used purely to pin page
+ * placement before compute starts (a realistic initialization kernel:
+ * each page of each array is touched by exactly one store).
+ */
+Kernel makePlacementKernel(std::uint64_t num_ctas);
+
+/**
+ * Distribute the pages of [base, base+bytes) over the placement
+ * kernel's CTAs [first_cta, first_cta + span): page p is stored once by
+ * CTA first_cta + p * span / pages. With span == num_ctas the array
+ * spreads over every GPM (block-contiguous, like first-touch by the
+ * owning CTA); with span == 1 the whole array lands on one GPM (a
+ * broadcast source).
+ */
+void placeContiguous(Kernel &placement, GenContext &ctx, Addr base,
+                     std::uint64_t bytes, std::uint64_t first_cta,
+                     std::uint64_t span);
+
+/**
+ * Pin chunk c of `arr` to placement-CTA `first_cta + c * span / chunks`
+ * (one store per page). With span == the kernel's CTA count, chunk c
+ * lands on the GPM that owns CTA block c.
+ */
+void placeDist(Kernel &placement, GenContext &ctx, const DistArray &arr,
+               std::uint64_t first_cta, std::uint64_t span);
+
+} // namespace hmg::trace
+
+#endif // HMG_TRACE_PATTERNS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static trace analyses.
+ *
+ * The main analysis reproduces Fig. 3: "Percentage of inter-GPU loads
+ * destined to addresses accessed by another GPM in the same GPU" — the
+ * intra-GPU locality that motivates HMG's hierarchical sharer tracking.
+ * It emulates first-touch placement in program order (kernels in
+ * sequence, CTAs in contiguous-schedule order), then classifies every
+ * load.
+ */
+
+#ifndef HMG_TRACE_PROFILER_HH
+#define HMG_TRACE_PROFILER_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "trace/trace.hh"
+
+namespace hmg::trace
+{
+
+/** Result of the Fig. 3 locality analysis. */
+struct LocalityStats
+{
+    std::uint64_t totalLoads = 0;
+    std::uint64_t interGpuLoads = 0;       //!< loads homed on a remote GPU
+    std::uint64_t interGpuShared = 0;      //!< ... also read by a sibling GPM
+    double
+    sharedPct() const
+    {
+        return interGpuLoads
+                   ? 100.0 * static_cast<double>(interGpuShared) /
+                         static_cast<double>(interGpuLoads)
+                   : 0.0;
+    }
+};
+
+/** Run the Fig. 3 analysis on `t` for the machine shape in `cfg`. */
+LocalityStats analyzeInterGpuLocality(const Trace &t,
+                                      const SystemConfig &cfg);
+
+} // namespace hmg::trace
+
+#endif // HMG_TRACE_PROFILER_HH

@@ -1,0 +1,108 @@
+#include "trace/workloads.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "trace/workloads_impl.hh"
+
+namespace hmg::trace::workloads
+{
+
+std::uint32_t
+genCtaGpm(std::uint64_t i, std::uint64_t n)
+{
+    const std::uint64_t per_gpm = divCeil(n, kGenGpms);
+    auto gpm = static_cast<std::uint32_t>(i / per_gpm);
+    return gpm < kGenGpms ? gpm : kGenGpms - 1;
+}
+
+const std::vector<Info> &
+list()
+{
+    // Fig. 8 left-to-right order (roughly coarse-grained sharing on the
+    // left, fine-grained on the right).
+    static const std::vector<Info> suite = {
+        {"overfeat", "ML overfeat layer1", "ML", 618, "bulk"},
+        {"miniamr", "HPC MiniAMR-test2", "HPC", 1800, "inter-kernel"},
+        {"alexnet", "ML AlexNet conv2", "ML", 812, "bulk"},
+        {"comd", "HPC CoMD-xyz49", "HPC", 313, "inter-kernel"},
+        {"hpgmg", "HPC HPGMG", "HPC", 1320, "inter-kernel"},
+        {"minicontact", "HPC MiniContact", "HPC", 246, "inter-kernel"},
+        {"pathfinder", "Rodinia pathfinder", "Rodinia", 1490, "bulk"},
+        {"nekbone", "HPC Nekbone-10", "HPC", 178, "inter-kernel"},
+        {"cusolver", "cuSolver", "Library", 1600, ".gpu-scoped"},
+        {"namd2.10", "HPC namd2.10", "HPC", 72, ".gpu-scoped"},
+        {"resnet", "ML resnet", "ML", 3200, "inter-kernel"},
+        {"mst", "Lonestar mst-road-fla", "Lonestar", 83, ".gpu-scoped"},
+        {"nw-16K", "Rodinia nw-16K-10", "Rodinia", 2000, "inter-kernel"},
+        {"lstm", "ML lstm layer2", "ML", 710, "inter-kernel"},
+        {"RNN_FW", "ML RNN layer4 FW", "ML", 40, "inter-kernel"},
+        {"RNN_DGRAD", "ML RNN layer4 DGRAD", "ML", 29, "inter-kernel"},
+        {"GoogLeNet", "ML GoogLeNet conv2", "ML", 1150, "inter-kernel"},
+        {"bfs", "Lonestar bfs-road-fla", "Lonestar", 26, "inter-kernel"},
+        {"snap", "HPC snap", "HPC", 3440, "inter-kernel"},
+        {"RNN_WGRAD", "ML RNN layer4 WGRAD", "ML", 38, "inter-kernel"},
+    };
+    return suite;
+}
+
+const Info &
+info(const std::string &name)
+{
+    for (const auto &i : list())
+        if (i.name == name)
+            return i;
+    hmg_fatal("unknown workload '%s'", name.c_str());
+}
+
+Trace
+make(const std::string &name, double scale, std::uint64_t seed)
+{
+    GenContext ctx(scale, seed);
+    Trace t;
+    if (name == "alexnet")
+        t = makeAlexnet(ctx);
+    else if (name == "GoogLeNet")
+        t = makeGooglenet(ctx);
+    else if (name == "overfeat")
+        t = makeOverfeat(ctx);
+    else if (name == "resnet")
+        t = makeResnet(ctx);
+    else if (name == "lstm")
+        t = makeLstm(ctx);
+    else if (name == "RNN_FW")
+        t = makeRnnFw(ctx);
+    else if (name == "RNN_DGRAD")
+        t = makeRnnDgrad(ctx);
+    else if (name == "RNN_WGRAD")
+        t = makeRnnWgrad(ctx);
+    else if (name == "comd")
+        t = makeComd(ctx);
+    else if (name == "hpgmg")
+        t = makeHpgmg(ctx);
+    else if (name == "miniamr")
+        t = makeMiniamr(ctx);
+    else if (name == "minicontact")
+        t = makeMinicontact(ctx);
+    else if (name == "nekbone")
+        t = makeNekbone(ctx);
+    else if (name == "snap")
+        t = makeSnap(ctx);
+    else if (name == "bfs")
+        t = makeBfs(ctx);
+    else if (name == "mst")
+        t = makeMst(ctx);
+    else if (name == "cusolver")
+        t = makeCusolver(ctx);
+    else if (name == "namd2.10")
+        t = makeNamd(ctx);
+    else if (name == "nw-16K")
+        t = makeNw(ctx);
+    else if (name == "pathfinder")
+        t = makePathfinder(ctx);
+    else
+        hmg_fatal("unknown workload '%s'", name.c_str());
+    t.name = name;
+    return t;
+}
+
+} // namespace hmg::trace::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The benchmark suite (Table III of the paper) as synthetic trace
+ * generators.
+ *
+ * The paper evaluates 20 workloads whose traces are proprietary; per
+ * DESIGN.md we substitute generators that reproduce each workload's
+ * published characteristics: its Table III footprint (scaled down so a
+ * run finishes in seconds), its sharing pattern class (read-only
+ * broadcast, producer/consumer across dependent kernels, stencil halo,
+ * irregular graph updates with false sharing, ...), and its
+ * synchronization style (Section VI: cuSolver, namd2.10 and mst use
+ * explicit `.gpu`-scoped synchronization; most others communicate
+ * through frequent dependent kernels; a few are traditional
+ * bulk-synchronous).
+ *
+ * Generators are deterministic given (name, scale, seed).
+ */
+
+#ifndef HMG_TRACE_WORKLOADS_HH
+#define HMG_TRACE_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace hmg::trace::workloads
+{
+
+/** Static description of one suite member (Table III row). */
+struct Info
+{
+    std::string name;        //!< short key, e.g. "lstm"
+    std::string fullName;    //!< Table III benchmark name
+    std::string category;    //!< HPC / ML / Lonestar / Rodinia / Library
+    double paperFootprintMB; //!< Table III footprint
+    std::string syncStyle;   //!< ".gpu-scoped" / "inter-kernel" / "bulk"
+};
+
+/** The whole suite, in the paper's Fig. 8 left-to-right order. */
+const std::vector<Info> &list();
+
+/** Look up one entry; fatal on unknown name. */
+const Info &info(const std::string &name);
+
+/**
+ * Build the trace for suite member `name`.
+ *
+ * @param scale multiplies footprints and op counts; 1.0 is the default
+ *        benchmarking size (~10^5 memory ops), smaller values suit unit
+ *        tests.
+ * @param seed deterministic RNG seed.
+ */
+Trace make(const std::string &name, double scale = 1.0,
+           std::uint64_t seed = 1);
+
+} // namespace hmg::trace::workloads
+
+#endif // HMG_TRACE_WORKLOADS_HH

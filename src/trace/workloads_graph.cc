@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Graph workload generators (Lonestar bfs and mst on road networks).
+ *
+ * "Graph algorithms usually dispatch vertices among multiple CTAs or
+ * kernels that need to exchange their individual update to the graph
+ * for the next round of computing until they reach convergence"
+ * (Section II-B). mst additionally uses explicit `.gpu`-scoped
+ * synchronization (Section VI) and exhibits the "fine-grained, often
+ * conflicting access patterns [that] can lead to false sharing"
+ * (Section VII-A) — the one workload where HMG's 4-line directory
+ * sectors hurt it (Figs. 9/10).
+ */
+
+#include "trace/workloads_impl.hh"
+
+namespace hmg::trace::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+constexpr std::uint64_t kCtas = 768;
+
+} // namespace
+
+Trace
+makeBfs(GenContext &ctx)
+{
+    // bfs-road-fla (26 MB): level-synchronous BFS; each level is a
+    // dependent kernel. Warps read frontier vertices (skewed toward
+    // hubs, giving machine-wide reuse of hot vertices), chase edge
+    // lists, and atomically claim newly discovered vertices.
+    Trace t;
+    t.name = "bfs";
+    const std::uint64_t vtx_bytes = ctx.scaleBytes(4 * kMB);
+    const std::uint64_t edge_bytes = ctx.scaleBytes(8 * kMB);
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(4));
+
+    const DistArray vtx = allocDist(ctx, vtx_bytes);
+    const DistArray dist = allocDist(ctx, vtx_bytes);
+    const DistArray edges = allocDist(ctx, edge_bytes);
+
+    Kernel place = makePlacementKernel(kCtas);
+    placeDist(place, ctx, vtx, 0, kCtas);
+    placeDist(place, ctx, dist, 0, kCtas);
+    placeDist(place, ctx, edges, 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    const std::uint64_t vtx_lines = vtx.lines();
+    const std::uint64_t edge_lines = edges.lines();
+
+    for (std::uint32_t level = 0; level < 6; ++level) {
+        Kernel ker;
+        ker.name = "bfs.level" + std::to_string(level);
+        ker.ctas.resize(kCtas);
+        for (std::uint64_t i = 0; i < kCtas; ++i) {
+            Cta &cta = ker.ctas[i];
+            cta.warps.resize(2);
+            for (auto &warp : cta.warps) {
+                for (std::uint32_t r = 0; r < iters; ++r) {
+                    // Frontier vertex (hub-skewed), its CSR edge list
+                    // (contiguous lines adjacent to the vertex — hub
+                    // edge lists are as hot as the hubs), then a
+                    // discovery attempt on a neighbor's *distance*
+                    // entry — a separate array, so discovery writes do
+                    // not false-share with the hot read-only hubs.
+                    const std::uint64_t u =
+                        ctx.rng.skewed(vtx_lines, 7.0);
+                    warp.ld(vtx.line(u), 3);
+                    const std::uint64_t e =
+                        u * edge_lines / vtx_lines;
+                    warp.ld(edges.line(e), 2);
+                    warp.ld(edges.line(e + 1), 2);
+                    warp.atom(dist.line(ctx.rng.below(vtx_lines)),
+                              Scope::Sys, 4);
+                }
+            }
+        }
+        t.kernels.push_back(std::move(ker));
+    }
+    return t;
+}
+
+Trace
+makeMst(GenContext &ctx)
+{
+    // mst-road-fla (83 MB): Boruvka-style component merging with
+    // `.gpu`-scoped synchronization. Component labels are read and
+    // written by warps on every GPM at line-neighbor distances, so a
+    // 4-line directory sector sees constant read-write false sharing —
+    // the adversarial case for HMG (Figs. 9 and 10 show mst's
+    // invalidation counts towering over the rest of the suite).
+    Trace t;
+    t.name = "mst";
+    const std::uint64_t comp_bytes = ctx.scaleBytes(2 * kMB);
+    const std::uint64_t edge_bytes = ctx.scaleBytes(10 * kMB);
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(3));
+
+    const DistArray comp = allocDist(ctx, comp_bytes);
+    const DistArray edges = allocDist(ctx, edge_bytes);
+
+    Kernel place = makePlacementKernel(kCtas);
+    placeDist(place, ctx, comp, 0, kCtas);
+    placeDist(place, ctx, edges, 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    const std::uint64_t comp_lines = comp.lines();
+    const std::uint64_t edge_lines = edges.lines();
+
+    for (std::uint32_t round = 0; round < 5; ++round) {
+        Kernel ker;
+        ker.name = "mst.round" + std::to_string(round);
+        ker.ctas.resize(kCtas);
+        for (std::uint64_t i = 0; i < kCtas; ++i) {
+            Cta &cta = ker.ctas[i];
+            cta.warps.resize(2);
+            for (auto &warp : cta.warps) {
+                for (std::uint32_t r = 0; r < iters; ++r) {
+                    // Pick an edge, read both endpoints' component
+                    // labels (hub-skewed — the same roots are chased by
+                    // every GPM), then merge: a `.gpu`-scoped atomic
+                    // claim followed by a label write to an *adjacent*
+                    // line, which shares a directory sector with other
+                    // warps' reads.
+                    warp.ld(edges.line(ctx.rng.below(edge_lines)), 2);
+                    const std::uint64_t u = ctx.rng.skewed(comp_lines);
+                    const std::uint64_t v = ctx.rng.below(comp_lines);
+                    warp.ld(comp.line(u), 2);
+                    warp.ld(comp.line(v), 2);
+                    // Merges succeed on a fraction of attempts; each
+                    // claim still false-shares its 4-line sector with
+                    // every reader of neighboring labels.
+                    if (r % 3 == 0) {
+                        warp.atom(comp.line(u), Scope::Gpu, 4);
+                        warp.st(comp.line(u + 1), 2);
+                    }
+                }
+                // Round-closing `.gpu` release/acquire pair.
+                warp.relFence(Scope::Gpu, 2);
+                warp.acqFence(Scope::Gpu, 2);
+            }
+        }
+        t.kernels.push_back(std::move(ker));
+    }
+    return t;
+}
+
+} // namespace hmg::trace::workloads

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * HPC workload generators: stencil/halo codes (CoMD, HPGMG, MiniAMR),
+ * irregular contact detection (MiniContact), a CG solver (Nekbone) and
+ * a wavefront transport sweep (snap). All communicate through frequent
+ * dependent kernels (Section II-B: "inter-CTA communication is
+ * necessary for the movement dependency between different particles and
+ * different simulation timesteps").
+ *
+ * See workloads_ml.cc for the generator shape conventions (fixed
+ * machine-filling CTA grids; `scale` multiplies per-warp iteration
+ * counts).
+ */
+
+#include "trace/workloads_impl.hh"
+
+namespace hmg::trace::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+constexpr std::uint64_t kCtas = 768;
+
+/**
+ * Generic halo-stencil kernel: CTA `i` sweeps its own chunk of the grid
+ * and, each iteration, re-reads boundary lines owned by its two
+ * neighbor CTAs — same-GPM for interior CTAs, neighbor-GPM/GPU at block
+ * boundaries (contiguous CTA scheduling).
+ */
+Kernel
+stencilKernel(GenContext &ctx, const std::string &name,
+              const DistArray &grid, std::uint32_t iters,
+              std::uint32_t own_loads, std::uint32_t halo_loads,
+              std::uint32_t stores)
+{
+    (void)ctx;
+    Kernel ker;
+    ker.name = name;
+    ker.ctas.resize(kCtas);
+    const std::uint64_t grid_lines = grid.lines();
+    // 2D block decomposition: CTA i's x-neighbors are i +- 1 (same GPM
+    // for interior CTAs); its y-neighbors are one CTA row away — on the
+    // neighboring GPM — so *every* CTA exchanges halo across a GPM (or
+    // GPU) boundary, as a real 2D/3D domain decomposition does.
+    const std::uint64_t row = (kCtas + kGenGpms - 1) / kGenGpms;
+    auto base_of = [grid_lines](std::uint64_t c) {
+        return c * grid_lines / kCtas;
+    };
+    const std::uint64_t ctas_per_gpu = row * 4;
+    for (std::uint64_t i = 0; i < kCtas; ++i) {
+        Cta &cta = ker.ctas[i];
+        cta.warps.resize(2);
+        const std::uint64_t base_line = base_of(i);
+        const std::uint64_t chunk = base_of(i + 1) - base_line;
+        // Pairs of CTAs (same GPM) share their y-halo rows, so the
+        // second reader can reuse the first one's fetch below the L1.
+        const std::uint64_t p2 = (i / 2) * 2;
+        const std::uint64_t y_up = base_of((p2 + row) % kCtas);
+        const std::uint64_t y_dn = base_of((p2 + kCtas - row) % kCtas);
+        // The neighboring *GPU's* boundary face: edge/corner cells of a
+        // 3D decomposition are consulted by several of the reading
+        // GPU's blocks, so the face offsets are keyed by the CTA's
+        // within-GPM pair index — identical across the GPU's four GPMs
+        // (the same-GPU reuse Fig. 3 measures).
+        const std::uint64_t gpu_face =
+            base_of(((i / ctas_per_gpu + 1) * ctas_per_gpu) % kCtas);
+        const std::uint64_t pair_in_gpm = (i % row) / 2;
+        for (std::uint32_t w = 0; w < 2; ++w) {
+            Warp &warp = cta.warps[w];
+            for (std::uint32_t r = 0; r < iters; ++r) {
+                const std::uint64_t slice =
+                    base_line + (w * iters + r) * chunk / (2 * iters);
+                for (std::uint32_t j = 0; j < own_loads; ++j)
+                    warp.ld(grid.line(slice + j), 2);
+                for (std::uint32_t j = 0; j < halo_loads; ++j) {
+                    // x-halo (same-GPM neighbor CTA).
+                    warp.ld(grid.line(base_line + chunk + r + j), 2);
+                    // y-halo (neighbor-GPM CTAs; lines vary with r but
+                    // not with the warp/CTA of the sharing pair).
+                    warp.ld(grid.line(y_up + r * 2 + j), 2);
+                    warp.ld(grid.line(y_dn + r * 2 + j), 2);
+                    // z-halo: the remote GPU's face.
+                    warp.ld(grid.line(gpu_face + pair_in_gpm * 2 +
+                                      r * 2 + j),
+                            2);
+                }
+                for (std::uint32_t j = 0; j < stores; ++j)
+                    warp.st(grid.line(slice + j), 2);
+            }
+        }
+    }
+    return ker;
+}
+
+} // namespace
+
+Trace
+makeComd(GenContext &ctx)
+{
+    // CoMD (313 MB): molecular dynamics with cell lists; each CTA's
+    // force computation reads its own cell plus neighbor cells, most of
+    // which live on the same GPM — a modest-caching-benefit workload.
+    Trace t;
+    t.name = "comd";
+    const std::uint64_t bytes = ctx.scaleBytes(24 * kMB);
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(4));
+    const DistArray grid = allocDist(ctx, bytes);
+
+    Kernel place = makePlacementKernel(kCtas);
+    placeDist(place, ctx, grid, 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    for (std::uint32_t ts = 0; ts < 3; ++ts)
+        t.kernels.push_back(stencilKernel(
+            ctx, "comd.t" + std::to_string(ts), grid, iters,
+            /*own=*/4, /*halo=*/1, /*stores=*/2));
+    return t;
+}
+
+Trace
+makeHpgmg(GenContext &ctx)
+{
+    // HPGMG (1.32 GB): a multigrid V-cycle. Grids shrink toward the
+    // coarse levels, so the halo fraction — and hence the cross-GPM
+    // share of traffic — grows as the cycle descends.
+    Trace t;
+    t.name = "hpgmg";
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(3));
+
+    const std::uint64_t level_bytes[3] = {ctx.scaleBytes(32 * kMB),
+                                          ctx.scaleBytes(8 * kMB),
+                                          ctx.scaleBytes(2 * kMB)};
+    DistArray level[3];
+    for (int l = 0; l < 3; ++l)
+        level[l] = allocDist(ctx, level_bytes[l]);
+
+    Kernel place = makePlacementKernel(kCtas);
+    for (int l = 0; l < 3; ++l)
+        placeDist(place, ctx, level[l], 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    // Down-sweep and up-sweep: smooth at each level; halo load count
+    // rises on coarser grids.
+    const int order[5] = {0, 1, 2, 1, 0};
+    for (int s = 0; s < 5; ++s) {
+        const int l = order[s];
+        t.kernels.push_back(stencilKernel(
+            ctx, "hpgmg.level" + std::to_string(l) + "." +
+                     std::to_string(s),
+            level[l], iters,
+            /*own=*/static_cast<std::uint32_t>(4 >> l) + 1,
+            /*halo=*/static_cast<std::uint32_t>(1 + l),
+            /*stores=*/2));
+    }
+    return t;
+}
+
+Trace
+makeMiniamr(GenContext &ctx)
+{
+    // MiniAMR (1.8 GB): adaptive refinement concentrates a hot, heavily
+    // re-read refined region on one GPU while every GPU's blocks keep
+    // streaming their own data. The hot region thrashes out of each
+    // GPM's local L2 but stays warm in its readers' GPU homes — the
+    // pattern behind MiniAMR's tall hierarchical bars in Fig. 8.
+    Trace t;
+    t.name = "miniamr";
+    const std::uint64_t hot_bytes = ctx.scaleBytes(4 * kMB);
+    const std::uint64_t grid_bytes = ctx.scaleBytes(48 * kMB);
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(4));
+
+    // The refined region lands on the first GPU (its four GPMs).
+    const DistArray hot = allocDist(ctx, hot_bytes, 4);
+    const DistArray grid = allocDist(ctx, grid_bytes);
+
+    Kernel place = makePlacementKernel(kCtas);
+    placeDist(place, ctx, hot, 0, kCtas / 4);
+    placeDist(place, ctx, grid, 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    const std::uint64_t hot_lines = hot.lines();
+    const std::uint64_t grid_lines = grid.lines();
+    const std::uint64_t chunk = grid_lines / kCtas;
+    (void)grid_lines;
+    const std::uint64_t per_gpm = (kCtas + kGenGpms - 1) / kGenGpms;
+
+    for (std::uint32_t ts = 0; ts < 5; ++ts) {
+        Kernel ker;
+        ker.name = "miniamr.t" + std::to_string(ts);
+        ker.ctas.resize(kCtas);
+        for (std::uint64_t i = 0; i < kCtas; ++i) {
+            Cta &cta = ker.ctas[i];
+            cta.warps.resize(2);
+            const std::uint64_t pair = (i % per_gpm) / 2;
+            for (std::uint64_t w = 0; w < cta.warps.size(); ++w) {
+                Warp &warp = cta.warps[w];
+                for (std::uint32_t r = 0; r < iters; ++r) {
+                    // Refined-region reads: the same lines on every GPM
+                    // (pair-keyed) and stable across timesteps, so
+                    // hardware coherence keeps them warm across kernels
+                    // while bulk-invalidating software coherence
+                    // refetches over the inter-GPU links.
+                    for (std::uint32_t j = 0; j < 3; ++j)
+                        warp.ld(hot.line((pair * 13 + w * 97 +
+                                          (r * 3 + j) * 11) %
+                                         hot_lines),
+                                2);
+                    // Own streaming block (evicts the hot region from
+                    // the local L2).
+                    const std::uint64_t slice =
+                        i * chunk + (w * iters + r) * 4;
+                    for (std::uint32_t j = 0; j < 4; ++j)
+                        warp.ld(grid.line(slice + j), 2);
+                    warp.st(grid.line(slice), 2);
+                }
+            }
+        }
+        t.kernels.push_back(std::move(ker));
+    }
+    return t;
+}
+
+Trace
+makeMinicontact(GenContext &ctx)
+{
+    // MiniContact (246 MB): irregular contact-pair detection — skewed
+    // random surface reads plus system-scope atomic appends to a shared
+    // contact list.
+    Trace t;
+    t.name = "minicontact";
+    const std::uint64_t surf_bytes = ctx.scaleBytes(12 * kMB);
+    const std::uint64_t list_bytes = ctx.scaleBytes(256 * 1024);
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(4));
+
+    const DistArray surf = allocDist(ctx, surf_bytes);
+    const DistArray list = allocDist(ctx, list_bytes);
+
+    Kernel place = makePlacementKernel(kCtas);
+    placeDist(place, ctx, surf, 0, kCtas);
+    placeDist(place, ctx, list, 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    const std::uint64_t list_lines = list.lines();
+    const std::uint64_t surf_lines = surf.lines();
+
+    for (std::uint32_t k = 0; k < 3; ++k) {
+        Kernel ker;
+        ker.name = "minicontact.k" + std::to_string(k);
+        ker.ctas.resize(kCtas);
+        for (std::uint64_t i = 0; i < kCtas; ++i) {
+            Cta &cta = ker.ctas[i];
+            cta.warps.resize(2);
+            for (auto &warp : cta.warps) {
+                const std::uint64_t own =
+                    i * (surf_lines / kCtas);
+                for (std::uint32_t r = 0; r < iters; ++r) {
+                    // Candidate surface patches: hub-skewed reads give
+                    // natural machine-wide reuse of hot patches.
+                    for (int j = 0; j < 3; ++j)
+                        warp.ld(surf.line(ctx.rng.skewed(surf_lines, 7.0)),
+                                4);
+                    warp.atom(list.line(ctx.rng.below(list_lines)),
+                              Scope::Sys, 4);
+                    // Deformation updates stay in the own patch block.
+                    warp.st(surf.line(own + r), 2);
+                }
+            }
+        }
+        t.kernels.push_back(std::move(ker));
+    }
+    return t;
+}
+
+Trace
+makeNekbone(GenContext &ctx)
+{
+    // Nekbone (178 MB): CG iterations over spectral elements — local
+    // streaming matvecs, element-boundary halo, and a `.gpu`-scoped
+    // atomic reduction per warp for the dot products.
+    Trace t;
+    t.name = "nekbone";
+    const std::uint64_t elem_bytes = ctx.scaleBytes(12 * kMB);
+    const std::uint64_t red_bytes = ctx.scaleBytes(64 * 128);
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(4));
+
+    const DistArray elems = allocDist(ctx, elem_bytes);
+    const DistArray red = allocDist(ctx, red_bytes);
+
+    Kernel place = makePlacementKernel(kCtas);
+    placeDist(place, ctx, elems, 0, kCtas);
+    placeDist(place, ctx, red, 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    const std::uint64_t elem_lines = elems.lines();
+    const std::uint64_t red_lines = red.lines();
+    const std::uint64_t chunk = elem_lines / kCtas;
+
+    for (std::uint32_t it = 0; it < 5; ++it) {
+        Kernel ker;
+        ker.name = "nekbone.cg" + std::to_string(it);
+        ker.ctas.resize(kCtas);
+        for (std::uint64_t i = 0; i < kCtas; ++i) {
+            Cta &cta = ker.ctas[i];
+            cta.warps.resize(2);
+            for (std::uint64_t w = 0; w < cta.warps.size(); ++w) {
+                Warp &warp = cta.warps[w];
+                for (std::uint32_t r = 0; r < iters; ++r) {
+                    const std::uint64_t slice =
+                        i * chunk + (w * iters + r) * 3;
+                    for (std::uint32_t j = 0; j < 3; ++j)
+                        warp.ld(elems.line(slice + j), 2);
+                    // Element-boundary exchange with the next CTA.
+                    warp.ld(elems.line(((i + 1) * chunk + r % 2) %
+                                       elem_lines),
+                            2);
+                    warp.st(elems.line(slice + 1), 2);
+                }
+                // Dot-product partial sum into the *own block's*
+                // accumulator (per-block reduction, combined later).
+                warp.atom(red.line(i * red_lines / kCtas), Scope::Gpu,
+                          4);
+            }
+        }
+        t.kernels.push_back(std::move(ker));
+    }
+    return t;
+}
+
+Trace
+makeSnap(GenContext &ctx)
+{
+    // snap (3.44 GB): discrete-ordinates transport sweeps. Each sweep
+    // step is a dependent kernel whose CTAs consume boundary fluxes
+    // their two upstream neighbors produced in the previous kernel —
+    // exactly the fine-grained inter-kernel producer/consumer pattern
+    // that separates the hardware protocols from bulk-invalidating
+    // software coherence on the right side of Fig. 8.
+    Trace t;
+    t.name = "snap";
+    const std::uint64_t psi_bytes = ctx.scaleBytes(48 * kMB);
+    const std::uint64_t bnd_bytes = ctx.scaleBytes(2 * kMB);
+    const auto iters = static_cast<std::uint32_t>(ctx.scaleN(3));
+
+    const DistArray psi = allocDist(ctx, psi_bytes);
+    const DistArray bnd = allocDist(ctx, bnd_bytes);
+
+    Kernel place = makePlacementKernel(kCtas);
+    placeDist(place, ctx, psi, 0, kCtas);
+    placeDist(place, ctx, bnd, 0, kCtas);
+    t.kernels.push_back(std::move(place));
+
+    const std::uint64_t psi_lines = psi.lines();
+    const std::uint64_t bnd_lines = bnd.lines();
+    const std::uint64_t chunk = psi_lines / kCtas;
+    (void)psi_lines;
+    auto bnd_of = [bnd_lines](std::uint64_t c) {
+        return c * bnd_lines / kCtas;
+    };
+
+    for (std::uint32_t step = 0; step < 6; ++step) {
+        Kernel ker;
+        ker.name = "snap.sweep" + std::to_string(step);
+        ker.ctas.resize(kCtas);
+        // Sweep direction alternates: upstream neighbors flip side.
+        const bool fwd = (step % 2) == 0;
+        for (std::uint64_t i = 0; i < kCtas; ++i) {
+            Cta &cta = ker.ctas[i];
+            cta.warps.resize(2);
+            const std::uint64_t row = (kCtas + kGenGpms - 1) / kGenGpms;
+            // CTA pairs consume the same upstream boundaries: the x
+            // predecessor (same GPM) and the y predecessor one block
+            // row away (the neighboring GPM / GPU).
+            const std::uint64_t p2 = (i / 2) * 2;
+            const std::uint64_t up1 =
+                fwd ? (p2 + kCtas - 1) % kCtas : (p2 + 2) % kCtas;
+            // The y-upstream block sits one row away; different octants
+            // make every GPM of the consuming GPU re-read the same
+            // upstream boundary, so key it by the within-GPM pair index
+            // (identical across the GPU's GPMs).
+            const std::uint64_t pair_in_gpm = ((i % row) / 2) * 2;
+            const std::uint64_t gpu_row = (i / (row * 4)) * (row * 4);
+            const std::uint64_t up2 =
+                fwd ? (gpu_row + kCtas - row * 4 + pair_in_gpm) % kCtas
+                    : (gpu_row + row * 4 + pair_in_gpm) % kCtas;
+            for (std::uint64_t w = 0; w < cta.warps.size(); ++w) {
+                Warp &warp = cta.warps[w];
+                for (std::uint32_t r = 0; r < iters; ++r) {
+                    // Incoming boundary fluxes written by the upstream
+                    // CTAs in the previous sweep step — the dominant
+                    // traffic of a transport sweep.
+                    for (std::uint32_t j = 0; j < 3; ++j)
+                        warp.ld(bnd.line(bnd_of(up1) + (r * 3 + j) % 16),
+                                2);
+                    for (std::uint32_t j = 0; j < 2; ++j)
+                        warp.ld(bnd.line(bnd_of(up2) + (r * 2 + j) % 16),
+                                2);
+                    // Own angular-flux block.
+                    const std::uint64_t slice =
+                        i * chunk + (w * iters + r) * 3;
+                    for (std::uint32_t j = 0; j < 3; ++j)
+                        warp.ld(psi.line(slice + j), 2);
+                    warp.st(psi.line(slice), 2);
+                }
+                // Outgoing boundary flux for the downstream neighbors.
+                for (std::uint32_t j = 0; j < 4; ++j)
+                    warp.st(bnd.line(bnd_of(i) + (w * 4 + j) % 16), 2);
+            }
+        }
+        t.kernels.push_back(std::move(ker));
+    }
+    return t;
+}
+
+} // namespace hmg::trace::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Internal interface between the workload registry and the per-family
+ * generator translation units. Not installed as public API.
+ */
+
+#ifndef HMG_TRACE_WORKLOADS_IMPL_HH
+#define HMG_TRACE_WORKLOADS_IMPL_HH
+
+#include <cstdint>
+
+#include "trace/patterns.hh"
+#include "trace/trace.hh"
+
+namespace hmg::trace::workloads
+{
+
+/** GPMs in the reference 4x4 machine the generators are shaped for. */
+constexpr std::uint32_t kGenGpms = 16;
+
+/** Contiguous-schedule GPM of CTA `i` in an `n`-CTA kernel. */
+std::uint32_t genCtaGpm(std::uint64_t i, std::uint64_t n);
+
+// makePlacementKernel/placeContiguous/placeDist live in the public
+// pattern library (trace/patterns.hh).
+
+// --- ML family (workloads_ml.cc) ---
+Trace makeAlexnet(GenContext &ctx);
+Trace makeGooglenet(GenContext &ctx);
+Trace makeOverfeat(GenContext &ctx);
+Trace makeResnet(GenContext &ctx);
+Trace makeLstm(GenContext &ctx);
+Trace makeRnnFw(GenContext &ctx);
+Trace makeRnnDgrad(GenContext &ctx);
+Trace makeRnnWgrad(GenContext &ctx);
+
+// --- HPC family (workloads_hpc.cc) ---
+Trace makeComd(GenContext &ctx);
+Trace makeHpgmg(GenContext &ctx);
+Trace makeMiniamr(GenContext &ctx);
+Trace makeMinicontact(GenContext &ctx);
+Trace makeNekbone(GenContext &ctx);
+Trace makeSnap(GenContext &ctx);
+
+// --- graph family (workloads_graph.cc) ---
+Trace makeBfs(GenContext &ctx);
+Trace makeMst(GenContext &ctx);
+
+// --- misc family (workloads_misc.cc) ---
+Trace makeCusolver(GenContext &ctx);
+Trace makeNamd(GenContext &ctx);
+Trace makeNw(GenContext &ctx);
+Trace makePathfinder(GenContext &ctx);
+
+} // namespace hmg::trace::workloads
+
+#endif // HMG_TRACE_WORKLOADS_IMPL_HH

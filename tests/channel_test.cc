@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the bandwidth-serialized FIFO channel — the building
+ * block every bandwidth-limited resource (crossbar ports, NVLink ports,
+ * DRAM channels) is modeled with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+namespace
+{
+
+TEST(Channel, LatencyOnly)
+{
+    Engine e;
+    Channel ch(e, /*bytes_per_cycle=*/128.0, /*latency=*/100);
+    Tick arrival = ch.send(128);
+    // 1 cycle serialization + 100 latency.
+    EXPECT_EQ(arrival, 101u);
+}
+
+TEST(Channel, SerializationAccumulates)
+{
+    Engine e;
+    Channel ch(e, 64.0, 0);
+    // Three 128-byte messages at 64 B/cyc: each occupies 2 cycles.
+    EXPECT_EQ(ch.send(128), 2u);
+    EXPECT_EQ(ch.send(128), 4u);
+    EXPECT_EQ(ch.send(128), 6u);
+    EXPECT_EQ(ch.bytesSent(), 384u);
+    EXPECT_EQ(ch.messagesSent(), 3u);
+}
+
+TEST(Channel, FractionalBandwidth)
+{
+    Engine e;
+    Channel ch(e, 1.5, 0);
+    // 3 bytes at 1.5 B/cyc = 2 cycles each, exact accumulation.
+    EXPECT_EQ(ch.send(3), 2u);
+    EXPECT_EQ(ch.send(3), 4u);
+    EXPECT_EQ(ch.send(3), 6u);
+}
+
+TEST(Channel, IdleGapResets)
+{
+    Engine e;
+    Channel ch(e, 128.0, 10);
+    EXPECT_EQ(ch.send(128), 11u);
+    // Advance simulated time past the busy period.
+    e.schedule(100, []() {});
+    e.run();
+    EXPECT_EQ(e.now(), 100u);
+    EXPECT_EQ(ch.send(128), 111u);
+}
+
+TEST(Channel, FifoDeliveryOrder)
+{
+    Engine e;
+    Channel ch(e, 16.0, 50);
+    std::vector<int> order;
+    ch.send(128, [&]() { order.push_back(1); });
+    ch.send(16, [&]() { order.push_back(2); });
+    ch.send(16, [&]() { order.push_back(3); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, ArrivalsMonotonic)
+{
+    Engine e;
+    Channel ch(e, 3.7, 13);
+    Tick prev = 0;
+    for (int i = 0; i < 200; ++i) {
+        Tick a = ch.send(1 + i % 7);
+        EXPECT_GE(a, prev);
+        prev = a;
+    }
+}
+
+TEST(Channel, SendAtChainsFutureTime)
+{
+    Engine e;
+    Channel ch(e, 128.0, 10);
+    Tick a = ch.sendAt(1000, 128);
+    EXPECT_EQ(a, 1011u);
+    // A later message queued behind the first.
+    Tick b = ch.sendAt(1000, 128);
+    EXPECT_EQ(b, 1012u);
+}
+
+TEST(Channel, BusyUntilTracksOccupancy)
+{
+    Engine e;
+    Channel ch(e, 1.0, 0);
+    ch.send(10);
+    EXPECT_EQ(ch.busyUntil(), 10u);
+    ch.send(5);
+    EXPECT_EQ(ch.busyUntil(), 15u);
+}
+
+TEST(Channel, CallbackSeesArrivalTime)
+{
+    Engine e;
+    Channel ch(e, 128.0, 42);
+    Tick seen = 0;
+    ch.send(128, [&]() { seen = e.now(); });
+    e.run();
+    EXPECT_EQ(seen, 43u);
+}
+
+} // namespace
+} // namespace hmg

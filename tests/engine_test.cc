@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the event-driven simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace hmg
+{
+namespace
+{
+
+TEST(Engine, StartsAtZero)
+{
+    Engine e;
+    EXPECT_EQ(e.now(), 0u);
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ExecutesInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(30, [&]() { order.push_back(3); });
+    e.schedule(10, [&]() { order.push_back(1); });
+    e.schedule(20, [&]() { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameTickFifo)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        e.schedule(5, [&order, i]() { order.push_back(i); });
+    e.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NestedScheduling)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(10, [&]() {
+        ++fired;
+        e.schedule(10, [&]() {
+            ++fired;
+            e.schedule(10, [&]() { ++fired; });
+        });
+    });
+    e.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, RunUntilStopsEarly)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(10, [&]() { ++fired; });
+    e.schedule(100, [&]() { ++fired; });
+    e.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.pending(), 1u);
+    e.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ScheduleAtAbsolute)
+{
+    Engine e;
+    Tick seen = 0;
+    e.scheduleAt(42, [&]() { seen = e.now(); });
+    e.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(Engine, ZeroDelayRunsAtCurrentTick)
+{
+    Engine e;
+    Tick seen = 1234;
+    e.schedule(7, [&]() {
+        e.schedule(0, [&]() { seen = e.now(); });
+    });
+    e.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(Engine, CountsEvents)
+{
+    Engine e;
+    for (int i = 0; i < 25; ++i)
+        e.schedule(i, []() {});
+    e.run();
+    EXPECT_EQ(e.eventsExecuted(), 25u);
+}
+
+TEST(EngineDeath, PastSchedulingPanics)
+{
+    Engine e;
+    e.schedule(10, [&]() {
+        EXPECT_DEATH(e.scheduleAt(5, []() {}), "assertion");
+    });
+    e.run();
+}
+
+} // namespace
+} // namespace hmg

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Full-system integration tests: real workload traces through the full
+ * simulator under every protocol, checking completion, conservation
+ * invariants, and coarse performance-ordering sanity (caching beats no
+ * caching; the incoherent ideal is an upper bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/simulator.hh"
+#include "trace/workloads.hh"
+
+namespace hmg
+{
+namespace
+{
+
+namespace wl = trace::workloads;
+
+constexpr Protocol kAll[] = {Protocol::NoRemoteCache, Protocol::SwNonHier,
+                             Protocol::SwHier, Protocol::Nhcc,
+                             Protocol::Hmg, Protocol::Ideal};
+
+class ProtocolIntegration : public ::testing::TestWithParam<Protocol>
+{
+};
+
+TEST_P(ProtocolIntegration, RunsRealWorkloadOnFullMachine)
+{
+    SystemConfig cfg; // full Table II machine
+    cfg.protocol = GetParam();
+    auto t = wl::make("RNN_FW", 0.1);
+    Simulator sim(cfg);
+    auto res = sim.run(t);
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_EQ(res.memOps, t.memOps());
+    // Every trace op executed exactly once across all SMs.
+    EXPECT_DOUBLE_EQ(res.stats.get("sm_total.ops"),
+                     static_cast<double>(t.memOps()));
+}
+
+TEST_P(ProtocolIntegration, VersionCounterMatchesWriteCount)
+{
+    SystemConfig cfg;
+    cfg.protocol = GetParam();
+    auto t = wl::make("bfs", 0.05);
+    Simulator sim(cfg);
+    auto res = sim.run(t);
+    // One version is allocated per store and per atomic.
+    EXPECT_EQ(static_cast<double>(sim.system().memory().latestVersion()),
+              res.stats.get("sm_total.stores") +
+                  res.stats.get("sm_total.atomics"));
+    // Everything drained by the end.
+    EXPECT_EQ(sim.system().tracker().totalPendingSys(), 0u);
+}
+
+TEST_P(ProtocolIntegration, CacheStatConservation)
+{
+    SystemConfig cfg;
+    cfg.protocol = GetParam();
+    auto t = wl::make("comd", 0.05);
+    Simulator sim(cfg);
+    auto res = sim.run(t);
+    // L2 hits never exceed lookups.
+    EXPECT_LE(res.stats.get("total.l2.load_hits"),
+              res.stats.get("total.l2.loads"));
+    EXPECT_LE(res.stats.get("sm_total.l1.load_hits"),
+              res.stats.get("sm_total.l1.loads"));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolIntegration,
+                         ::testing::ValuesIn(kAll),
+                         [](const ::testing::TestParamInfo<Protocol> &i) {
+                             std::string n = toString(i.param);
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Ordering, CachingBeatsNoCachingOnBroadcastWorkload)
+{
+    SystemConfig cfg;
+    auto t = wl::make("overfeat", 0.5);
+    Tick base = runWith(cfg, Protocol::NoRemoteCache, t).cycles;
+    Tick hmg = runWith(cfg, Protocol::Hmg, t).cycles;
+    Tick ideal = runWith(cfg, Protocol::Ideal, t).cycles;
+    EXPECT_LT(hmg, base);
+    EXPECT_LE(ideal, base);
+    // HMG should be close to ideal on a read-only broadcast workload.
+    EXPECT_LT(static_cast<double>(hmg),
+              1.35 * static_cast<double>(ideal));
+}
+
+TEST(Ordering, HierarchyHelpsOnFineGrainedWorkload)
+{
+    SystemConfig cfg;
+    auto t = wl::make("RNN_FW", 1.0);
+    Tick nhcc = runWith(cfg, Protocol::Nhcc, t).cycles;
+    Tick hmg = runWith(cfg, Protocol::Hmg, t).cycles;
+    // At benchmark scale the hierarchical protocol wins on the
+    // fine-grained recurrent workload (Fig. 8's right half).
+    EXPECT_LT(hmg, nhcc);
+}
+
+TEST(Ordering, HwCoherenceGeneratesInvTrafficOnlyWhenShared)
+{
+    SystemConfig cfg;
+    // Read-only broadcast: essentially no read-write sharing, so the
+    // invalidation bandwidth must be tiny relative to data traffic
+    // (the Fig. 11 claim).
+    auto t = wl::make("overfeat", 0.5);
+    auto res = runWith(cfg, Protocol::Hmg, t);
+    double inv = res.stats.get("noc.inv.intra_bytes") +
+                 res.stats.get("noc.inv.inter_bytes");
+    double data = res.stats.get("noc.read_resp.intra_bytes") +
+                  res.stats.get("noc.read_resp.inter_bytes");
+    EXPECT_LT(inv, 0.05 * data);
+}
+
+TEST(Ordering, MstTriggersFalseSharingInvalidations)
+{
+    SystemConfig cfg;
+    auto res = runWith(cfg, Protocol::Hmg, wl::make("mst", 0.05));
+    // The adversarial graph workload must actually exercise the
+    // store-invalidation path (Fig. 9's tall mst bar).
+    EXPECT_GT(res.stats.get("protocol.store_inv_events"), 0.0);
+    EXPECT_GT(res.stats.get("protocol.store_inv_lines"), 0.0);
+}
+
+TEST(Ordering, DeterministicAcrossRuns)
+{
+    SystemConfig cfg;
+    auto t = wl::make("nekbone", 0.05);
+    auto a = runWith(cfg, Protocol::Hmg, t);
+    auto b = runWith(cfg, Protocol::Hmg, t);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.get("noc.total_inter_bytes"),
+              b.stats.get("noc.total_inter_bytes"));
+}
+
+TEST(Sensitivity, MoreInterGpuBandwidthNeverHurts)
+{
+    SystemConfig cfg;
+    auto t = wl::make("alexnet", 0.05);
+    cfg.interGpuGBpsPerLink = 100;
+    Tick slow = runWith(cfg, Protocol::Hmg, t).cycles;
+    cfg.interGpuGBpsPerLink = 400;
+    Tick fast = runWith(cfg, Protocol::Hmg, t).cycles;
+    EXPECT_LE(fast, slow);
+}
+
+TEST(Sensitivity, RoundRobinPlacementCompletes)
+{
+    SystemConfig cfg;
+    cfg.pagePlacement = PagePlacement::RoundRobin;
+    auto res = runWith(cfg, Protocol::Hmg, wl::make("comd", 0.05));
+    EXPECT_GT(res.cycles, 0u);
+}
+
+} // namespace
+} // namespace hmg

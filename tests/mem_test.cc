@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for src/mem: NUMA page placement, home-node mapping, the
+ * versioned memory oracle, and the DRAM channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "mem/memory_state.hh"
+#include "mem/page_table.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+namespace
+{
+
+constexpr Addr kPage = 2ull * 1024 * 1024;
+
+TEST(PageTable, FirstTouchSticks)
+{
+    SystemConfig cfg;
+    PageTable pt(cfg);
+    EXPECT_EQ(pt.touch(0x1000, 5), 5u);
+    // Subsequent touches by other GPMs do not move the page.
+    EXPECT_EQ(pt.touch(0x2000, 9), 5u);
+    EXPECT_EQ(pt.homeOf(0x1fff80), 5u);
+    // A different page places independently.
+    EXPECT_EQ(pt.touch(kPage, 9), 9u);
+    EXPECT_EQ(pt.pageCount(), 2u);
+}
+
+TEST(PageTable, RoundRobinPolicy)
+{
+    SystemConfig cfg;
+    cfg.pagePlacement = PagePlacement::RoundRobin;
+    PageTable pt(cfg);
+    for (std::uint64_t p = 0; p < 32; ++p)
+        EXPECT_EQ(pt.touch(p * kPage, 3), p % cfg.totalGpms());
+}
+
+TEST(PageTable, LocalOnlyPolicy)
+{
+    SystemConfig cfg;
+    cfg.pagePlacement = PagePlacement::LocalOnly;
+    PageTable pt(cfg);
+    EXPECT_EQ(pt.touch(5 * kPage, 7), 0u);
+}
+
+TEST(PageTable, IsPlacedAndCounts)
+{
+    SystemConfig cfg;
+    PageTable pt(cfg);
+    EXPECT_FALSE(pt.isPlaced(0));
+    pt.touch(0, 2);
+    pt.touch(kPage, 2);
+    pt.touch(2 * kPage, 3);
+    EXPECT_TRUE(pt.isPlaced(100));
+    EXPECT_EQ(pt.pagesOn(2), 2u);
+    EXPECT_EQ(pt.pagesOn(3), 1u);
+    EXPECT_EQ(pt.pagesOn(4), 0u);
+}
+
+TEST(PageTableDeath, UnplacedPagePanics)
+{
+    SystemConfig cfg;
+    PageTable pt(cfg);
+    EXPECT_DEATH(pt.homeOf(0x123), "unplaced");
+}
+
+TEST(AddressMap, Granularities)
+{
+    SystemConfig cfg;
+    PageTable pt(cfg);
+    AddressMap am(cfg, pt);
+    EXPECT_EQ(am.lineAddr(0x1234), 0x1200u);
+    EXPECT_EQ(am.sectorAddr(0x1234), 0x1200u & ~0x1ffull);
+    EXPECT_EQ(am.sectorBytes(), 512u);
+    EXPECT_EQ(am.linesPerSector(), 4u);
+    EXPECT_EQ(am.pageAddr(kPage + 5), kPage);
+    EXPECT_EQ(am.lineNumber(256), 2u);
+}
+
+TEST(AddressMap, SystemAndGpuHomes)
+{
+    SystemConfig cfg;
+    PageTable pt(cfg);
+    AddressMap am(cfg, pt);
+    // Home the page on GPM 6 (GPU 1, local index 2).
+    pt.touch(0, 6);
+    EXPECT_EQ(am.systemHome(0x40), 6u);
+    EXPECT_EQ(am.systemHomeGpu(0x40), 1u);
+    // Each GPU's home shares the system home's local index.
+    EXPECT_EQ(am.gpuHome(0, 0x40), 2u);
+    EXPECT_EQ(am.gpuHome(1, 0x40), 6u);
+    EXPECT_EQ(am.gpuHome(2, 0x40), 10u);
+    EXPECT_EQ(am.gpuHome(3, 0x40), 14u);
+}
+
+TEST(MemoryState, VersionsMonotonicPerLine)
+{
+    MemoryState m;
+    EXPECT_EQ(m.read(0x100), 0u);
+    Version v1 = m.allocateVersion();
+    Version v2 = m.allocateVersion();
+    EXPECT_LT(v1, v2);
+    m.write(0x100, v2);
+    // An older in-flight write must not clobber the newer one.
+    m.write(0x100, v1);
+    EXPECT_EQ(m.read(0x100), v2);
+    EXPECT_EQ(m.linesWritten(), 1u);
+}
+
+TEST(Dram, BandwidthAndLatency)
+{
+    SystemConfig cfg;
+    Engine e;
+    Dram d(e, cfg);
+    // ~192 B/cyc, 350 cycle latency: one line takes 350 + ceil(128/192).
+    Tick t1 = d.read(128);
+    EXPECT_EQ(t1, 351u);
+    // Back-to-back lines serialize on the channel.
+    Tick t2 = d.read(128);
+    EXPECT_GT(t2, t1);
+    EXPECT_EQ(d.reads(), 2u);
+    d.write(128);
+    EXPECT_EQ(d.writes(), 1u);
+    EXPECT_EQ(d.bytesTransferred(), 384u);
+}
+
+TEST(Dram, SaturatesAtConfiguredBandwidth)
+{
+    SystemConfig cfg;
+    Engine e;
+    Dram d(e, cfg);
+    const int n = 10000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = d.read(128);
+    // 10k lines x 128 B at ~192 B/cyc ~= 6.66k cycles + latency.
+    double expect = n * 128.0 / cfg.dramPortBytesPerCycle() +
+                    static_cast<double>(cfg.dramLatency);
+    EXPECT_NEAR(static_cast<double>(last), expect, expect * 0.01);
+}
+
+} // namespace
+} // namespace hmg

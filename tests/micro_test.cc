@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Fig. 7 microbenchmarks and their analytical oracle:
+ * trace shapes, prediction monotonicity, and — most importantly — that
+ * the full simulator actually lands near the closed-form bounds on the
+ * bandwidth- and latency-dominated extremes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/simulator.hh"
+#include "trace/micro.hh"
+
+namespace hmg
+{
+namespace
+{
+
+namespace micro = trace::micro;
+
+TEST(Micro, TraceShapes)
+{
+    auto s = micro::localStream(8, 64);
+    EXPECT_EQ(s.kernels.size(), 2u);
+    EXPECT_EQ(s.kernels[1].ctas.size(), 64u);
+
+    auto chase = micro::pointerChase(100);
+    EXPECT_EQ(chase.kernels[1].ctas.size(), 1u);
+    // One load plus one serializing fence per chased element.
+    EXPECT_EQ(chase.kernels[1].ctas[0].warps[0].ops.size(), 200u);
+}
+
+TEST(Micro, PredictionsScaleWithSize)
+{
+    SystemConfig cfg;
+    EXPECT_LT(micro::predictLocalStream(cfg, 8, 512),
+              micro::predictLocalStream(cfg, 64, 512));
+    EXPECT_LT(micro::predictRemoteStream(cfg, 4, 512),
+              micro::predictRemoteStream(cfg, 32, 512));
+    EXPECT_NEAR(micro::predictPointerChase(cfg, 800) /
+                    micro::predictPointerChase(cfg, 400),
+                2.0, 0.01);
+}
+
+TEST(Micro, CorrelationSuiteIsPopulated)
+{
+    SystemConfig cfg;
+    auto suite = micro::correlationSuite(cfg);
+    EXPECT_EQ(suite.size(), 12u);
+    for (const auto &m : suite) {
+        EXPECT_GT(m.predictedCycles, 0.0);
+        EXPECT_GT(m.trace.memOps(), 0u);
+    }
+}
+
+TEST(Micro, PointerChaseMatchesLatencyModel)
+{
+    // The serialized chase is pure latency: the simulator must land
+    // close to the closed-form per-load round trip.
+    SystemConfig cfg;
+    cfg.protocol = Protocol::NoRemoteCache;
+    auto t = micro::pointerChase(400);
+    Simulator sim(cfg);
+    auto res = sim.run(t);
+    const double predicted = micro::predictPointerChase(cfg, 400);
+    EXPECT_NEAR(static_cast<double>(res.cycles), predicted,
+                0.15 * predicted);
+}
+
+TEST(Micro, LocalStreamApproachesDramBandwidth)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::NoRemoteCache;
+    auto t = micro::localStream(64, 512);
+    Simulator sim(cfg);
+    auto res = sim.run(t);
+    const double predicted = micro::predictLocalStream(cfg, 64, 512);
+    // Bandwidth-bound: near the roofline (fixed launch overheads and
+    // overlap effects put the ratio within a modest band).
+    EXPECT_GE(static_cast<double>(res.cycles), 0.7 * predicted);
+    EXPECT_LE(static_cast<double>(res.cycles), 1.5 * predicted);
+}
+
+TEST(Micro, RemoteStreamBoundByInterGpuLink)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::NoRemoteCache;
+    auto t = micro::remoteStream(32, 512);
+    Simulator sim(cfg);
+    auto res = sim.run(t);
+    const double predicted = micro::predictRemoteStream(cfg, 32, 512);
+    EXPECT_GE(static_cast<double>(res.cycles), 0.8 * predicted);
+    EXPECT_LE(static_cast<double>(res.cycles), 1.5 * predicted);
+}
+
+TEST(Micro, RemoteStreamSlowerThanLocal)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::NoRemoteCache;
+    Simulator a(cfg), b(cfg);
+    Tick local = a.run(micro::localStream(16, 512)).cycles;
+    Tick remote = b.run(micro::remoteStream(16, 512)).cycles;
+    // Same volume; the remote variant funnels through one GPU's links.
+    EXPECT_GT(remote, local);
+}
+
+} // namespace
+} // namespace hmg

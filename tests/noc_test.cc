@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for message sizing and the two-tier interconnect: routing
+ * latency, per-tier byte accounting, FIFO ordering, and bandwidth
+ * saturation of the inter-GPU links.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.hh"
+#include "noc/message.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+
+namespace hmg
+{
+namespace
+{
+
+TEST(Message, Sizes)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(msgBytes(cfg, MsgType::ReadReq), 16u);
+    EXPECT_EQ(msgBytes(cfg, MsgType::Inv), 16u);
+    EXPECT_EQ(msgBytes(cfg, MsgType::RelAck), 16u);
+    EXPECT_EQ(msgBytes(cfg, MsgType::ReadResp), 144u);
+    EXPECT_EQ(msgBytes(cfg, MsgType::WriteThrough), 144u);
+    EXPECT_EQ(msgBytes(cfg, MsgType::AtomicReq), 24u);
+    EXPECT_TRUE(carriesData(MsgType::ReadResp));
+    EXPECT_FALSE(carriesData(MsgType::Inv));
+}
+
+TEST(Network, IntraGpuLatency)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    // GPM0 -> GPM1 (same GPU): ~intraGpuHopLatency + serialization.
+    Tick a = net.send(0, 1, MsgType::ReadReq);
+    EXPECT_GE(a, cfg.intraGpuHopLatency);
+    EXPECT_LE(a, cfg.intraGpuHopLatency + 4);
+}
+
+TEST(Network, InterGpuLatency)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    // GPM0 (GPU0) -> GPM4 (GPU1): intra + inter hop latency.
+    Tick a = net.send(0, 4, MsgType::ReadReq);
+    EXPECT_GE(a, cfg.intraGpuHopLatency + cfg.interGpuHopLatency);
+    EXPECT_LE(a, cfg.intraGpuHopLatency + cfg.interGpuHopLatency + 6);
+}
+
+TEST(Network, ByteAccountingPerTier)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    net.send(0, 1, MsgType::ReadResp);  // intra only
+    net.send(0, 4, MsgType::ReadResp);  // crosses the switch
+    EXPECT_EQ(net.intraGpuBytes(MsgType::ReadResp), 288u);
+    EXPECT_EQ(net.interGpuBytes(MsgType::ReadResp), 144u);
+    EXPECT_EQ(net.messages(MsgType::ReadResp), 2u);
+    EXPECT_EQ(net.totalInterGpuBytes(), 144u);
+}
+
+TEST(Network, SameGpuPredicate)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    EXPECT_TRUE(net.sameGpu(0, 3));
+    EXPECT_FALSE(net.sameGpu(3, 4));
+    EXPECT_TRUE(net.sameGpu(12, 15));
+}
+
+TEST(Network, FifoPerSourceDestination)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    std::vector<int> order;
+    // A large data message then small control messages: control must
+    // not overtake data on the same path.
+    net.send(0, 4, MsgType::ReadResp, [&]() { order.push_back(1); });
+    net.send(0, 4, MsgType::Inv, [&]() { order.push_back(2); });
+    net.send(0, 4, MsgType::Inv, [&]() { order.push_back(3); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Network, InterGpuBandwidthBound)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    // Saturate GPU0's egress with 10k data messages to GPU1.
+    const int n = 10000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = net.send(0, 4, MsgType::ReadResp);
+    const double bytes = n * 144.0;
+    const double expect =
+        bytes / cfg.interGpuPortBytesPerCycle() +
+        static_cast<double>(cfg.intraGpuHopLatency +
+                            cfg.interGpuHopLatency);
+    EXPECT_NEAR(static_cast<double>(last), expect, expect * 0.02);
+}
+
+TEST(Network, IntraGpuFasterThanInterGpu)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    const int n = 2000;
+    Tick intra = 0, inter = 0;
+    for (int i = 0; i < n; ++i)
+        intra = net.send(8, 9, MsgType::ReadResp);
+    for (int i = 0; i < n; ++i)
+        inter = net.send(0, 4, MsgType::ReadResp);
+    EXPECT_LT(intra, inter);
+}
+
+TEST(Network, StatsReport)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    net.send(0, 4, MsgType::Inv);
+    StatRecorder r;
+    net.reportStats(r, "noc");
+    EXPECT_DOUBLE_EQ(r.get("noc.inv.msgs"), 1);
+    EXPECT_DOUBLE_EQ(r.get("noc.inv.inter_bytes"), 16);
+}
+
+TEST(NetworkDeath, SelfSendIsABug)
+{
+    SystemConfig cfg;
+    Engine e;
+    Network net(e, cfg);
+    EXPECT_DEATH(net.send(3, 3, MsgType::ReadReq), "assertion");
+}
+
+} // namespace
+} // namespace hmg

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the workload pattern library: the bump allocator,
+ * scaling helpers, op emitters, placement kernels, and the DistArray
+ * page-distribution machinery (including the chunk/CTA alignment that
+ * first-touch placement relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "gpu/simulator.hh"
+#include "trace/patterns.hh"
+
+namespace hmg
+{
+namespace
+{
+
+using trace::DistArray;
+using trace::GenContext;
+using trace::Warp;
+
+constexpr std::uint64_t kPage = 2ull * 1024 * 1024;
+
+TEST(GenContext, AllocatorIsPageAlignedAndDisjoint)
+{
+    GenContext ctx;
+    Addr a = ctx.alloc(100);
+    Addr b = ctx.alloc(3 * kPage + 1);
+    Addr c = ctx.alloc(1);
+    EXPECT_EQ(a % kPage, 0u);
+    EXPECT_EQ(b % kPage, 0u);
+    EXPECT_EQ(c % kPage, 0u);
+    EXPECT_GE(b, a + kPage);
+    EXPECT_GE(c, b + 4 * kPage);
+}
+
+TEST(GenContext, ScaleHelpers)
+{
+    GenContext half(0.5);
+    EXPECT_EQ(half.scaleN(8), 4u);
+    EXPECT_EQ(half.scaleN(1), 1u);       // clamped to min
+    EXPECT_EQ(half.scaleN(8, 6), 6u);    // custom clamp
+    EXPECT_EQ(half.scaleBytes(1024), 512u);
+    EXPECT_EQ(half.scaleBytes(10), 128u); // at least one line
+}
+
+TEST(GenContext, EmitHelpers)
+{
+    GenContext ctx;
+    Warp w;
+    ctx.loadStream(w, 0, 2, 3, 1);
+    ASSERT_EQ(w.ops.size(), 3u);
+    EXPECT_EQ(w.ops[0].addr, 2u * 128);
+    EXPECT_EQ(w.ops[2].addr, 4u * 128);
+    EXPECT_EQ(w.ops[0].type, MemOpType::Load);
+
+    ctx.storeStream(w, 0, 0, 2, 1);
+    EXPECT_EQ(w.ops.size(), 5u);
+    EXPECT_EQ(w.ops[3].type, MemOpType::Store);
+
+    ctx.loadStrided(w, 0, 0, 4, 8, 1);
+    EXPECT_EQ(w.ops[6].addr, 8u * 128);
+
+    ctx.loadRandom(w, 0, 64 * 128, 10, 1);
+    ctx.loadSkewed(w, 0, 64 * 128, 10, 1);
+    EXPECT_EQ(w.ops.size(), 29u);
+    for (const auto &op : w.ops)
+        EXPECT_LT(op.addr, 64u * 128);
+}
+
+TEST(DistArrayTest, ChunksArePageAlignedAndDisjoint)
+{
+    GenContext ctx;
+    DistArray a = trace::allocDist(ctx, 512 * 1024, 16); // tiny array
+    EXPECT_EQ(a.chunks, 16u);
+    EXPECT_EQ(a.chunkSpanBytes % kPage, 0u);
+    std::set<std::uint64_t> pages;
+    for (std::uint64_t i = 0; i < a.lines(); ++i)
+        pages.insert(a.line(i) / kPage);
+    // Every chunk lives on its own page even though the raw array is
+    // far smaller than 16 pages.
+    EXPECT_EQ(pages.size(), 16u);
+}
+
+TEST(DistArrayTest, BlockMapping)
+{
+    GenContext ctx;
+    DistArray a = trace::allocDist(ctx, 16 * 2 * kPage, 16);
+    const std::uint64_t per_chunk = a.chunkLines;
+    // Line i sits in chunk i / chunkLines.
+    EXPECT_EQ(a.line(0) / a.chunkSpanBytes,
+              a.line(per_chunk - 1) / a.chunkSpanBytes);
+    EXPECT_NE(a.line(per_chunk - 1) / a.chunkSpanBytes,
+              (a.line(per_chunk) - a.base) / a.chunkSpanBytes + 0);
+    // Wraps modulo the total size.
+    EXPECT_EQ(a.line(a.lines()), a.line(0));
+}
+
+TEST(DistArrayTest, PlacementLandsChunksOnOwningGpms)
+{
+    // End-to-end: place a DistArray via a placement kernel on the real
+    // machine and check each chunk's page is homed on the GPM that owns
+    // the corresponding CTA block.
+    SystemConfig cfg;
+    GenContext ctx;
+    DistArray arr = trace::allocDist(ctx, 4 * 1024 * 1024, 16);
+
+    trace::Trace t;
+    t.name = "placement-check";
+    trace::Kernel place = trace::makePlacementKernel(768);
+    trace::placeDist(place, ctx, arr, 0, 768);
+    t.kernels.push_back(std::move(place));
+
+    Simulator sim(cfg);
+    sim.run(t);
+
+    for (std::uint32_t c = 0; c < 16; ++c) {
+        Addr chunk_base = arr.base + c * arr.chunkSpanBytes;
+        ASSERT_TRUE(sim.system().pageTable().isPlaced(chunk_base));
+        EXPECT_EQ(sim.system().pageTable().homeOf(chunk_base), c)
+            << "chunk " << c;
+    }
+}
+
+TEST(PlacementKernel, OneStorePerPage)
+{
+    GenContext ctx;
+    Addr base = ctx.alloc(5 * kPage);
+    trace::Kernel k = trace::makePlacementKernel(64);
+    trace::placeContiguous(k, ctx, base, 5 * kPage, 0, 64);
+    std::uint64_t stores = 0;
+    std::set<Addr> pages;
+    for (const auto &cta : k.ctas)
+        for (const auto &w : cta.warps)
+            for (const auto &op : w.ops) {
+                EXPECT_EQ(op.type, MemOpType::Store);
+                pages.insert(op.addr / kPage);
+                ++stores;
+            }
+    EXPECT_EQ(stores, 5u);
+    EXPECT_EQ(pages.size(), 5u);
+}
+
+TEST(PlacementKernel, BroadcastSpanPinsToOneCta)
+{
+    GenContext ctx;
+    Addr base = ctx.alloc(4 * kPage);
+    trace::Kernel k = trace::makePlacementKernel(64);
+    trace::placeContiguous(k, ctx, base, 4 * kPage, 0, 1);
+    for (std::size_t c = 1; c < k.ctas.size(); ++c)
+        EXPECT_TRUE(k.ctas[c].warps[0].ops.empty());
+    EXPECT_EQ(k.ctas[0].warps[0].ops.size(), 4u);
+}
+
+TEST(WarpBuilder, FlagsAndScopes)
+{
+    Warp w;
+    w.ld(0, 1, Scope::Gpu, true)
+        .st(128, 2, Scope::Sys, true)
+        .atom(256, Scope::Gpu, 3)
+        .acqFence(Scope::Sys)
+        .relFence(Scope::Gpu);
+    ASSERT_EQ(w.ops.size(), 5u);
+    EXPECT_TRUE(w.ops[0].acq);
+    EXPECT_EQ(w.ops[0].scope, Scope::Gpu);
+    EXPECT_TRUE(w.ops[1].rel);
+    EXPECT_EQ(w.ops[2].type, MemOpType::Atomic);
+    EXPECT_EQ(w.ops[3].type, MemOpType::AcqFence);
+    EXPECT_EQ(w.ops[4].type, MemOpType::RelFence);
+}
+
+} // namespace
+} // namespace hmg

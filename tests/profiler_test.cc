@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the Fig. 3 locality profiler: hand-built traces with known
+ * sharing structure, plus sanity on real workloads (broadcast-heavy
+ * generators must show high same-GPU reuse of inter-GPU loads).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "trace/profiler.hh"
+#include "trace/workloads.hh"
+
+namespace hmg
+{
+namespace
+{
+
+using trace::Cta;
+using trace::Kernel;
+using trace::Trace;
+using trace::Warp;
+
+constexpr Addr kPage = 2ull * 1024 * 1024;
+
+/** Build a 16-CTA kernel (one per GPM under the reference machine). */
+Kernel
+oneCtaPerGpm()
+{
+    Kernel k;
+    k.ctas.resize(16);
+    for (auto &cta : k.ctas)
+        cta.warps.resize(1);
+    return k;
+}
+
+TEST(Profiler, NoRemoteLoadsMeansZero)
+{
+    SystemConfig cfg;
+    Trace t;
+    Kernel k = oneCtaPerGpm();
+    // Every CTA touches only its own page.
+    for (int c = 0; c < 16; ++c) {
+        k.ctas[c].warps[0].st(c * kPage, 1);
+        k.ctas[c].warps[0].ld(c * kPage, 1);
+    }
+    t.kernels.push_back(std::move(k));
+    auto s = trace::analyzeInterGpuLocality(t, cfg);
+    EXPECT_EQ(s.interGpuLoads, 0u);
+    EXPECT_EQ(s.totalLoads, 16u);
+    EXPECT_DOUBLE_EQ(s.sharedPct(), 0.0);
+}
+
+TEST(Profiler, BroadcastIsFullyShared)
+{
+    SystemConfig cfg;
+    Trace t;
+    Kernel k = oneCtaPerGpm();
+    // CTA 0 (GPM0) owns the page by first touch; everyone reads it.
+    k.ctas[0].warps[0].st(0, 1);
+    for (int c = 0; c < 16; ++c)
+        k.ctas[c].warps[0].ld(0, 1);
+    t.kernels.push_back(std::move(k));
+    auto s = trace::analyzeInterGpuLocality(t, cfg);
+    // CTAs on GPUs 1..3 (12 loads) are inter-GPU; every one of them
+    // has 3 sibling GPMs reading the same line.
+    EXPECT_EQ(s.interGpuLoads, 12u);
+    EXPECT_EQ(s.interGpuShared, 12u);
+    EXPECT_DOUBLE_EQ(s.sharedPct(), 100.0);
+}
+
+TEST(Profiler, LoneRemoteReaderIsUnshared)
+{
+    SystemConfig cfg;
+    Trace t;
+    Kernel k = oneCtaPerGpm();
+    k.ctas[0].warps[0].st(0, 1);        // page homed on GPM0 (GPU0)
+    k.ctas[4].warps[0].ld(0, 1);        // only GPM4 (GPU1) reads it
+    t.kernels.push_back(std::move(k));
+    auto s = trace::analyzeInterGpuLocality(t, cfg);
+    EXPECT_EQ(s.interGpuLoads, 1u);
+    EXPECT_EQ(s.interGpuShared, 0u);
+}
+
+TEST(Profiler, MixedSharing)
+{
+    SystemConfig cfg;
+    Trace t;
+    Kernel k = oneCtaPerGpm();
+    k.ctas[0].warps[0].st(0, 1);
+    k.ctas[0].warps[0].st(kPage, 1);
+    // Line 0: read by GPM4 and GPM5 (same GPU) -> shared.
+    k.ctas[4].warps[0].ld(0, 1);
+    k.ctas[5].warps[0].ld(0, 1);
+    // Line kPage: read by GPM8 alone -> unshared.
+    k.ctas[8].warps[0].ld(kPage, 1);
+    t.kernels.push_back(std::move(k));
+    auto s = trace::analyzeInterGpuLocality(t, cfg);
+    EXPECT_EQ(s.interGpuLoads, 3u);
+    EXPECT_EQ(s.interGpuShared, 2u);
+    EXPECT_NEAR(s.sharedPct(), 66.7, 0.1);
+}
+
+TEST(Profiler, SharingSpansKernels)
+{
+    SystemConfig cfg;
+    Trace t;
+    Kernel k0 = oneCtaPerGpm();
+    k0.ctas[0].warps[0].st(0, 1);
+    k0.ctas[4].warps[0].ld(0, 1);
+    Kernel k1 = oneCtaPerGpm();
+    k1.ctas[5].warps[0].ld(0, 1);
+    t.kernels.push_back(std::move(k0));
+    t.kernels.push_back(std::move(k1));
+    auto s = trace::analyzeInterGpuLocality(t, cfg);
+    // GPM4 and GPM5 (siblings) touch the line in different kernels;
+    // both inter-GPU loads still count as same-GPU shared.
+    EXPECT_EQ(s.interGpuLoads, 2u);
+    EXPECT_EQ(s.interGpuShared, 2u);
+}
+
+TEST(Profiler, BroadcastWorkloadsShowHighLocality)
+{
+    // The GEMM-broadcast generators should land in the regime Fig. 3
+    // reports for the ML conv workloads (very high shared fractions).
+    SystemConfig cfg;
+    auto t = trace::workloads::make("alexnet", 0.1);
+    auto s = trace::analyzeInterGpuLocality(t, cfg);
+    EXPECT_GT(s.interGpuLoads, 0u);
+    EXPECT_GT(s.sharedPct(), 60.0);
+}
+
+} // namespace
+} // namespace hmg

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the two-level outstanding-write ledger behind release
+ * semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/release_tracker.hh"
+
+namespace hmg
+{
+namespace
+{
+
+TEST(ReleaseTracker, ImmediateWhenIdle)
+{
+    ReleaseTracker t(4);
+    int fired = 0;
+    t.waitGpuLevel(0, [&]() { ++fired; });
+    t.waitSysLevel(0, [&]() { ++fired; });
+    t.waitAllDrained([&]() { ++fired; });
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(ReleaseTracker, GpuLevelBeforeSysLevel)
+{
+    ReleaseTracker t(4);
+    t.issued(1);
+    int gpu = 0, sys = 0;
+    t.waitGpuLevel(1, [&]() { ++gpu; });
+    t.waitSysLevel(1, [&]() { ++sys; });
+    EXPECT_EQ(gpu, 0);
+    t.reachedGpuLevel(1);
+    EXPECT_EQ(gpu, 1);
+    EXPECT_EQ(sys, 0);
+    t.reachedSysLevel(1);
+    EXPECT_EQ(sys, 1);
+}
+
+TEST(ReleaseTracker, CountsPerSm)
+{
+    ReleaseTracker t(4);
+    t.issued(0);
+    t.issued(0);
+    t.issued(2);
+    EXPECT_EQ(t.pendingGpu(0), 2u);
+    EXPECT_EQ(t.pendingSys(2), 1u);
+    EXPECT_EQ(t.totalPendingSys(), 3u);
+
+    int fired = 0;
+    t.waitSysLevel(0, [&]() { ++fired; });
+    t.reachedGpuLevel(0);
+    t.reachedSysLevel(0);
+    EXPECT_EQ(fired, 0); // one store still pending on SM 0
+    t.reachedGpuLevel(0);
+    t.reachedSysLevel(0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(ReleaseTracker, GlobalDrainWaitsForEverySm)
+{
+    ReleaseTracker t(4);
+    t.issued(0);
+    t.issued(3);
+    int fired = 0;
+    t.waitAllDrained([&]() { ++fired; });
+    t.reachedGpuLevel(0);
+    t.reachedSysLevel(0);
+    EXPECT_EQ(fired, 0);
+    t.reachedGpuLevel(3);
+    t.reachedSysLevel(3);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(ReleaseTracker, MultipleWaitersAllFire)
+{
+    ReleaseTracker t(2);
+    t.issued(0);
+    int fired = 0;
+    for (int i = 0; i < 5; ++i)
+        t.waitSysLevel(0, [&]() { ++fired; });
+    t.reachedGpuLevel(0);
+    t.reachedSysLevel(0);
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(ReleaseTracker, WaiterRegisteredInsideCallbackWaitsForNext)
+{
+    ReleaseTracker t(2);
+    t.issued(0);
+    int outer = 0, inner = 0;
+    t.waitSysLevel(0, [&]() {
+        ++outer;
+        // Issue another write from within the callback; a new waiter
+        // must not fire until that one drains too.
+        t.issued(0);
+        t.waitSysLevel(0, [&]() { ++inner; });
+    });
+    t.reachedGpuLevel(0);
+    t.reachedSysLevel(0);
+    EXPECT_EQ(outer, 1);
+    EXPECT_EQ(inner, 0);
+    t.reachedGpuLevel(0);
+    t.reachedSysLevel(0);
+    EXPECT_EQ(inner, 1);
+}
+
+TEST(ReleaseTrackerDeath, UnderflowPanics)
+{
+    ReleaseTracker t(2);
+    EXPECT_DEATH(t.reachedSysLevel(0), "assertion");
+}
+
+} // namespace
+} // namespace hmg

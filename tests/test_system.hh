@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared test harness: a small 2-GPU x 2-GPM machine driven directly at
+ * the CoherenceModel interface (bypassing SMs and traces), with
+ * synchronous wrappers that run the engine to completion around each
+ * operation, and async variants for race tests.
+ */
+
+#ifndef HMG_TESTS_TEST_SYSTEM_HH
+#define HMG_TESTS_TEST_SYSTEM_HH
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+
+#include "gpu/system.hh"
+
+namespace hmg::testing
+{
+
+inline SystemConfig
+smallConfig(Protocol p)
+{
+    SystemConfig cfg;
+    cfg.numGpus = 2;
+    cfg.gpmsPerGpu = 2;
+    cfg.smsPerGpu = 4; // 2 SMs per GPM
+    cfg.maxWarpsPerSm = 8;
+    cfg.l1Bytes = 16 * 1024;
+    cfg.l1Ways = 4;
+    cfg.l2BytesPerGpu = 64 * 1024; // 32 KB per GPM: 16 sets x 16 ways
+    cfg.dirEntriesPerGpm = 64;
+    cfg.dirWays = 4;
+    cfg.protocol = p;
+    return cfg;
+}
+
+/** Direct driver at the L2/protocol layer. */
+class DirectDrive
+{
+  public:
+    explicit DirectDrive(Protocol p,
+                         std::optional<SystemConfig> cfg = std::nullopt)
+        : sys(cfg ? *cfg : smallConfig(p))
+    {
+    }
+
+    SystemContext &ctx() { return sys.ctx(); }
+    CoherenceModel &model() { return sys.model(); }
+    Engine &engine() { return sys.engine(); }
+    const SystemConfig &cfg() const { return sys.cfg(); }
+
+    /** Pin the page containing `addr` to `home`. */
+    void place(Addr addr, GpmId home) { sys.pageTable().touch(addr, home); }
+
+    GpmId gpmOf(SmId sm) const { return sys.cfg().gpmOfSm(sm); }
+
+    MemAccess
+    acc(SmId sm, Addr line, Scope s = Scope::None) const
+    {
+        return MemAccess{sm, sys.cfg().gpmOfSm(sm), line, s};
+    }
+
+    /** Synchronous load: runs the engine until the value returns. */
+    Version
+    load(SmId sm, Addr line, Scope s = Scope::None)
+    {
+        std::optional<Version> got;
+        sys.model().load(acc(sm, line, s), [&](Version v) { got = v; });
+        sys.engine().run();
+        EXPECT_TRUE(got.has_value());
+        return got.value_or(~Version{0});
+    }
+
+    /** Synchronous store: runs until the write reaches the system home
+     *  (and all resulting invalidations have been delivered, since the
+     *  engine drains). @return the store's version. */
+    Version
+    store(SmId sm, Addr line, Scope s = Scope::None)
+    {
+        Version v = sys.memory().allocateVersion();
+        sys.tracker().issued(sm);
+        bool done = false;
+        sys.model().store(acc(sm, line, s), v, []() {},
+                          [&]() { done = true; });
+        sys.engine().run();
+        EXPECT_TRUE(done);
+        return v;
+    }
+
+    /** Fire-and-forget store: does NOT run the engine. */
+    Version
+    storeAsync(SmId sm, Addr line, Scope s = Scope::None)
+    {
+        Version v = sys.memory().allocateVersion();
+        sys.tracker().issued(sm);
+        sys.model().store(acc(sm, line, s), v, []() {}, []() {});
+        return v;
+    }
+
+    /** Synchronous atomic RMW. @return {pre-version, own version}. */
+    std::pair<Version, Version>
+    atomic(SmId sm, Addr line, Scope s = Scope::Gpu)
+    {
+        Version v = sys.memory().allocateVersion();
+        sys.tracker().issued(sm);
+        std::optional<Version> old;
+        bool sys_done = false;
+        sys.model().atomic(acc(sm, line, s), v,
+                           [&](Version o) { old = o; },
+                           [&]() { sys_done = true; });
+        sys.engine().run();
+        EXPECT_TRUE(old.has_value());
+        EXPECT_TRUE(sys_done);
+        return {old.value_or(~Version{0}), v};
+    }
+
+    /** Synchronous release fence at scope `s`. */
+    void
+    release(SmId sm, Scope s)
+    {
+        bool done = false;
+        sys.model().release(acc(sm, 0, s), [&]() { done = true; });
+        sys.engine().run();
+        EXPECT_TRUE(done);
+    }
+
+    /** Synchronous acquire fence at scope `s`. */
+    void
+    acquire(SmId sm, Scope s)
+    {
+        bool done = false;
+        sys.model().acquire(acc(sm, 0, s), [&]() { done = true; });
+        sys.engine().run();
+        EXPECT_TRUE(done);
+    }
+
+    /** Does GPM `g`'s L2 currently hold `line`? */
+    bool
+    l2Has(GpmId g, Addr line) const
+    {
+        return const_cast<System &>(sys).gpm(g).l2().contains(line);
+    }
+
+    System sys;
+};
+
+} // namespace hmg::testing
+
+#endif // HMG_TESTS_TEST_SYSTEM_HH

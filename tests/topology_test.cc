@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Topology-generalization tests: the protocols and the home-node
+ * mapping must work for any M-GPM, N-GPU shape (the paper presents the
+ * protocol for arbitrary M and N, evaluating 4x4). Runs the message-
+ * passing litmus and a randomized trace under NHCC and HMG across a
+ * sweep of machine shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gpu/simulator.hh"
+#include "test_system.hh"
+#include "trace/trace.hh"
+
+namespace hmg
+{
+namespace
+{
+
+using Shape = std::tuple<int /*gpus*/, int /*gpms*/, int /*protocol*/>;
+
+SystemConfig
+shapedConfig(std::uint32_t gpus, std::uint32_t gpms, Protocol p)
+{
+    SystemConfig cfg;
+    cfg.numGpus = gpus;
+    cfg.gpmsPerGpu = gpms;
+    cfg.smsPerGpu = 2 * gpms; // 2 SMs per GPM
+    cfg.maxWarpsPerSm = 8;
+    cfg.l1Bytes = 16 * 1024;
+    cfg.l1Ways = 4;
+    cfg.l2BytesPerGpu = gpms * 32 * 1024;
+    cfg.dirEntriesPerGpm = 64;
+    cfg.dirWays = 4;
+    cfg.protocol = p;
+    cfg.validate();
+    return cfg;
+}
+
+class TopologySweep : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    SystemConfig
+    cfg() const
+    {
+        auto [gpus, gpms, proto] = GetParam();
+        return shapedConfig(static_cast<std::uint32_t>(gpus),
+                            static_cast<std::uint32_t>(gpms),
+                            static_cast<Protocol>(proto));
+    }
+};
+
+TEST_P(TopologySweep, HomeMappingIsConsistent)
+{
+    SystemConfig c = cfg();
+    System sys(c);
+    // Place one page per GPM and check every GPU-home shares the system
+    // home's local index.
+    for (GpmId h = 0; h < c.totalGpms(); ++h) {
+        Addr a = static_cast<Addr>(h) * c.osPageBytes;
+        sys.pageTable().touch(a, h);
+        EXPECT_EQ(sys.addressMap().systemHome(a), h);
+        for (GpuId g = 0; g < c.numGpus; ++g) {
+            GpmId gh = sys.addressMap().gpuHome(g, a);
+            EXPECT_EQ(c.gpuOf(gh), g);
+            EXPECT_EQ(c.localGpmOf(gh), c.localGpmOf(h));
+        }
+    }
+}
+
+TEST_P(TopologySweep, MessagePassingAcrossGpus)
+{
+    SystemConfig c = cfg();
+    if (c.numGpus < 2)
+        GTEST_SKIP();
+    testing::DirectDrive d(c.protocol, c);
+
+    Rng rng(5);
+    for (int trial = 0; trial < 6; ++trial) {
+        const Addr data = static_cast<Addr>(2 * trial) * c.osPageBytes;
+        const Addr flag =
+            static_cast<Addr>(2 * trial + 1) * c.osPageBytes;
+        d.place(data, static_cast<GpmId>(rng.below(c.totalGpms())));
+        d.place(flag, static_cast<GpmId>(rng.below(c.totalGpms())));
+        const SmId writer = static_cast<SmId>(rng.below(c.totalSms()));
+        const SmId reader = static_cast<SmId>(rng.below(c.totalSms()));
+
+        d.load(reader, data); // stale seed
+        Version v1 = d.store(writer, data);
+        d.release(writer, Scope::Sys);
+        Version v2 = d.store(writer, flag);
+
+        Version seen = 0;
+        int spins = 0;
+        while (seen < v2) {
+            seen = d.load(reader, flag, Scope::Sys);
+            ASSERT_LT(++spins, 100);
+        }
+        d.acquire(reader, Scope::Sys);
+        EXPECT_GE(d.load(reader, data), v1)
+            << "gpus=" << c.numGpus << " gpms=" << c.gpmsPerGpu
+            << " trial=" << trial;
+    }
+}
+
+TEST_P(TopologySweep, RandomTraceCompletes)
+{
+    SystemConfig c = cfg();
+    Rng rng(11);
+    trace::Trace t;
+    t.name = "topo-random";
+    for (int k = 0; k < 2; ++k) {
+        trace::Kernel ker;
+        ker.ctas.resize(2 * c.totalGpms());
+        for (auto &cta : ker.ctas) {
+            cta.warps.resize(2);
+            for (auto &w : cta.warps)
+                for (int i = 0; i < 20; ++i) {
+                    Addr a = rng.below(256) * 128;
+                    if (rng.chance(0.2))
+                        w.st(a, 1);
+                    else if (rng.chance(0.1))
+                        w.atom(a, Scope::Sys, 2);
+                    else
+                        w.ld(a, 1);
+                }
+        }
+        t.kernels.push_back(std::move(ker));
+    }
+    Simulator sim(c);
+    auto res = sim.run(t);
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_DOUBLE_EQ(res.stats.get("sm_total.ops"),
+                     static_cast<double>(t.memOps()));
+    EXPECT_EQ(sim.system().tracker().totalPendingSys(), 0u);
+}
+
+std::vector<Shape>
+allShapes()
+{
+    std::vector<Shape> shapes;
+    const std::pair<int, int> dims[] = {{2, 2}, {2, 4}, {4, 2},
+                                        {4, 4}, {8, 2}, {1, 4}};
+    for (auto [gpus, gpms] : dims)
+        for (Protocol p : {Protocol::Nhcc, Protocol::Hmg})
+            shapes.emplace_back(gpus, gpms, static_cast<int>(p));
+    return shapes;
+}
+
+std::string
+shapeName(const ::testing::TestParamInfo<Shape> &info)
+{
+    std::string n = toString(
+        static_cast<Protocol>(std::get<2>(info.param)));
+    return n + "_" + std::to_string(std::get<0>(info.param)) + "x" +
+           std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologySweep,
+                         ::testing::ValuesIn(allShapes()), shapeName);
+
+} // namespace
+} // namespace hmg

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Write-back L2 mode (Section IV-B's design alternative): dirty-line
+ * behaviour, release- and boundary-triggered flushes, eviction
+ * write-backs (the update-without-tracking message), invalidation-
+ * triggered write-backs, and the scoped memory model under it all —
+ * for both hardware protocols.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpu/simulator.hh"
+#include "test_system.hh"
+#include "trace/trace.hh"
+
+namespace hmg
+{
+namespace
+{
+
+using testing::DirectDrive;
+using testing::smallConfig;
+
+constexpr Addr kData = 0x000000;
+constexpr Addr kFlag = 0x200000;
+
+SystemConfig
+wbConfig(Protocol p)
+{
+    SystemConfig cfg = smallConfig(p);
+    cfg.l2WriteBack = true;
+    return cfg;
+}
+
+class WriteBackTest : public ::testing::TestWithParam<Protocol>
+{
+};
+
+TEST_P(WriteBackTest, NonSyncStoreStaysDirtyLocally)
+{
+    DirectDrive d(GetParam(), wbConfig(GetParam()));
+    d.place(kData, 3); // homed on a remote GPU
+    Version v = d.store(0, kData);
+    // The write completed locally: dirty in GPM0's L2, home untouched.
+    EXPECT_EQ(d.sys.gpm(0).l2().dirtyLines(), 1u);
+    EXPECT_TRUE(d.l2Has(0, kData));
+    EXPECT_EQ(d.sys.memory().read(kData), 0u);
+    EXPECT_LT(d.sys.memory().read(kData), v);
+    // No write-through crossed the switch.
+    EXPECT_EQ(d.sys.network().interGpuBytes(MsgType::WriteThrough), 0u);
+}
+
+TEST_P(WriteBackTest, ReleaseFlushesDirtyDataHome)
+{
+    DirectDrive d(GetParam(), wbConfig(GetParam()));
+    d.place(kData, 3);
+    Version v = d.store(0, kData);
+    d.release(0, Scope::Sys);
+    EXPECT_EQ(d.sys.gpm(0).l2().dirtyLines(), 0u);
+    EXPECT_EQ(d.sys.memory().read(kData), v);
+    // The flushed line stays cached clean at the writer.
+    EXPECT_TRUE(d.l2Has(0, kData));
+}
+
+TEST_P(WriteBackTest, SynchronizingStoresStillWriteThrough)
+{
+    // Forward progress: scope > .cta stores may not linger dirty.
+    DirectDrive d(GetParam(), wbConfig(GetParam()));
+    d.place(kFlag, 2);
+    Version v = d.store(0, kFlag, Scope::Sys);
+    EXPECT_EQ(d.sys.memory().read(kFlag), v);
+    EXPECT_EQ(d.sys.gpm(0).l2().dirtyLines(), 0u);
+}
+
+TEST_P(WriteBackTest, MessagePassingHoldsUnderWriteBack)
+{
+    DirectDrive d(GetParam(), wbConfig(GetParam()));
+    d.place(kData, 3);
+    d.place(kFlag, 1);
+    EXPECT_EQ(d.load(4, kData), 0u); // reader seeds a stale copy
+
+    Version v1 = d.store(0, kData);  // dirty-local
+    d.release(0, Scope::Sys);        // flush + markers
+    Version v2 = d.store(0, kFlag, Scope::Sys);
+
+    Version seen = 0;
+    int spins = 0;
+    while (seen < v2) {
+        seen = d.load(4, kFlag, Scope::Sys);
+        ASSERT_LT(++spins, 100);
+    }
+    d.acquire(4, Scope::Sys);
+    EXPECT_GE(d.load(4, kData), v1);
+}
+
+TEST_P(WriteBackTest, DirtyEvictionWritesBackWithoutTracking)
+{
+    DirectDrive d(GetParam(), wbConfig(GetParam()));
+    d.place(kData, 3);
+    Version v = d.store(0, kData); // dirty at GPM0
+    // Evict it by filling the set (tiny 16-set, 16-way harness L2).
+    auto &l2 = d.sys.gpm(0).l2();
+    const std::uint64_t sets = l2.tags().numSets();
+    for (std::uint32_t w = 0; w <= d.cfg().l2Ways; ++w)
+        l2.fill(kData + (w + 1) * sets * 128, 1);
+    d.engine().run(); // deliver the write-back
+    EXPECT_EQ(d.sys.memory().read(kData), v);
+    // Update-without-tracking: the evicting GPM is not a sharer.
+    const DirEntry *e = d.sys.gpm(3).dir()->find(kData);
+    if (e != nullptr) {
+        EXPECT_FALSE(GetParam() == Protocol::Nhcc ? e->hasGpm(0)
+                                                  : e->hasGpu(0));
+    }
+}
+
+TEST_P(WriteBackTest, InvalidationRescuesDirtyData)
+{
+    // A racing writer invalidates a sector holding another GPM's dirty
+    // line: the dirty data must reach the home, not vanish.
+    DirectDrive d(GetParam(), wbConfig(GetParam()));
+    d.place(kData, 2);
+    d.load(0, kData);              // GPM0 tracked as sharer
+    Version v1 = d.store(0, kData); // now dirty at GPM0 (local write)
+    Version v2 = d.store(6, kData, Scope::Sys); // racing remote writer
+    d.engine().run();
+    // Both writes reached the home; the newest version wins there.
+    Version final = d.sys.memory().read(kData);
+    EXPECT_GE(final, v1);
+    EXPECT_EQ(final, std::max(v1, v2));
+}
+
+TEST_P(WriteBackTest, KernelBoundaryFlushesEverything)
+{
+    DirectDrive d(GetParam(), wbConfig(GetParam()));
+    d.place(kData, 3);
+    Version v = d.store(0, kData);
+    bool drained = false;
+    d.sys.model().drainForBoundary([&]() { drained = true; });
+    d.engine().run();
+    EXPECT_TRUE(drained);
+    EXPECT_EQ(d.sys.memory().read(kData), v);
+    EXPECT_EQ(d.sys.gpm(0).l2().dirtyLines(), 0u);
+}
+
+TEST_P(WriteBackTest, WriteBackCutsStoreTraffic)
+{
+    // A warm store loop to remote data: write-back coalesces the
+    // write-throughs into one flush.
+    DirectDrive wt(GetParam()); // write-through (default)
+    DirectDrive wb(GetParam(), wbConfig(GetParam()));
+    for (DirectDrive *d : {&wt, &wb}) {
+        d->place(kData, 3);
+        for (int i = 0; i < 16; ++i)
+            d->store(0, kData);
+        d->release(0, Scope::Sys);
+    }
+    EXPECT_LT(wb.sys.network().interGpuBytes(MsgType::WriteThrough),
+              wt.sys.network().interGpuBytes(MsgType::WriteThrough));
+}
+
+INSTANTIATE_TEST_SUITE_P(HwProtocols, WriteBackTest,
+                         ::testing::Values(Protocol::Nhcc, Protocol::Hmg),
+                         [](const ::testing::TestParamInfo<Protocol> &i) {
+                             return std::string(toString(i.param));
+                         });
+
+TEST(WriteBackConfig, RejectedForSoftwareProtocols)
+{
+    SystemConfig cfg = smallConfig(Protocol::SwHier);
+    cfg.l2WriteBack = true;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "hardware coherence");
+}
+
+TEST(WriteBackFullSystem, WorkloadRunsEndToEnd)
+{
+    SystemConfig cfg = smallConfig(Protocol::Hmg);
+    cfg.l2WriteBack = true;
+    trace::Trace t;
+    trace::Kernel k0, k1;
+    for (int c = 0; c < 8; ++c) {
+        trace::Cta cta;
+        cta.warps.emplace_back();
+        for (int i = 0; i < 16; ++i) {
+            cta.warps[0].st((c * 16 + i) * 128, 1);
+            cta.warps[0].ld((c * 16 + i) * 128, 1);
+        }
+        k0.ctas.push_back(cta);
+        k1.ctas.push_back(std::move(cta));
+    }
+    t.kernels.push_back(std::move(k0));
+    t.kernels.push_back(std::move(k1));
+    Simulator sim(cfg);
+    auto res = sim.run(t);
+    EXPECT_GT(res.cycles, 0u);
+    // Kernel boundary + end-of-trace drains flushed everything.
+    for (GpmId g = 0; g < cfg.totalGpms(); ++g)
+        EXPECT_EQ(sim.system().gpm(g).l2().dirtyLines(), 0u);
+}
+
+} // namespace
+} // namespace hmg
