@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dir_evictions.dir/bench_fig10_dir_evictions.cc.o"
+  "CMakeFiles/bench_fig10_dir_evictions.dir/bench_fig10_dir_evictions.cc.o.d"
+  "bench_fig10_dir_evictions"
+  "bench_fig10_dir_evictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dir_evictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_nonhier.dir/bench_fig2_nonhier.cc.o"
+  "CMakeFiles/bench_fig2_nonhier.dir/bench_fig2_nonhier.cc.o.d"
+  "bench_fig2_nonhier"
+  "bench_fig2_nonhier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nonhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_main.dir/bench_fig8_main.cc.o"
+  "CMakeFiles/bench_fig8_main.dir/bench_fig8_main.cc.o.d"
+  "bench_fig8_main"
+  "bench_fig8_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_store_invals.dir/bench_fig9_store_invals.cc.o"
+  "CMakeFiles/bench_fig9_store_invals.dir/bench_fig9_store_invals.cc.o.d"
+  "bench_fig9_store_invals"
+  "bench_fig9_store_invals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_store_invals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_granularity_ablation.dir/bench_granularity_ablation.cc.o"
+  "CMakeFiles/bench_granularity_ablation.dir/bench_granularity_ablation.cc.o.d"
+  "bench_granularity_ablation"
+  "bench_granularity_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_granularity_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

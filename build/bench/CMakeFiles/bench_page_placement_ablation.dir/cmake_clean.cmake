@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_page_placement_ablation.dir/bench_page_placement_ablation.cc.o"
+  "CMakeFiles/bench_page_placement_ablation.dir/bench_page_placement_ablation.cc.o.d"
+  "bench_page_placement_ablation"
+  "bench_page_placement_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_page_placement_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_writeback_ablation.dir/bench_writeback_ablation.cc.o"
+  "CMakeFiles/bench_writeback_ablation.dir/bench_writeback_ablation.cc.o.d"
+  "bench_writeback_ablation"
+  "bench_writeback_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_writeback_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

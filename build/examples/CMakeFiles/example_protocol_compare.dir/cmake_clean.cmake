@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_protocol_compare.dir/protocol_compare.cpp.o"
+  "CMakeFiles/example_protocol_compare.dir/protocol_compare.cpp.o.d"
+  "example_protocol_compare"
+  "example_protocol_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_protocol_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

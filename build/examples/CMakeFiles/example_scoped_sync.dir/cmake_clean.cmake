@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scoped_sync.dir/scoped_sync.cpp.o"
+  "CMakeFiles/example_scoped_sync.dir/scoped_sync.cpp.o.d"
+  "example_scoped_sync"
+  "example_scoped_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scoped_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/hmg.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/hmg.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/tag_array.cc" "src/CMakeFiles/hmg.dir/cache/tag_array.cc.o" "gcc" "src/CMakeFiles/hmg.dir/cache/tag_array.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/hmg.dir/common/config.cc.o" "gcc" "src/CMakeFiles/hmg.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/hmg.dir/common/log.cc.o" "gcc" "src/CMakeFiles/hmg.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/hmg.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/hmg.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/directory.cc" "src/CMakeFiles/hmg.dir/core/directory.cc.o" "gcc" "src/CMakeFiles/hmg.dir/core/directory.cc.o.d"
+  "/root/repo/src/core/hw_protocol.cc" "src/CMakeFiles/hmg.dir/core/hw_protocol.cc.o" "gcc" "src/CMakeFiles/hmg.dir/core/hw_protocol.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/CMakeFiles/hmg.dir/core/protocol.cc.o" "gcc" "src/CMakeFiles/hmg.dir/core/protocol.cc.o.d"
+  "/root/repo/src/core/release_tracker.cc" "src/CMakeFiles/hmg.dir/core/release_tracker.cc.o" "gcc" "src/CMakeFiles/hmg.dir/core/release_tracker.cc.o.d"
+  "/root/repo/src/core/simple_protocols.cc" "src/CMakeFiles/hmg.dir/core/simple_protocols.cc.o" "gcc" "src/CMakeFiles/hmg.dir/core/simple_protocols.cc.o.d"
+  "/root/repo/src/core/sw_protocol.cc" "src/CMakeFiles/hmg.dir/core/sw_protocol.cc.o" "gcc" "src/CMakeFiles/hmg.dir/core/sw_protocol.cc.o.d"
+  "/root/repo/src/gpu/cta_scheduler.cc" "src/CMakeFiles/hmg.dir/gpu/cta_scheduler.cc.o" "gcc" "src/CMakeFiles/hmg.dir/gpu/cta_scheduler.cc.o.d"
+  "/root/repo/src/gpu/gpm.cc" "src/CMakeFiles/hmg.dir/gpu/gpm.cc.o" "gcc" "src/CMakeFiles/hmg.dir/gpu/gpm.cc.o.d"
+  "/root/repo/src/gpu/simulator.cc" "src/CMakeFiles/hmg.dir/gpu/simulator.cc.o" "gcc" "src/CMakeFiles/hmg.dir/gpu/simulator.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/CMakeFiles/hmg.dir/gpu/sm.cc.o" "gcc" "src/CMakeFiles/hmg.dir/gpu/sm.cc.o.d"
+  "/root/repo/src/gpu/system.cc" "src/CMakeFiles/hmg.dir/gpu/system.cc.o" "gcc" "src/CMakeFiles/hmg.dir/gpu/system.cc.o.d"
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/hmg.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/hmg.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/hmg.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/hmg.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_state.cc" "src/CMakeFiles/hmg.dir/mem/memory_state.cc.o" "gcc" "src/CMakeFiles/hmg.dir/mem/memory_state.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/hmg.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/hmg.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/noc/message.cc" "src/CMakeFiles/hmg.dir/noc/message.cc.o" "gcc" "src/CMakeFiles/hmg.dir/noc/message.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/hmg.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/hmg.dir/noc/network.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "src/CMakeFiles/hmg.dir/sim/channel.cc.o" "gcc" "src/CMakeFiles/hmg.dir/sim/channel.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/hmg.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/hmg.dir/sim/engine.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/CMakeFiles/hmg.dir/trace/io.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/io.cc.o.d"
+  "/root/repo/src/trace/micro.cc" "src/CMakeFiles/hmg.dir/trace/micro.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/micro.cc.o.d"
+  "/root/repo/src/trace/patterns.cc" "src/CMakeFiles/hmg.dir/trace/patterns.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/patterns.cc.o.d"
+  "/root/repo/src/trace/profiler.cc" "src/CMakeFiles/hmg.dir/trace/profiler.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/profiler.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/hmg.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/hmg.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/workloads.cc.o.d"
+  "/root/repo/src/trace/workloads_graph.cc" "src/CMakeFiles/hmg.dir/trace/workloads_graph.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/workloads_graph.cc.o.d"
+  "/root/repo/src/trace/workloads_hpc.cc" "src/CMakeFiles/hmg.dir/trace/workloads_hpc.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/workloads_hpc.cc.o.d"
+  "/root/repo/src/trace/workloads_misc.cc" "src/CMakeFiles/hmg.dir/trace/workloads_misc.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/workloads_misc.cc.o.d"
+  "/root/repo/src/trace/workloads_ml.cc" "src/CMakeFiles/hmg.dir/trace/workloads_ml.cc.o" "gcc" "src/CMakeFiles/hmg.dir/trace/workloads_ml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_tracker_test.dir/release_tracker_test.cc.o"
+  "CMakeFiles/release_tracker_test.dir/release_tracker_test.cc.o.d"
+  "release_tracker_test"
+  "release_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writeback_test.dir/writeback_test.cc.o"
+  "CMakeFiles/writeback_test.dir/writeback_test.cc.o.d"
+  "writeback_test"
+  "writeback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writeback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmgsim.dir/hmgsim.cc.o"
+  "CMakeFiles/hmgsim.dir/hmgsim.cc.o.d"
+  "hmgsim"
+  "hmgsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmgsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
