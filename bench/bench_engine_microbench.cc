@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Event-kernel and sweep-layer performance tracking.
+ *
+ * Two measurements, emitted as BENCH_engine.json so the perf trajectory
+ * is recorded from PR to PR:
+ *
+ *  1. events/sec of the timing-wheel Engine vs the seed implementation
+ *     (std::priority_queue of std::function closures, reproduced below
+ *     verbatim as SeedPqEngine), on a self-rescheduling near-future
+ *     event pattern shaped like real cache/NoC traffic — measured with
+ *     both small closures and protocol-sized ~112-byte closures;
+ *
+ *  2. wall-clock of a workload x protocol sweep run serially vs on the
+ *     SweepRunner pool, with a bit-identical-results check. The check
+ *     failing is an exit-code failure: the `bench_smoke` ctest target
+ *     runs this binary, so a determinism regression (or a rotted perf
+ *     harness) fails CI.
+ *
+ * Flags: --events N, --jobs N, --sweep-scale X, --out FILE.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/engine.hh"
+#include "sim/sweep.hh"
+
+namespace
+{
+
+using hmg::Tick;
+
+/**
+ * The seed event kernel, kept as the fixed reference point for the
+ * events/sec ratio: a binary heap of heap-allocated std::function
+ * closures, with the const_cast move-out-of-priority_queue idiom.
+ */
+class SeedPqEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return now_; }
+
+    void schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    void scheduleAt(Tick when, Callback cb)
+    {
+        queue_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    bool runOne()
+    {
+        if (queue_.empty())
+            return false;
+        auto &top = const_cast<Event &>(queue_.top());
+        now_ = top.when;
+        Callback cb = std::move(top.cb);
+        queue_.pop();
+        ++executed_;
+        cb();
+        return true;
+    }
+
+    Tick run()
+    {
+        while (!queue_.empty())
+            runOne();
+        return now_;
+    }
+
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Self-rescheduling event chain: each event draws a near-future delay
+ * (1..797 cycles — the hit/hop/DRAM latency band) and schedules its
+ * successor, so the engine sees a steady queue of ~256 pending events,
+ * like a busy simulation.
+ */
+template <typename EngineT, typename PumpT>
+double
+eventsPerSec(std::uint64_t total_events)
+{
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        EngineT e;
+        std::uint64_t budget = total_events;
+        std::uint32_t lcg = 0xdecafbadu;
+        for (Tick i = 0; i < 256 && budget > 0; ++i) {
+            --budget;
+            e.schedule(i % 97 + 1, PumpT{&e, &budget, &lcg, {}});
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        e.run();
+        const double secs = secondsSince(t0);
+        best = std::max(
+            best, static_cast<double>(e.eventsExecuted()) / secs);
+    }
+    return best;
+}
+
+template <typename EngineT, std::size_t PadBytes>
+struct Pump
+{
+    EngineT *e;
+    std::uint64_t *budget;
+    std::uint32_t *lcg;
+    unsigned char pad[PadBytes];
+
+    void operator()() const
+    {
+        if (*budget == 0)
+            return;
+        --*budget;
+        *lcg = *lcg * 1664525u + 1013904223u;
+        e->schedule((*lcg >> 10) % 797 + 1, Pump(*this));
+    }
+};
+
+struct SweepTiming
+{
+    std::size_t cells = 0;
+    unsigned jobs = 1;
+    double serial_seconds = 0;
+    double parallel_seconds = 0;
+    bool bit_identical = false;
+};
+
+bool
+sameResults(const std::vector<hmg::SimResult> &a,
+            const std::vector<hmg::SimResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].cycles != b[i].cycles ||
+            a[i].stats.all() != b[i].stats.all())
+            return false;
+    }
+    return true;
+}
+
+SweepTiming
+measureSweep(double scale, unsigned jobs)
+{
+    std::vector<hmg::SweepCell> cells;
+    for (const auto &name : hmgbench::sensitivitySuite()) {
+        for (auto p : {hmg::Protocol::NoRemoteCache,
+                       hmg::Protocol::SwNonHier, hmg::Protocol::Hmg}) {
+            hmg::SystemConfig cfg;
+            cfg.protocol = p;
+            cells.push_back({name, cfg, scale, 1});
+        }
+    }
+
+    SweepTiming t;
+    t.cells = cells.size();
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto serial = hmg::SweepRunner(1).run(cells);
+    t.serial_seconds = secondsSince(t0);
+
+    hmg::SweepRunner pool(jobs);
+    t.jobs = pool.jobs();
+    t0 = std::chrono::steady_clock::now();
+    const auto parallel = pool.run(cells);
+    t.parallel_seconds = secondsSince(t0);
+
+    t.bit_identical = sameResults(serial, parallel);
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t events = 2'000'000;
+    double sweep_scale = 0.25;
+    std::string out_path = "BENCH_engine.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc)
+            events = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--sweep-scale") == 0 && i + 1 < argc)
+            sweep_scale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        // --jobs is picked up by parseJobsFlag below.
+    }
+    const unsigned jobs = hmg::parseJobsFlag(argc, argv);
+
+    hmgbench::banner("engine microbench: events/sec + sweep wall-clock",
+                     "perf harness (no paper figure)");
+
+    using Wheel = hmg::Engine;
+    const double wheel_small =
+        eventsPerSec<Wheel, Pump<Wheel, 1>>(events);
+    const double seed_small =
+        eventsPerSec<SeedPqEngine, Pump<SeedPqEngine, 1>>(events);
+    const double wheel_fat =
+        eventsPerSec<Wheel, Pump<Wheel, 88>>(events);
+    const double seed_fat =
+        eventsPerSec<SeedPqEngine, Pump<SeedPqEngine, 88>>(events);
+
+    std::printf("event kernel, %llu events:\n",
+                static_cast<unsigned long long>(events));
+    std::printf("  small closures: wheel %10.0f ev/s | seed pq %10.0f "
+                "ev/s | speedup %.2fx\n",
+                wheel_small, seed_small, wheel_small / seed_small);
+    std::printf("  ~112B closures: wheel %10.0f ev/s | seed pq %10.0f "
+                "ev/s | speedup %.2fx\n",
+                wheel_fat, seed_fat, wheel_fat / seed_fat);
+
+    const SweepTiming sw = measureSweep(sweep_scale, jobs);
+    std::printf("sweep, %zu cells at scale %.2f:\n", sw.cells, sweep_scale);
+    std::printf("  serial %.2fs | --jobs %u %.2fs | speedup %.2fx | "
+                "results bit-identical: %s\n",
+                sw.serial_seconds, sw.jobs, sw.parallel_seconds,
+                sw.serial_seconds / sw.parallel_seconds,
+                sw.bit_identical ? "yes" : "NO");
+
+    if (std::FILE *f = std::fopen(out_path.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"engine\": {\n"
+                     "    \"events\": %llu,\n"
+                     "    \"wheel_events_per_sec\": %.0f,\n"
+                     "    \"seed_pq_events_per_sec\": %.0f,\n"
+                     "    \"speedup_vs_seed\": %.3f,\n"
+                     "    \"wheel_fat_events_per_sec\": %.0f,\n"
+                     "    \"seed_pq_fat_events_per_sec\": %.0f,\n"
+                     "    \"fat_speedup_vs_seed\": %.3f\n"
+                     "  },\n"
+                     "  \"sweep\": {\n"
+                     "    \"cells\": %zu,\n"
+                     "    \"scale\": %.3f,\n"
+                     "    \"jobs\": %u,\n"
+                     "    \"serial_seconds\": %.3f,\n"
+                     "    \"parallel_seconds\": %.3f,\n"
+                     "    \"speedup\": %.3f,\n"
+                     "    \"results_bit_identical\": %s\n"
+                     "  }\n"
+                     "}\n",
+                     static_cast<unsigned long long>(events), wheel_small,
+                     seed_small, wheel_small / seed_small, wheel_fat,
+                     seed_fat, wheel_fat / seed_fat, sw.cells, sweep_scale,
+                     sw.jobs, sw.serial_seconds, sw.parallel_seconds,
+                     sw.serial_seconds / sw.parallel_seconds,
+                     sw.bit_identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+        return 2;
+    }
+
+    // Parallel results diverging from serial is a correctness bug, not a
+    // perf shortfall — fail loudly so bench_smoke catches it in CI.
+    return sw.bit_identical ? 0 : 1;
+}

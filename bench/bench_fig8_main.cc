@@ -4,6 +4,10 @@
  * configurations over the no-remote-caching baseline on the 4-GPU,
  * 4-GPM-per-GPU machine, for all 20 workloads plus the geomean.
  *
+ * The 20x6 grid of independent simulations runs on a SweepRunner thread
+ * pool (`--jobs N`, default every core); results are collected by cell
+ * index, so the printed table is bit-identical for any job count.
+ *
  * Paper shape to check:
  *  - every protocol beats the baseline on most workloads;
  *  - hierarchical protocols beat their non-hierarchical counterparts
@@ -18,26 +22,47 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "sim/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hmgbench;
     hmgbench::banner("Fig. 8: 4-GPU system, speedup vs no-remote-caching",
                      "HMG paper, Figure 8 (Section VII-A)");
 
+    const auto names = fullSuite();
+    const auto &protos = allProtocols();
+    const std::size_t stride = 1 + protos.size();
+
+    // Per workload: the baseline cell followed by the five cached
+    // configurations, in Fig. 8 column order.
+    std::vector<hmg::SweepCell> cells;
+    cells.reserve(names.size() * stride);
+    for (const auto &name : names) {
+        hmg::SystemConfig cfg;
+        cfg.protocol = hmg::Protocol::NoRemoteCache;
+        cells.push_back({name, cfg, benchScale(), 1});
+        for (auto p : protos) {
+            cfg.protocol = p;
+            cells.push_back({name, cfg, benchScale(), 1});
+        }
+    }
+
+    hmg::SweepRunner runner(hmg::parseJobsFlag(argc, argv));
+    const auto results = runner.run(cells);
+
     std::printf("%-12s | %9s %9s %9s %9s %9s\n", "workload", "SW-NonH",
                 "NHCC", "SW-Hier", "HMG", "Ideal");
 
-    std::vector<std::vector<double>> speedups(allProtocols().size());
-    for (const auto &name : fullSuite()) {
-        hmg::SystemConfig cfg;
-        cfg.protocol = hmg::Protocol::NoRemoteCache;
-        const double base = static_cast<double>(run(cfg, name).cycles);
-        std::printf("%-12s |", name.c_str());
-        for (std::size_t i = 0; i < allProtocols().size(); ++i) {
-            cfg.protocol = allProtocols()[i];
-            const double c = static_cast<double>(run(cfg, name).cycles);
+    std::vector<std::vector<double>> speedups(protos.size());
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const double base =
+            static_cast<double>(results[w * stride].cycles);
+        std::printf("%-12s |", names[w].c_str());
+        for (std::size_t i = 0; i < protos.size(); ++i) {
+            const double c =
+                static_cast<double>(results[w * stride + 1 + i].cycles);
             const double sp = base / c;
             speedups[i].push_back(sp);
             std::printf(" %9.2f", sp);

@@ -5,29 +5,51 @@
  * each workload's synchronization style (Section VI: cuSolver,
  * namd2.10 and mst use explicit .gpu-scoped synchronization; most
  * others communicate through frequent dependent kernels).
+ *
+ * Trace generation for the 20 workloads is independent per workload, so
+ * it runs on the SweepRunner pool (`--jobs N`); rows are collected by
+ * index and printed in suite order.
  */
 
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "sim/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hmgbench;
     banner("Table III: benchmark suite", "HMG paper, Table III");
 
+    const auto &infos = hmg::trace::workloads::list();
+
+    struct Row
+    {
+        double footprintMB = 0;
+        std::size_t kernels = 0;
+        std::uint64_t memOps = 0;
+    };
+    std::vector<Row> rows(infos.size());
+
+    hmg::SweepRunner runner(hmg::parseJobsFlag(argc, argv));
+    runner.forEach(infos.size(), [&](std::size_t i) {
+        const auto t =
+            hmg::trace::workloads::make(infos[i].name, benchScale());
+        rows[i] = {static_cast<double>(t.footprintBytes()) / 1024 / 1024,
+                   t.kernels.size(), t.memOps()};
+    });
+
     std::printf("%-12s %-24s %-9s %10s %10s %8s %8s %-12s\n", "key",
                 "benchmark", "category", "paper fp", "our fp", "kernels",
                 "mem ops", "sync");
-    for (const auto &info : hmg::trace::workloads::list()) {
-        auto t = hmg::trace::workloads::make(info.name, benchScale());
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+        const auto &info = infos[i];
         std::printf("%-12s %-24s %-9s %8.0fMB %8.1fMB %8zu %8llu %-12s\n",
                     info.name.c_str(), info.fullName.c_str(),
                     info.category.c_str(), info.paperFootprintMB,
-                    static_cast<double>(t.footprintBytes()) / 1024 / 1024,
-                    t.kernels.size(),
-                    static_cast<unsigned long long>(t.memOps()),
+                    rows[i].footprintMB, rows[i].kernels,
+                    static_cast<unsigned long long>(rows[i].memOps),
                     info.syncStyle.c_str());
         std::fflush(stdout);
     }

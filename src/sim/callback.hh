@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A small-buffer-optimized, move-only callable for engine events.
+ *
+ * std::function's inline buffer (16 bytes on libstdc++) is smaller than
+ * almost every closure the protocol engines schedule — a typical data-path
+ * continuation captures `this`, a MemAccess, a couple of ids and two
+ * completion std::functions, ~112 bytes — so the seed engine paid one
+ * heap allocation + free per event. SmallCallback widens the inline
+ * buffer so all of those captures are stored in place; only outsized or
+ * throwing-move callables fall back to the heap. Dispatch is a single
+ * ops-table pointer (invoke / relocate / destroy), generated per closure
+ * type.
+ */
+
+#ifndef HMG_SIM_CALLBACK_HH
+#define HMG_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hmg
+{
+
+/** Move-only `void()` callable with `N` bytes of inline storage. */
+template <std::size_t N>
+class SmallCallback
+{
+  public:
+    SmallCallback() = default;
+    SmallCallback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= N &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            new (buf_) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept { moveFrom(other); }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the stored callable. Undefined if empty (like std::function
+     *  minus the throw). */
+    void operator()() { ops_->invoke(buf_); }
+
+    /**
+     * Invoke the stored callable and destroy it in place, leaving *this
+     * empty. One indirect call instead of move-out + invoke + destroy —
+     * the engine's event-execution hot path. Undefined if empty.
+     */
+    void
+    consume()
+    {
+        const Ops *o = ops_;
+        ops_ = nullptr;
+        o->invoke_destroy(buf_);
+    }
+
+    static constexpr std::size_t inlineCapacity() { return N; }
+
+    /** True when the stored callable lives in the inline buffer. */
+    bool isInline() const { return ops_ && ops_->inline_storage; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Invoke, then destroy — fused for the consume() fast path. */
+        void (*invoke_destroy)(void *);
+        /** Move-construct into `dst` from `src`, then destroy `src`. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool inline_storage;
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *p) {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(p));
+            (*f)();
+            f->~Fn();
+        },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+        true,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        [](void *p) {
+            Fn *f = *reinterpret_cast<Fn **>(p);
+            (*f)();
+            delete f;
+        },
+        [](void *dst, void *src) {
+            *reinterpret_cast<Fn **>(dst) = *reinterpret_cast<Fn **>(src);
+        },
+        [](void *p) { delete *reinterpret_cast<Fn **>(p); },
+        false,
+    };
+
+    void
+    moveFrom(SmallCallback &other) noexcept
+    {
+        if (other.ops_) {
+            ops_ = other.ops_;
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[N];
+};
+
+} // namespace hmg
+
+#endif // HMG_SIM_CALLBACK_HH

@@ -70,8 +70,21 @@ class Channel
     Engine &engine_;
     double bytes_per_cycle_;
     Tick latency_;
-    /** Exact (fractional-cycle) time the serializer frees up. */
-    double next_free_ = 0.0;
+    /**
+     * Occupancy accounting is exact integer arithmetic: the bandwidth is
+     * quantized once, at construction, to the rational bw_num_/bw_den_
+     * bytes per cycle (2^-20 B/cyc resolution, sub-ppm of any Table II
+     * figure), and a message of B bytes occupies B * bw_den_ "sub-cycle
+     * units" of 1/bw_num_ cycle each. The serializer-free time is then
+     * the pair (free_cycle_, free_frac_) with 0 <= free_frac_ < bw_num_.
+     * Unlike the floating-point accumulator this replaces, the result
+     * cannot drift: 10M back-to-back sends land exactly where one send
+     * of 10M times the bytes would.
+     */
+    std::uint64_t bw_num_ = 1;
+    std::uint64_t bw_den_ = 1;
+    Tick free_cycle_ = 0;
+    std::uint64_t free_frac_ = 0;
     Tick last_arrival_ = 0;
     std::uint64_t bytes_sent_ = 0;
     std::uint64_t messages_sent_ = 0;

@@ -5,17 +5,43 @@
  * A single Engine owns simulated time. Components schedule closures at
  * future ticks; the engine executes them in (tick, insertion-order)
  * order, which makes simulation results fully deterministic.
+ *
+ * The pending-event set is a timing wheel specialized for the schedule
+ * distribution of cache/NoC events, which is overwhelmingly near-future
+ * (hit latencies, hop latencies, DRAM and queueing delays — almost all
+ * within a few thousand cycles of `now`):
+ *
+ *  - one bucket per tick over a 2^14-cycle window; scheduling is an
+ *    append to the bucket's vector, execution walks a 2 KB occupancy
+ *    bitmap to the next populated tick;
+ *  - events beyond the window go to an overflow list that is swept into
+ *    the wheel each time the wheel drains (at most once per 2^14 ticks,
+ *    or directly to the next populated tick when the schedule is
+ *    sparse);
+ *  - callbacks are SmallCallback (sim/callback.hh), so the common
+ *    capture sizes — including the protocol engines' fattest data-path
+ *    continuations — are stored inline in the bucket vectors.
+ *
+ * Steady state does zero heap allocations per event: bucket vectors are
+ * cleared but keep their capacity, and inline callbacks never touch the
+ * heap. The determinism contract and its proof obligations are spelled
+ * out in DESIGN.md ("Event kernel & parallel sweeps").
  */
 
 #ifndef HMG_SIM_ENGINE_HH
 #define HMG_SIM_ENGINE_HH
 
+#include <algorithm>
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
+#include "sim/callback.hh"
 
 namespace hmg
 {
@@ -24,22 +50,50 @@ namespace hmg
 class Engine
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline capacity of 120 bytes covers every closure the protocol
+     * engines schedule today (the fattest captures `this` + MemAccess +
+     * two ids + a Version + two std::function completions = 112 bytes).
+     */
+    using Callback = SmallCallback<120>;
+
+    Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
 
     /** Current simulated time in cycles. */
     Tick now() const { return now_; }
 
-    /** Schedule `cb` to run `delay` cycles from now. */
-    void schedule(Tick delay, Callback cb) { scheduleAt(now_ + delay, std::move(cb)); }
+    /**
+     * Schedule `f` to run `delay` cycles from now. Templated so the
+     * callable is constructed directly in its bucket slot — a closure
+     * reaches the queue with zero intermediate moves.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  std::is_constructible_v<Callback, F &&>>>
+    void
+    schedule(Tick delay, F &&f)
+    {
+        insert(now_ + delay, std::forward<F>(f));
+    }
 
-    /** Schedule `cb` at absolute tick `when` (must be >= now). */
-    void scheduleAt(Tick when, Callback cb);
+    /** Schedule `f` at absolute tick `when` (must be >= now). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  std::is_constructible_v<Callback, F &&>>>
+    void
+    scheduleAt(Tick when, F &&f)
+    {
+        insert(when, std::forward<F>(f));
+    }
 
     /** True when no events remain. */
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return queue_.size(); }
+    std::size_t pending() const { return size_; }
 
     /** Execute the next event, if any. @return false when queue empty. */
     bool runOne();
@@ -54,27 +108,112 @@ class Engine
     std::uint64_t eventsExecuted() const { return executed_; }
 
   private:
+    /** log2 of the wheel window; one bucket per tick. */
+    static constexpr std::size_t kWheelBits = 14;
+    static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+    static constexpr std::size_t kWheelMask = kWheelSize - 1;
+    static constexpr std::size_t kBitmapWords = kWheelSize / 64;
+
     struct Event
     {
-        Tick when;
-        std::uint64_t seq;
+        // Constructed in place by emplace_back, directly from the
+        // caller's raw callable — no intermediate Callback moves.
+        Event() = default;
+        template <typename F>
+        Event(Tick w, F &&f) : when(w), cb(std::forward<F>(f))
+        {
+        }
+
+        Tick when = 0;
         Callback cb;
     };
 
-    struct Later
+    /**
+     * Events for one tick, in insertion order; `head` is the next
+     * unexecuted event, so same-tick events scheduled during execution
+     * simply append behind it. clear() keeps the vector's capacity.
+     */
+    struct Bucket
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        std::vector<Event> events;
+        std::uint32_t head = 0;
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /**
+     * Common schedule path; the callable is emplaced straight into its
+     * bucket or overflow slot. Defined here so scheduling inlines into
+     * the protocol engines' hot loops (it is a handful of instructions
+     * plus an append).
+     */
+    template <typename F>
+    void
+    insert(Tick when, F &&f)
+    {
+        hmg_assert(when >= now_);
+        // The window-jump arithmetic needs kWheelSize of headroom below
+        // the kTickMax sentinel; at 1.3 GHz that bound is ~450 years of
+        // simulated time away.
+        hmg_assert(when < kTickMax - kWheelSize);
+        Event *slot;
+        if (when < wheel_limit_) {
+            const std::size_t b = when & kWheelMask;
+            slot = &buckets_[b].events.emplace_back(when,
+                                                    std::forward<F>(f));
+            occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+            ++wheel_count_;
+        } else {
+            overflow_min_ = std::min(overflow_min_, when);
+            slot = &overflow_.emplace_back(when, std::forward<F>(f));
+        }
+        hmg_assert(slot->cb);
+        ++size_;
+    }
+
+    /** Re-home one already-queued event during an overflow sweep. */
+    void
+    insertWheel(Tick when, Callback &&cb)
+    {
+        const std::size_t b = when & kWheelMask;
+        buckets_[b].events.emplace_back(when, std::move(cb));
+        occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+        ++wheel_count_;
+    }
+
+    /**
+     * Index of the bucket holding the earliest pending event, advancing
+     * the window / sweeping the overflow list as needed. Returns -1 when
+     * no events remain.
+     */
+    std::ptrdiff_t findNextBucket();
+
+    /** Pop and run the front event of bucket `b` (found by findNextBucket). */
+    void executeFront(std::ptrdiff_t b);
+
+    std::vector<Bucket> buckets_;
+    std::array<std::uint64_t, kBitmapWords> occupied_{};
+
+    /** Wheel residency window is [search_from_, wheel_limit_), <= kWheelSize
+     *  wide; every pending wheel event's tick lies inside it. */
+    Tick wheel_limit_ = kWheelSize;
+    /** Lower bound for the next-event scan; no pending event is earlier. */
+    Tick search_from_ = 0;
+    std::size_t wheel_count_ = 0;
+
+    /** Events at or beyond wheel_limit_, in insertion order. */
+    std::vector<Event> overflow_;
+    Tick overflow_min_ = kTickMax;
+
+    /**
+     * Scratch storage for run()'s bucket drain: the current bucket's
+     * events are swapped here and consumed in place, so a callback that
+     * schedules into the (now empty) bucket can never reallocate the
+     * vector being executed. Capacities circulate between buckets
+     * through this vector, keeping the steady state allocation-free.
+     */
+    std::vector<Event> draining_;
+
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::size_t size_ = 0;
     std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,112 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "trace/workloads.hh"
+
+namespace hmg
+{
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *s = std::getenv("HMG_JOBS")) {
+        const int v = std::atoi(s);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+        warnImpl("ignoring HMG_JOBS='%s' (want a positive integer)", s);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs ? jobs : defaultJobs()) {}
+
+void
+SweepRunner::forEach(std::size_t n,
+                     const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const auto workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned t = 1; t < workers; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<SimResult>
+SweepRunner::run(const std::vector<SweepCell> &cells)
+{
+    std::vector<SimResult> results(cells.size());
+    forEach(cells.size(), [&](std::size_t i) {
+        const SweepCell &c = cells[i];
+        const auto trace =
+            trace::workloads::make(c.workload, c.scale, c.seed);
+        Simulator sim(c.cfg);
+        results[i] = sim.run(trace);
+    });
+    return results;
+}
+
+unsigned
+parseJobsFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            const int v = std::atoi(argv[i + 1]);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+            hmg_fatal("--jobs wants a positive integer, got '%s'",
+                      argv[i + 1]);
+        }
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            const int v = std::atoi(argv[i] + 7);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+            hmg_fatal("--jobs wants a positive integer, got '%s'",
+                      argv[i] + 7);
+        }
+    }
+    return 0;
+}
+
+} // namespace hmg

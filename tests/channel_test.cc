@@ -115,5 +115,43 @@ TEST(Channel, CallbackSeesArrivalTime)
     EXPECT_EQ(seen, 43u);
 }
 
+// Occupancy accounting is exact integer arithmetic: 10M back-to-back
+// sends on a fractional-bandwidth channel land on the closed-form tick
+// with zero drift (the seed's double accumulator drifted here).
+TEST(Channel, TenMillionSendsExactNoDrift)
+{
+    Engine e;
+    Channel ch(e, 1.5, 0);
+    constexpr std::uint64_t kSends = 10'000'000;
+    for (std::uint64_t i = 0; i < kSends; ++i) {
+        // 3 bytes at 1.5 B/cyc = exactly 2 cycles each, forever.
+        const Tick a = ch.send(3);
+        ASSERT_EQ(a, 2 * (i + 1)) << "drift after " << i << " sends";
+    }
+    EXPECT_EQ(ch.busyUntil(), 2 * kSends);
+}
+
+// n sends of B bytes must occupy exactly as long as one send of n*B
+// bytes — an accumulator-drift detector that needs no knowledge of the
+// channel's internal bandwidth representation.
+TEST(Channel, ManySmallSendsEqualOneBigSend)
+{
+    constexpr std::uint64_t kSends = 10'000'000;
+    constexpr std::uint32_t kBytes = 128;
+    Engine e;
+    // Non-dyadic bandwidth (the Table II inter-GPU port figure) so the
+    // per-send occupancy has an awkward fractional part.
+    Channel many(e, 153.6, 0);
+    Channel one(e, 153.6, 0);
+    Tick prev = 0;
+    for (std::uint64_t i = 0; i < kSends; ++i) {
+        const Tick a = many.send(kBytes);
+        ASSERT_GE(a, prev) << "arrival regressed at send " << i;
+        prev = a;
+    }
+    one.send(kSends * kBytes);
+    EXPECT_EQ(many.busyUntil(), one.busyUntil());
+}
+
 } // namespace
 } // namespace hmg

@@ -1,18 +1,107 @@
 /**
  * @file
  * Unit tests for the event-driven simulation kernel.
+ *
+ * The (tick, insertion-order) determinism contract is exercised three
+ * ways: directly (SameTickFifo and the overflow-boundary tests), across
+ * the timing wheel's window-advance machinery (far-future events take
+ * the overflow path), and differentially — a randomized dynamically
+ * scheduling program is run on the Engine and on a reference
+ * priority-queue implementation and must produce identical execution
+ * sequences.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/rng.hh"
 #include "sim/engine.hh"
 
 namespace hmg
 {
 namespace
 {
+
+/** Reference implementation: explicit (tick, seq) priority queue. */
+class ReferenceEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return now_; }
+    void schedule(Tick delay, Callback cb)
+    {
+        queue_.push(Event{now_ + delay, seq_++, std::move(cb)});
+    }
+    void run()
+    {
+        while (!queue_.empty()) {
+            auto &top = const_cast<Event &>(queue_.top());
+            now_ = top.when;
+            Callback cb = std::move(top.cb);
+            queue_.pop();
+            cb();
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * A randomized program where events spawn 0-2 children at mixed
+ * near-future and far-future (overflow-path) delays. Returns the
+ * (tick, id) execution sequence.
+ */
+template <typename EngineT>
+std::vector<std::pair<Tick, int>>
+runRandomProgram(std::uint64_t seed)
+{
+    EngineT e;
+    Rng rng(seed);
+    std::vector<std::pair<Tick, int>> log;
+    int next_id = 0;
+
+    std::function<void(int)> fire = [&](int id) {
+        log.emplace_back(e.now(), id);
+        if (log.size() >= 4000)
+            return;
+        const auto kids = rng.below(3);
+        for (std::uint64_t k = 0; k < kids; ++k) {
+            const Tick d = rng.chance(0.15)
+                               ? rng.range(15'000, 200'000)
+                               : rng.below(1'200);
+            const int child = next_id++;
+            e.schedule(d, [&fire, child]() { fire(child); });
+        }
+    };
+    for (int i = 0; i < 64; ++i) {
+        const int id = next_id++;
+        e.schedule(rng.below(50'000), [&fire, id]() { fire(id); });
+    }
+    e.run();
+    return log;
+}
 
 TEST(Engine, StartsAtZero)
 {
@@ -109,6 +198,98 @@ TEST(EngineDeath, PastSchedulingPanics)
         EXPECT_DEATH(e.scheduleAt(5, []() {}), "assertion");
     });
     e.run();
+}
+
+// Regression for the determinism contract across the wheel/overflow
+// boundary: an event scheduled while its tick was beyond the wheel
+// window (overflow path) must still run before a same-tick event
+// scheduled later, after the window advanced over that tick.
+TEST(Engine, SameTickFifoAcrossOverflowBoundary)
+{
+    Engine e;
+    std::vector<int> order;
+    const Tick far = 40'000;   // beyond the wheel window at schedule time
+    e.scheduleAt(far, [&]() { order.push_back(1); });
+    e.scheduleAt(far - 2'000, [&]() {
+        // By now the window has advanced; `far` is inside the wheel and
+        // this same-tick event must append *behind* the overflow one.
+        e.scheduleAt(far, [&]() { order.push_back(2); });
+    });
+    e.scheduleAt(far, [&]() { order.push_back(3); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Engine, ManySameTickEventsAcrossOverflowStayFifo)
+{
+    Engine e;
+    std::vector<int> order;
+    const Tick far = 1'000'000;
+    for (int i = 0; i < 1000; ++i)
+        e.scheduleAt(far, [&order, i]() { order.push_back(i); });
+    e.run();
+    ASSERT_EQ(order.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(order[i], i);
+    EXPECT_EQ(e.now(), far);
+}
+
+TEST(Engine, SparseFarJumps)
+{
+    Engine e;
+    std::vector<Tick> seen;
+    for (Tick t : {Tick{3}, Tick{70'000}, Tick{1} << 20, Tick{1} << 34})
+        e.scheduleAt(t, [&seen, &e]() { seen.push_back(e.now()); });
+    EXPECT_EQ(e.pending(), 4u);
+    e.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{3, 70'000, Tick{1} << 20,
+                                       Tick{1} << 34}));
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RunUntilAcrossOverflowWindow)
+{
+    Engine e;
+    int fired = 0;
+    e.scheduleAt(100'000, [&]() { ++fired; });
+    e.scheduleAt(200'000, [&]() { ++fired; });
+    e.run(150'000);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.pending(), 1u);
+    e.run();
+    EXPECT_EQ(fired, 2);
+}
+
+// Closures up to Engine::Callback's inline capacity must not touch the
+// heap; bigger ones still work via the fallback.
+TEST(Engine, CallbackInlineStorage)
+{
+    struct Small { unsigned char pad[96]; };
+    struct Big { unsigned char pad[512]; };
+    Engine::Callback small_cb([s = Small{}]() { (void)s; });
+    Engine::Callback big_cb([b = Big{}]() { (void)b; });
+    EXPECT_TRUE(small_cb.isInline());
+    EXPECT_FALSE(big_cb.isInline());
+
+    Engine e;
+    int fired = 0;
+    e.schedule(1, [&fired, s = Small{}]() { (void)s; ++fired; });
+    e.schedule(2, [&fired, b = Big{}]() { (void)b; ++fired; });
+    e.run();
+    EXPECT_EQ(fired, 2);
+}
+
+// The differential check: Engine must replay the exact execution
+// sequence of the reference (tick, seq) priority queue on randomized
+// dynamically scheduling programs.
+TEST(Engine, MatchesReferenceEngineOnRandomPrograms)
+{
+    for (std::uint64_t seed : {1ull, 42ull, 0xfeedu * 1ull}) {
+        const auto expected = runRandomProgram<ReferenceEngine>(seed);
+        const auto actual = runRandomProgram<Engine>(seed);
+        ASSERT_FALSE(expected.empty());
+        EXPECT_EQ(actual, expected) << "seed " << seed;
+    }
 }
 
 } // namespace

@@ -5,14 +5,18 @@
  * Run any Table III workload (or every one) under any coherence
  * configuration, overriding the main Table II knobs, and dump either a
  * human-readable summary or the complete statistics set (optionally as
- * CSV for scripting).
+ * CSV for scripting). `--workload all` fans the runs out over a
+ * SweepRunner thread pool (`--jobs N`, default every core); output is
+ * buffered per workload and printed in suite order, so it is identical
+ * for any job count.
  *
  *   hmgsim --workload lstm --protocol hmg
- *   hmgsim --workload all --protocol swnh --scale 0.5
+ *   hmgsim --workload all --protocol swnh --scale 0.5 --jobs 8
  *   hmgsim --workload mst --protocol hmg --dir-entries 6144 --stats
  *   hmgsim --workload bfs --protocol nhcc --csv > bfs.csv
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +25,7 @@
 
 #include "common/log.hh"
 #include "gpu/simulator.hh"
+#include "sim/sweep.hh"
 #include "trace/io.hh"
 #include "trace/profiler.hh"
 #include "trace/workloads.hh"
@@ -34,6 +39,7 @@ struct Options
     std::string protocol = "hmg";
     double scale = 1.0;
     std::uint64_t seed = 1;
+    unsigned jobs = 0;
     bool full_stats = false;
     bool csv = false;
     bool locality = false;
@@ -70,6 +76,8 @@ usage()
         "  --protocol P            baseline|swnh|swh|nhcc|hmg|ideal\n"
         "  --scale X               workload iteration scale (default 1.0)\n"
         "  --seed N                trace RNG seed\n"
+        "  --jobs N                parallel runs for --workload all\n"
+        "                          (default: all cores, or HMG_JOBS)\n"
         "  --gpus N --gpms N       topology overrides\n"
         "  --l2-mb N               L2 capacity per GPU (MB)\n"
         "  --dir-entries N         directory entries per GPM\n"
@@ -102,7 +110,12 @@ parse(int argc, char **argv)
             o.scale = std::atof(need(i));
         else if (a == "--seed")
             o.seed = std::strtoull(need(i), nullptr, 10);
-        else if (a == "--gpus")
+        else if (a == "--jobs") {
+            const int v = std::atoi(need(i));
+            if (v <= 0)
+                hmg_fatal("--jobs wants a positive integer");
+            o.jobs = static_cast<unsigned>(v);
+        } else if (a == "--gpus")
             o.cfg.numGpus = std::atoi(need(i));
         else if (a == "--gpms")
             o.cfg.gpmsPerGpu = std::atoi(need(i));
@@ -147,50 +160,72 @@ parse(int argc, char **argv)
 }
 
 void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    out.append(buf.data(), static_cast<std::size_t>(n));
+}
+
+/** Run one workload and return its complete console output. */
+std::string
 runOne(const Options &o, const std::string &name)
 {
+    std::string out;
     auto trace = o.load_trace.empty()
                      ? hmg::trace::workloads::make(name, o.scale, o.seed)
                      : hmg::trace::loadFile(o.load_trace);
     const std::string &shown = o.load_trace.empty() ? name : trace.name;
     if (!o.save_trace.empty()) {
         hmg::trace::saveFile(trace, o.save_trace);
-        std::printf("wrote %llu ops to %s\n",
-                    static_cast<unsigned long long>(trace.memOps()),
-                    o.save_trace.c_str());
-        return;
+        appendf(out, "wrote %llu ops to %s\n",
+                static_cast<unsigned long long>(trace.memOps()),
+                o.save_trace.c_str());
+        return out;
     }
     hmg::Simulator sim(o.cfg);
     auto res = sim.run(trace);
 
     if (o.csv) {
-        std::printf("workload,protocol,stat,value\n");
-        std::printf("%s,%s,cycles,%llu\n", name.c_str(),
-                    toString(o.cfg.protocol),
-                    static_cast<unsigned long long>(res.cycles));
+        appendf(out, "workload,protocol,stat,value\n");
+        appendf(out, "%s,%s,cycles,%llu\n", name.c_str(),
+                toString(o.cfg.protocol),
+                static_cast<unsigned long long>(res.cycles));
         for (const auto &[k, v] : res.stats.all())
-            std::printf("%s,%s,%s,%.0f\n", name.c_str(),
-                        toString(o.cfg.protocol), k.c_str(), v);
-        return;
+            appendf(out, "%s,%s,%s,%.0f\n", name.c_str(),
+                    toString(o.cfg.protocol), k.c_str(), v);
+        return out;
     }
 
-    std::printf("%-12s %-14s %10llu cycles  %8.2f MB interGPU  "
-                "%7.0f DRAM reads  %7.0f inv msgs\n",
-                shown.c_str(), toString(o.cfg.protocol),
-                static_cast<unsigned long long>(res.cycles),
-                res.stats.get("noc.total_inter_bytes") / 1e6,
-                res.stats.get("total.dram.reads"),
-                res.stats.get("protocol.inv_msgs"));
+    appendf(out, "%-12s %-14s %10llu cycles  %8.2f MB interGPU  "
+            "%7.0f DRAM reads  %7.0f inv msgs\n",
+            shown.c_str(), toString(o.cfg.protocol),
+            static_cast<unsigned long long>(res.cycles),
+            res.stats.get("noc.total_inter_bytes") / 1e6,
+            res.stats.get("total.dram.reads"),
+            res.stats.get("protocol.inv_msgs"));
 
     if (o.locality) {
         auto loc = hmg::trace::analyzeInterGpuLocality(trace, o.cfg);
-        std::printf("  locality: %llu inter-GPU loads, %.1f%% shared "
-                    "within a GPU (Fig. 3 metric)\n",
-                    static_cast<unsigned long long>(loc.interGpuLoads),
-                    loc.sharedPct());
+        appendf(out, "  locality: %llu inter-GPU loads, %.1f%% shared "
+                "within a GPU (Fig. 3 metric)\n",
+                static_cast<unsigned long long>(loc.interGpuLoads),
+                loc.sharedPct());
     }
     if (o.full_stats)
-        std::printf("%s", res.stats.toString().c_str());
+        out += res.stats.toString();
+    return out;
 }
 
 } // namespace
@@ -202,10 +237,18 @@ main(int argc, char **argv)
     o.cfg.validate();
 
     if (o.workload == "all") {
-        for (const auto &info : hmg::trace::workloads::list())
-            runOne(o, info.name);
+        const auto &infos = hmg::trace::workloads::list();
+        std::vector<std::string> outputs(infos.size());
+        // --save-trace writes one file per run to the same path; keep
+        // that serial so the behaviour stays what it always was.
+        hmg::SweepRunner runner(o.save_trace.empty() ? o.jobs : 1);
+        runner.forEach(infos.size(), [&](std::size_t i) {
+            outputs[i] = runOne(o, infos[i].name);
+        });
+        for (const auto &s : outputs)
+            std::fputs(s.c_str(), stdout);
     } else {
-        runOne(o, o.workload);
+        std::fputs(runOne(o, o.workload).c_str(), stdout);
     }
     return 0;
 }
