@@ -21,10 +21,15 @@ main()
            "HMG paper, Figure 12 (Section VII-B); geomean over the "
            "6-workload sensitivity subset");
 
-    std::printf("%-10s | %9s %9s %9s %9s %9s\n", "GB/s", "SW-NonH",
-                "NHCC", "SW-Hier", "HMG", "Ideal");
+    std::printf("%-10s | %9s %9s %9s %9s %9s | %9s %9s\n", "GB/s",
+                "SW-NonH", "NHCC", "SW-Hier", "HMG", "Ideal",
+                "HMG util", "peak");
     for (double bw : {100.0, 200.0, 300.0, 400.0}) {
         std::vector<std::vector<double>> sp(allProtocols().size());
+        // Per-link occupancy of the swept resource, from the transport
+        // layer's port stats: scarce links should run near-saturated
+        // under HMG and drain as bandwidth grows.
+        double util_avg = 0, util_peak = 0;
         for (const auto &name : sensitivitySuite()) {
             hmg::SystemConfig cfg;
             cfg.interGpuGBpsPerLink = bw;
@@ -33,14 +38,22 @@ main()
                 static_cast<double>(run(cfg, name).cycles);
             for (std::size_t i = 0; i < allProtocols().size(); ++i) {
                 cfg.protocol = allProtocols()[i];
-                sp[i].push_back(
-                    base / static_cast<double>(run(cfg, name).cycles));
+                const hmg::SimResult r = run(cfg, name);
+                sp[i].push_back(base / static_cast<double>(r.cycles));
+                if (allProtocols()[i] == hmg::Protocol::Hmg) {
+                    util_avg += r.stats.get("noc.inter_gpu.util_avg");
+                    util_peak = std::max(
+                        util_peak,
+                        r.stats.get("noc.inter_gpu.util_peak"));
+                }
             }
         }
+        util_avg /= static_cast<double>(sensitivitySuite().size());
         std::printf("%-10.0f |", bw);
         for (const auto &s : sp)
             std::printf(" %9.2f", geomean(s));
-        std::printf("\n");
+        std::printf(" | %8.1f%% %8.1f%%\n", 100.0 * util_avg,
+                    100.0 * util_peak);
         std::fflush(stdout);
     }
     std::printf("\npaper: HMG is always the best coherence option, even "

@@ -85,6 +85,8 @@ SystemConfig::validate() const
         hmg_fatal("rates must be positive");
     if (smMaxOutstanding == 0 || smIssueWidth == 0)
         hmg_fatal("SM issue parameters must be non-zero");
+    if (nocPortQueueCapacity == 0 || nocInjectionBacklogLimit == 0)
+        hmg_fatal("transport queue parameters must be non-zero");
     if (l2WriteBack && !isHardwareProtocol(protocol))
         hmg_fatal("write-back L2s require a hardware coherence protocol");
 }
@@ -112,6 +114,10 @@ SystemConfig::toString() const
        << "TB/s per GPU, bi-directional\n"
        << "Inter-GPU bandwidth         " << interGpuGBpsPerLink
        << "GB/s per link, bi-directional\n"
+       << "NoC port queue floor        " << nocPortQueueCapacity
+       << " max-size messages per input (grown to 2x link BDP)\n"
+       << "NoC injection backlog cap   " << nocInjectionBacklogLimit
+       << " messages per GPM NIC\n"
        << "Total DRAM bandwidth        " << dramGBpsPerGpu / 1000.0
        << "TB/s per GPU\n"
        << "Total DRAM capacity         " << (dramBytesPerGpu >> 30)

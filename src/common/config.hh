@@ -76,6 +76,21 @@ struct SystemConfig
     double interGpuGBpsPerLink = 200.0;  //!< per GPU link, bidir
     double dramGBpsPerGpu = 1000.0;
 
+    // ---- transport-layer queueing (noc/port.hh) ----
+    /**
+     * Floor of a port input queue's credit pool, in max-size-message
+     * slots. The Network grows each pool to >= 2x the feeding link's
+     * bandwidth-delay product so credit-return latency never idles a
+     * wire (noc/network.cc); this floor only binds on short hops.
+     */
+    std::uint32_t nocPortQueueCapacity = 8;
+    /**
+     * NIC backlog (messages parked awaiting egress credit) above which
+     * Network::whenInjectable() makes SM store issue wait. The NIC queue
+     * itself is unbounded so protocol traffic can never deadlock.
+     */
+    std::uint32_t nocInjectionBacklogLimit = 32;
+
     // ---- fixed latencies (documented estimates; swept in benches) ----
     Tick intraGpuHopLatency = 30;    //!< GPM <-> crossbar <-> GPM
     Tick interGpuHopLatency = 600;   //!< GPU <-> switch <-> GPU one-way

@@ -45,8 +45,10 @@ class StatRecorder
 };
 
 /**
- * A tiny fixed-bucket histogram for quantities like "sharers invalidated
- * per store" (Figures 9 and 10 report the means of these).
+ * A running mean (sum and sample count only — no distribution is kept)
+ * for quantities like "sharers invalidated per store" (Figures 9 and 10
+ * report the means of these). Use Pow2Histogram when the shape of the
+ * distribution matters too.
  */
 class MeanStat
 {
@@ -59,6 +61,52 @@ class MeanStat
 
   private:
     double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A small power-of-two-bucket histogram of non-negative integer samples:
+ * bucket b counts samples in [2^(b-1), 2^b), with bucket 0 holding the
+ * zeros and the last bucket absorbing everything beyond the range.
+ * Coarse on purpose — enough to tell "all short with a long tail" from
+ * "uniformly slow" (e.g. per-hop queueing delays) at the cost of a few
+ * words per instance.
+ */
+class Pow2Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 20;
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t b = 0;
+        while (v > 0 && b + 1 < kBuckets) {
+            v >>= 1;
+            ++b;
+        }
+        ++buckets_[b];
+        ++count_;
+    }
+
+    std::uint64_t bucket(std::size_t b) const { return buckets_[b]; }
+    std::uint64_t count() const { return count_; }
+
+    /** Record the non-empty buckets as `<prefix>.le_<2^b>` entries. */
+    void
+    reportStats(StatRecorder &r, const std::string &prefix) const
+    {
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            if (buckets_[b] == 0)
+                continue;
+            r.record(prefix + ".le_" +
+                         std::to_string(std::uint64_t{1} << b),
+                     static_cast<double>(buckets_[b]));
+        }
+    }
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
     std::uint64_t count_ = 0;
 };
 

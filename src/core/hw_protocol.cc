@@ -69,7 +69,8 @@ HwProtocol::load(const MemAccess &acc, LoadDoneCb done)
             if (res.hit) {
                 ++loads_local_hit_;
                 ctx_.engine.schedule(dataLat(),
-                                     [done, v = res.version]() {
+                                     [done = std::move(done),
+                                      v = res.version]() mutable {
                     done(v);
                 });
                 return;
@@ -88,27 +89,40 @@ HwProtocol::load(const MemAccess &acc, LoadDoneCb done)
                 n.mshrComplete(acc.lineAddr, v);
             };
         } else {
-            finish = [this, acc, done = std::move(done)](Version v) {
+            finish = [this, acc, done = std::move(done)](Version v) mutable {
                 ctx_.gpm(acc.gpm).l2().fill(acc.lineAddr, v);
                 done(v);
             };
         }
 
         const GpmId next = hier_ ? gh : h;
-        ctx_.net.send(acc.gpm, next, MsgType::ReadReq,
-                      [this, acc, gh, h, finish = std::move(finish)]() {
-            if (hier_ && gh != h) {
-                loadAtGpuHome(acc, gh, h, finish);
-            } else {
-                // Flat protocol, or the GPU home *is* the system home:
-                // serve at h and ship the line straight back.
-                loadAtSysHome(acc, acc.gpm, h,
-                              [this, acc, h, finish](Version v) {
-                    ctx_.net.send(h, acc.gpm, MsgType::ReadResp,
-                                  [v, finish]() { finish(v); });
-                });
-            }
-        });
+        ctx_.net.inject(
+            {.src = acc.gpm,
+             .dst = next,
+             .type = MsgType::ReadReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, gh, h,
+                           finish = std::move(finish)]() mutable {
+                 if (hier_ && gh != h) {
+                     loadAtGpuHome(acc, gh, h, std::move(finish));
+                 } else {
+                     // Flat protocol, or the GPU home *is* the system
+                     // home: serve at h and ship the line straight back.
+                     loadAtSysHome(
+                         acc, acc.gpm, h,
+                         [this, acc, h,
+                          finish = std::move(finish)](Version v) mutable {
+                             ctx_.net.inject(
+                                 {.src = h,
+                                  .dst = acc.gpm,
+                                  .type = MsgType::ReadResp,
+                                  .addr = acc.lineAddr,
+                                  .onArrival =
+                                      [v, finish = std::move(finish)]()
+                                          mutable { finish(v); }});
+                         });
+                 }
+             }});
     });
 }
 
@@ -119,14 +133,20 @@ HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
 
     // Deliver the final value from gh back to the requesting GPM. The
     // caller-provided `done` performs any requester-side fill.
-    auto respond = [this, acc, gh, done = std::move(done)](Version v) {
+    auto respond = [this, acc, gh,
+                    done = std::move(done)](Version v) mutable {
         if (acc.gpm == gh) {
             done(v);
             return;
         }
         recordSharer(gh, acc.gpm, acc.lineAddr);
-        ctx_.net.send(gh, acc.gpm, MsgType::ReadResp,
-                      [v, done]() { done(v); });
+        ctx_.net.inject({.src = gh,
+                         .dst = acc.gpm,
+                         .type = MsgType::ReadResp,
+                         .addr = acc.lineAddr,
+                         .onArrival = [v, done = std::move(done)]() mutable {
+                             done(v);
+                         }});
     };
 
     ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
@@ -138,7 +158,8 @@ HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
             if (res.hit) {
                 ++loads_gpu_home_hit_;
                 ctx_.engine.schedule(dataLat(),
-                                     [respond, v = res.version]() {
+                                     [respond = std::move(respond),
+                                      v = res.version]() mutable {
                     respond(v);
                 });
                 return;
@@ -147,25 +168,39 @@ HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
                 return;
         }
         // Miss at the GPU home: consult the system home. Only the GPU
-        // identity travels onward (Section V-B, "Loads").
-        ctx_.net.send(gh, h, MsgType::ReadReq,
-                      [this, acc, gh, h, mergeable,
-                       respond = std::move(respond)]() mutable {
-            loadAtSysHome(acc, gh, h,
-                          [this, acc, gh, h, mergeable,
-                           respond = std::move(respond)](Version v) {
-                ctx_.net.send(h, gh, MsgType::ReadResp,
-                              [this, acc, gh, v, mergeable,
-                               respond]() {
-                    GpmNode &home = ctx_.gpm(gh);
-                    home.l2().fill(acc.lineAddr, v);
-                    if (mergeable)
-                        home.mshrComplete(acc.lineAddr, v);
-                    else
-                        respond(v);
-                });
-            });
-        });
+        // identity travels onward (Section V-B, "Loads"). When the miss
+        // merged into the MSHR above, `respond` is already parked there
+        // and the moved-from callback travelling below stays unused.
+        ctx_.net.inject(
+            {.src = gh,
+             .dst = h,
+             .type = MsgType::ReadReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, gh, h, mergeable,
+                           respond = std::move(respond)]() mutable {
+                 loadAtSysHome(
+                     acc, gh, h,
+                     [this, acc, gh, h, mergeable,
+                      respond = std::move(respond)](Version v) mutable {
+                         ctx_.net.inject(
+                             {.src = h,
+                              .dst = gh,
+                              .type = MsgType::ReadResp,
+                              .addr = acc.lineAddr,
+                              .onArrival =
+                                  [this, acc, gh, v, mergeable,
+                                   respond =
+                                       std::move(respond)]() mutable {
+                                      GpmNode &home = ctx_.gpm(gh);
+                                      home.l2().fill(acc.lineAddr, v);
+                                      if (mergeable)
+                                          home.mshrComplete(acc.lineAddr,
+                                                            v);
+                                      else
+                                          respond(v);
+                                  }});
+                     });
+             }});
     });
 }
 
@@ -180,7 +215,7 @@ HwProtocol::loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
     // copy at the requester.
     if (via != h) {
         respond = [this, acc, via, h,
-                   inner = std::move(respond)](Version v) {
+                   inner = std::move(respond)](Version v) mutable {
             recordSharer(h, via, acc.lineAddr);
             inner(v);
         };
@@ -192,7 +227,8 @@ HwProtocol::loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
         if (res.hit) {
             ++loads_sys_home_hit_;
             ctx_.engine.schedule(dataLat(),
-                                 [respond, v = res.version]() {
+                                 [respond = std::move(respond),
+                                  v = res.version]() mutable {
                 respond(v);
             });
             return;
@@ -225,9 +261,10 @@ HwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
         // Write-back mode: the store completes in the local L2 as dirty
         // data; it reaches the home when a release, kernel boundary,
         // eviction or invalidation flushes it.
-        ctx_.engine.schedule(tagLat(), [this, acc, v, accepted,
+        ctx_.engine.schedule(tagLat(), [this, acc, v,
+                                        accepted = std::move(accepted),
                                         sys_done =
-                                            std::move(sys_done)]() {
+                                            std::move(sys_done)]() mutable {
             ctx_.gpm(acc.gpm).l2().store(acc.lineAddr, v,
                                          /*mark_dirty=*/true);
             accepted();
@@ -242,7 +279,8 @@ HwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
     StoreFlow f{acc, v, std::move(sys_done), false, true, true};
 
     ctx_.engine.schedule(tagLat(), [this, f = std::move(f), gh, h,
-                                   accepted]() mutable {
+                                   accepted =
+                                       std::move(accepted)]() mutable {
         // Write-through: update (and allocate in) the local L2.
         ctx_.gpm(f.acc.gpm).l2().store(f.acc.lineAddr, f.v);
         accepted();
@@ -250,20 +288,33 @@ HwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
             if (f.acc.gpm == gh) {
                 storeAtGpuHome(std::move(f), gh, h);
             } else {
-                ctx_.net.send(f.acc.gpm, gh, MsgType::WriteThrough,
-                              [this, f = std::move(f), gh, h]() mutable {
-                    storeAtGpuHome(std::move(f), gh, h);
-                });
+                const GpmId src = f.acc.gpm;
+                const Addr line = f.acc.lineAddr;
+                ctx_.net.inject(
+                    {.src = src,
+                     .dst = gh,
+                     .type = MsgType::WriteThrough,
+                     .addr = line,
+                     .onArrival = [this, f = std::move(f), gh,
+                                   h]() mutable {
+                         storeAtGpuHome(std::move(f), gh, h);
+                     }});
             }
         } else {
             const GpmId src = f.acc.gpm;
             if (src == h) {
                 storeAtSysHome(std::move(f), src, h);
             } else {
-                ctx_.net.send(src, h, MsgType::WriteThrough,
-                              [this, f = std::move(f), src, h]() mutable {
-                    storeAtSysHome(std::move(f), src, h);
-                });
+                const Addr line = f.acc.lineAddr;
+                ctx_.net.inject(
+                    {.src = src,
+                     .dst = h,
+                     .type = MsgType::WriteThrough,
+                     .addr = line,
+                     .onArrival = [this, f = std::move(f), src,
+                                   h]() mutable {
+                         storeAtSysHome(std::move(f), src, h);
+                     }});
             }
         }
     });
@@ -292,10 +343,15 @@ HwProtocol::storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h)
         ctx_.tracker.reachedGpuLevel(f.acc.sm);
     f.gpuCleared = true;
 
-    ctx_.net.send(gh, h, MsgType::WriteThrough,
-                  [this, f = std::move(f), gh, h]() mutable {
-        storeAtSysHome(std::move(f), gh, h);
-    });
+    const Addr line = f.acc.lineAddr;
+    ctx_.net.inject({.src = gh,
+                     .dst = h,
+                     .type = MsgType::WriteThrough,
+                     .addr = line,
+                     .onArrival = [this, f = std::move(f), gh,
+                                   h]() mutable {
+                         storeAtSysHome(std::move(f), gh, h);
+                     }});
 }
 
 void
@@ -339,12 +395,17 @@ HwProtocol::atomic(const MemAccess &acc, Version v, LoadDoneCb done,
         atomicAtHome(acc, target, h, v, std::move(done),
                      std::move(sys_done));
     } else {
-        ctx_.net.send(acc.gpm, target, MsgType::AtomicReq,
-                      [this, acc, target, h, v, done = std::move(done),
-                       sys_done = std::move(sys_done)]() mutable {
-            atomicAtHome(acc, target, h, v, std::move(done),
-                         std::move(sys_done));
-        });
+        ctx_.net.inject(
+            {.src = acc.gpm,
+             .dst = target,
+             .type = MsgType::AtomicReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, target, h, v,
+                           done = std::move(done),
+                           sys_done = std::move(sys_done)]() mutable {
+                 atomicAtHome(acc, target, h, v, std::move(done),
+                              std::move(sys_done));
+             }});
     }
 }
 
@@ -378,23 +439,38 @@ HwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
         // A GPU home without the line fetches it from the system home
         // first (recording itself as a GPU-level sharer), then performs
         // the RMW locally.
-        ctx_.net.send(target, h, MsgType::ReadReq,
-                      [this, acc, target, h, v, done = std::move(done),
-                       sys_done = std::move(sys_done)]() mutable {
-            loadAtSysHome(acc, target, h,
-                          [this, acc, target, h, v, done = std::move(done),
-                           sys_done =
-                               std::move(sys_done)](Version old_v) mutable {
-                ctx_.net.send(h, target, MsgType::ReadResp,
-                              [this, acc, target, h, v, old_v,
-                               done = std::move(done),
-                               sys_done = std::move(sys_done)]() mutable {
-                    ctx_.gpm(target).l2().fill(acc.lineAddr, old_v);
-                    atomicPerform(acc, target, h, v, old_v, std::move(done),
-                                  std::move(sys_done));
-                });
-            });
-        });
+        ctx_.net.inject(
+            {.src = target,
+             .dst = h,
+             .type = MsgType::ReadReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, target, h, v,
+                           done = std::move(done),
+                           sys_done = std::move(sys_done)]() mutable {
+                 loadAtSysHome(
+                     acc, target, h,
+                     [this, acc, target, h, v, done = std::move(done),
+                      sys_done =
+                          std::move(sys_done)](Version old_v) mutable {
+                         ctx_.net.inject(
+                             {.src = h,
+                              .dst = target,
+                              .type = MsgType::ReadResp,
+                              .addr = acc.lineAddr,
+                              .onArrival =
+                                  [this, acc, target, h, v, old_v,
+                                   done = std::move(done),
+                                   sys_done =
+                                       std::move(sys_done)]() mutable {
+                                      ctx_.gpm(target).l2().fill(
+                                          acc.lineAddr, old_v);
+                                      atomicPerform(acc, target, h, v,
+                                                    old_v,
+                                                    std::move(done),
+                                                    std::move(sys_done));
+                                  }});
+                     });
+             }});
     });
 }
 
@@ -415,8 +491,14 @@ HwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
     if (target == acc.gpm) {
         done(old_v);
     } else {
-        ctx_.net.send(target, acc.gpm, MsgType::AtomicResp,
-                      [done = std::move(done), old_v]() { done(old_v); });
+        ctx_.net.inject({.src = target,
+                         .dst = acc.gpm,
+                         .type = MsgType::AtomicResp,
+                         .addr = acc.lineAddr,
+                         .onArrival = [done = std::move(done),
+                                       old_v]() mutable {
+                             done(old_v);
+                         }});
     }
 
     // Write the result onward, exactly as a store from `target` would
@@ -438,10 +520,14 @@ HwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
     // at the system home, so the write-through names the GPU home as the
     // node to record.
     f.recordWriter = true;
-    ctx_.net.send(target, h, MsgType::WriteThrough,
-                  [this, f = std::move(f), target, h]() mutable {
-        storeAtSysHome(std::move(f), target, h);
-    });
+    ctx_.net.inject({.src = target,
+                     .dst = h,
+                     .type = MsgType::WriteThrough,
+                     .addr = acc.lineAddr,
+                     .onArrival = [this, f = std::move(f), target,
+                                   h]() mutable {
+                         storeAtSysHome(std::move(f), target, h);
+                     }});
 }
 
 // --------------------------------------------------- directory plumbing
@@ -512,11 +598,19 @@ HwProtocol::sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job)
 {
     ++inv_msgs_;
     ++job->pending;
-    Tick arrival = ctx_.net.send(from, to, MsgType::Inv,
-                                 [this, to, sector, job]() {
-        handleInv(to, sector, job);
-    });
-    ctx_.gpm(from).noteInvSent(arrival);
+    // The sender's in-flight-invalidation ledger gates release-marker
+    // acknowledgment (GpmNode::waitInvDrained); the landing is counted
+    // before handleInv so a re-fanned invalidation issued there can
+    // never observe its trigger as still in flight.
+    ctx_.gpm(from).invIssued();
+    ctx_.net.inject({.src = from,
+                     .dst = to,
+                     .type = MsgType::Inv,
+                     .addr = sector,
+                     .onArrival = [this, from, to, sector, job]() {
+                         ctx_.gpm(from).invLanded();
+                         handleInv(to, sector, job);
+                     }});
 }
 
 void
@@ -690,16 +784,17 @@ HwProtocol::drainForBoundary(DoneCb done)
     ctx_.tracker.waitAllDrained([this, done = std::move(done)]() mutable {
         for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g)
             flushDirty(g);
-        auto chain = std::make_shared<std::function<void(GpmId)>>();
+        // Counter join across every GPM's write-back ledger (a
+        // self-referential callback chain would leak: a std::function
+        // capturing its own shared_ptr is a reference cycle).
+        auto pending =
+            std::make_shared<std::uint32_t>(ctx_.cfg.totalGpms());
         auto done_p = std::make_shared<DoneCb>(std::move(done));
-        *chain = [this, chain, done_p](GpmId g) {
-            if (g >= ctx_.cfg.totalGpms()) {
-                (*done_p)();
-                return;
-            }
-            ctx_.gpm(g).waitWbDrained([chain, g]() { (*chain)(g + 1); });
-        };
-        (*chain)(0);
+        for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g)
+            ctx_.gpm(g).waitWbDrained([pending, done_p]() {
+                if (--*pending == 0)
+                    (*done_p)();
+            });
     });
 }
 
@@ -731,18 +826,26 @@ HwProtocol::writeBackLine(GpmId src, Addr line, Version v, bool record)
         if (src == gh)
             storeAtGpuHome(std::move(f), gh, h);
         else
-            ctx_.net.send(src, gh, MsgType::WriteThrough,
-                          [this, f = std::move(f), gh, h]() mutable {
-                storeAtGpuHome(std::move(f), gh, h);
-            });
+            ctx_.net.inject({.src = src,
+                             .dst = gh,
+                             .type = MsgType::WriteThrough,
+                             .addr = line,
+                             .onArrival = [this, f = std::move(f), gh,
+                                           h]() mutable {
+                                 storeAtGpuHome(std::move(f), gh, h);
+                             }});
     } else {
         if (src == h)
             storeAtSysHome(std::move(f), src, h);
         else
-            ctx_.net.send(src, h, MsgType::WriteThrough,
-                          [this, f = std::move(f), src, h]() mutable {
-                storeAtSysHome(std::move(f), src, h);
-            });
+            ctx_.net.inject({.src = src,
+                             .dst = h,
+                             .type = MsgType::WriteThrough,
+                             .addr = line,
+                             .onArrival = [this, f = std::move(f), src,
+                                           h]() mutable {
+                                 storeAtSysHome(std::move(f), src, h);
+                             }});
     }
 }
 
@@ -750,26 +853,37 @@ void
 HwProtocol::markerRound(GpmId r, const std::vector<GpmId> &targets,
                         DoneCb done)
 {
+    // `done` fans into many continuations, so it moves into shared
+    // storage and the per-target completion stays copyable.
     auto pending = std::make_shared<std::uint32_t>(
         static_cast<std::uint32_t>(targets.size()) + 1);
-    auto one_done = [pending, done = std::move(done)]() {
+    auto done_p = std::make_shared<DoneCb>(std::move(done));
+    auto one_done = [pending, done_p]() {
         if (--*pending == 0)
-            done();
+            (*done_p)();
     };
 
     // The releasing GPM's own outbound invalidations must land too.
-    ctx_.engine.scheduleAt(ctx_.gpm(r).invDrainTick(ctx_.engine.now()),
-                           one_done);
+    ctx_.gpm(r).waitInvDrained(one_done);
 
     for (GpmId dst : targets) {
         ++rel_markers_;
-        ctx_.net.send(r, dst, MsgType::RelMarker,
-                      [this, r, dst, one_done]() {
-            Tick drained = ctx_.gpm(dst).invDrainTick(ctx_.engine.now());
-            ctx_.engine.scheduleAt(drained, [this, r, dst, one_done]() {
-                ctx_.net.send(dst, r, MsgType::RelAck, one_done);
-            });
-        });
+        ctx_.net.inject(
+            {.src = r,
+             .dst = dst,
+             .type = MsgType::RelMarker,
+             .onArrival = [this, r, dst, one_done]() {
+                 // FIFO transport guarantees every invalidation `dst`
+                 // received before this marker has been handled; the
+                 // ledger wait covers the ones `dst` itself still has
+                 // in flight.
+                 ctx_.gpm(dst).waitInvDrained([this, r, dst, one_done]() {
+                     ctx_.net.inject({.src = dst,
+                                      .dst = r,
+                                      .type = MsgType::RelAck,
+                                      .onArrival = one_done});
+                 });
+             }});
     }
 }
 
@@ -792,57 +906,71 @@ HwProtocol::markerRoundRelayed(GpmId r, DoneCb done)
 
     auto pending = std::make_shared<std::uint32_t>(
         static_cast<std::uint32_t>(direct.size() + relays.size()) + 1);
-    auto one_done = [pending, done = std::move(done)]() {
+    auto done_p = std::make_shared<DoneCb>(std::move(done));
+    auto one_done = [pending, done_p]() {
         if (--*pending == 0)
-            done();
+            (*done_p)();
     };
 
-    ctx_.engine.scheduleAt(ctx_.gpm(r).invDrainTick(ctx_.engine.now()),
-                           one_done);
+    ctx_.gpm(r).waitInvDrained(one_done);
 
     for (GpmId dst : direct) {
         ++rel_markers_;
-        ctx_.net.send(r, dst, MsgType::RelMarker,
-                      [this, r, dst, one_done]() {
-            Tick drained = ctx_.gpm(dst).invDrainTick(ctx_.engine.now());
-            ctx_.engine.scheduleAt(drained, [this, r, dst, one_done]() {
-                ctx_.net.send(dst, r, MsgType::RelAck, one_done);
-            });
-        });
+        ctx_.net.inject(
+            {.src = r,
+             .dst = dst,
+             .type = MsgType::RelMarker,
+             .onArrival = [this, r, dst, one_done]() {
+                 ctx_.gpm(dst).waitInvDrained([this, r, dst, one_done]() {
+                     ctx_.net.inject({.src = dst,
+                                      .dst = r,
+                                      .type = MsgType::RelAck,
+                                      .onArrival = one_done});
+                 });
+             }});
     }
     for (GpmId relay : relays) {
         ++rel_markers_;
-        ctx_.net.send(r, relay, MsgType::RelMarker,
-                      [this, r, relay, one_done]() {
-            // The relay fans markers inside its own GPU, waits for its
-            // own drain plus its siblings' acks, then acknowledges.
-            const GpuId u = ctx_.cfg.gpuOf(relay);
-            auto sub = std::make_shared<std::uint32_t>(
-                ctx_.cfg.gpmsPerGpu); // siblings + own drain
-            auto sub_done = [this, sub, relay, r, one_done]() {
-                if (--*sub == 0)
-                    ctx_.net.send(relay, r, MsgType::RelAck, one_done);
-            };
-            ctx_.engine.scheduleAt(
-                ctx_.gpm(relay).invDrainTick(ctx_.engine.now()),
-                sub_done);
-            for (std::uint32_t l = 0; l < ctx_.cfg.gpmsPerGpu; ++l) {
-                GpmId d = ctx_.cfg.gpmId(u, l);
-                if (d == relay)
-                    continue;
-                ++rel_markers_;
-                ctx_.net.send(relay, d, MsgType::RelMarker,
-                              [this, relay, d, sub_done]() {
-                    Tick t =
-                        ctx_.gpm(d).invDrainTick(ctx_.engine.now());
-                    ctx_.engine.scheduleAt(t, [this, relay, d,
-                                               sub_done]() {
-                        ctx_.net.send(d, relay, MsgType::RelAck,
-                                      sub_done);
-                    });
-                });
-            }
-        });
+        ctx_.net.inject(
+            {.src = r,
+             .dst = relay,
+             .type = MsgType::RelMarker,
+             .onArrival = [this, r, relay, one_done]() {
+                 // The relay fans markers inside its own GPU, waits for
+                 // its own drain plus its siblings' acks, then
+                 // acknowledges.
+                 const GpuId u = ctx_.cfg.gpuOf(relay);
+                 auto sub = std::make_shared<std::uint32_t>(
+                     ctx_.cfg.gpmsPerGpu); // siblings + own drain
+                 auto sub_done = [this, sub, relay, r, one_done]() {
+                     if (--*sub == 0)
+                         ctx_.net.inject({.src = relay,
+                                          .dst = r,
+                                          .type = MsgType::RelAck,
+                                          .onArrival = one_done});
+                 };
+                 ctx_.gpm(relay).waitInvDrained(sub_done);
+                 for (std::uint32_t l = 0; l < ctx_.cfg.gpmsPerGpu; ++l) {
+                     GpmId d = ctx_.cfg.gpmId(u, l);
+                     if (d == relay)
+                         continue;
+                     ++rel_markers_;
+                     ctx_.net.inject(
+                         {.src = relay,
+                          .dst = d,
+                          .type = MsgType::RelMarker,
+                          .onArrival = [this, relay, d, sub_done]() {
+                              ctx_.gpm(d).waitInvDrained(
+                                  [this, relay, d, sub_done]() {
+                                      ctx_.net.inject(
+                                          {.src = d,
+                                           .dst = relay,
+                                           .type = MsgType::RelAck,
+                                           .onArrival = sub_done});
+                                  });
+                          }});
+                 }
+             }});
     }
 }
 
@@ -886,10 +1014,13 @@ HwProtocol::installEvictionHooks()
             if (home == id)
                 return;
             ++downgrades_;
-            ctx_.net.send(id, home, MsgType::Downgrade,
-                          [this, home, id, line]() {
-                handleDowngrade(home, id, line);
-            });
+            ctx_.net.inject({.src = id,
+                             .dst = home,
+                             .type = MsgType::Downgrade,
+                             .addr = line,
+                             .onArrival = [this, home, id, line]() {
+                                 handleDowngrade(home, id, line);
+                             }});
         });
     }
 }

@@ -31,6 +31,7 @@
 #include "mem/memory_state.hh"
 #include "mem/page_table.hh"
 #include "noc/network.hh"
+#include "sim/callback.hh"
 #include "sim/engine.hh"
 
 namespace hmg
@@ -60,10 +61,15 @@ struct SystemContext
     GpmNode &gpm(GpmId id) { return *gpms.at(id); }
 };
 
-/** Completion callback carrying the version a load observed. */
-using LoadDoneCb = std::function<void(Version)>;
-/** Completion callback for stores/fences. */
-using DoneCb = std::function<void()>;
+/**
+ * Completion callback carrying the version a load observed. Move-only
+ * SmallCallback (sim/callback.hh) rather than std::function: the SM
+ * front-end's completion captures (~48–56 bytes) live in the inline
+ * buffer, so the protocol hot path allocates nothing per operation.
+ */
+using LoadDoneCb = SmallCallback<kCompletionCbBytes, void(Version)>;
+/** Completion callback for stores/fences (move-only, heap-free). */
+using DoneCb = SmallCallback<kCompletionCbBytes, void()>;
 
 /**
  * Abstract coherence model. All entry points are asynchronous: they may

@@ -23,10 +23,10 @@
 #define HMG_CORE_RELEASE_TRACKER_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/callback.hh"
 
 namespace hmg
 {
@@ -35,7 +35,13 @@ namespace hmg
 class ReleaseTracker
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Waiter continuations are move-only SmallCallbacks. Release-fence
+     * closures (which capture a DoneCb plus marker-round state) run to
+     * ~130 bytes, so the inline buffer is sized generously; anything
+     * fatter spills to the heap, which is fine off the hot path.
+     */
+    using Callback = SmallCallback<136, void()>;
 
     explicit ReleaseTracker(std::uint32_t num_sms);
 

@@ -57,7 +57,8 @@ SwProtocol::load(const MemAccess &acc, LoadDoneCb done)
             if (res.hit) {
                 ++loads_local_hit_;
                 ctx_.engine.schedule(dataLat(),
-                                     [done, v = res.version]() {
+                                     [done = std::move(done),
+                                      v = res.version]() mutable {
                     done(v);
                 });
                 return;
@@ -73,7 +74,7 @@ SwProtocol::load(const MemAccess &acc, LoadDoneCb done)
                 n.mshrComplete(acc.lineAddr, v);
             };
         } else {
-            finish = [this, acc, done = std::move(done)](Version v) {
+            finish = [this, acc, done = std::move(done)](Version v) mutable {
                 if (mayCacheAt(acc.gpm, acc.lineAddr))
                     ctx_.gpm(acc.gpm).l2().fill(acc.lineAddr, v);
                 done(v);
@@ -81,17 +82,31 @@ SwProtocol::load(const MemAccess &acc, LoadDoneCb done)
         }
 
         const GpmId next = hier_ ? gh : h;
-        ctx_.net.send(acc.gpm, next, MsgType::ReadReq,
-                      [this, acc, gh, h, finish = std::move(finish)]() {
-            if (hier_ && gh != h) {
-                loadAtGpuHome(acc, gh, h, finish);
-            } else {
-                loadAtSysHome(acc, h, [this, acc, h, finish](Version v) {
-                    ctx_.net.send(h, acc.gpm, MsgType::ReadResp,
-                                  [v, finish]() { finish(v); });
-                });
-            }
-        });
+        ctx_.net.inject(
+            {.src = acc.gpm,
+             .dst = next,
+             .type = MsgType::ReadReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, gh, h,
+                           finish = std::move(finish)]() mutable {
+                 if (hier_ && gh != h) {
+                     loadAtGpuHome(acc, gh, h, std::move(finish));
+                 } else {
+                     loadAtSysHome(
+                         acc, h,
+                         [this, acc, h,
+                          finish = std::move(finish)](Version v) mutable {
+                             ctx_.net.inject(
+                                 {.src = h,
+                                  .dst = acc.gpm,
+                                  .type = MsgType::ReadResp,
+                                  .addr = acc.lineAddr,
+                                  .onArrival =
+                                      [v, finish = std::move(finish)]()
+                                          mutable { finish(v); }});
+                         });
+                 }
+             }});
     });
 }
 
@@ -100,13 +115,19 @@ SwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
 {
     hmg_assert(hier_ && gh != h);
 
-    auto respond = [this, acc, gh, done = std::move(done)](Version v) {
+    auto respond = [this, acc, gh,
+                    done = std::move(done)](Version v) mutable {
         if (acc.gpm == gh) {
             done(v);
             return;
         }
-        ctx_.net.send(gh, acc.gpm, MsgType::ReadResp,
-                      [v, done]() { done(v); });
+        ctx_.net.inject({.src = gh,
+                         .dst = acc.gpm,
+                         .type = MsgType::ReadResp,
+                         .addr = acc.lineAddr,
+                         .onArrival = [v, done = std::move(done)]() mutable {
+                             done(v);
+                         }});
     };
 
     ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
@@ -119,7 +140,8 @@ SwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
             if (res.hit) {
                 ++loads_gpu_home_hit_;
                 ctx_.engine.schedule(dataLat(),
-                                     [respond, v = res.version]() {
+                                     [respond = std::move(respond),
+                                      v = res.version]() mutable {
                     respond(v);
                 });
                 return;
@@ -127,24 +149,37 @@ SwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
             if (!home.mshrRegister(acc.lineAddr, std::move(respond)))
                 return;
         }
-        ctx_.net.send(gh, h, MsgType::ReadReq,
-                      [this, acc, gh, h, mergeable,
-                       respond = std::move(respond)]() mutable {
-            loadAtSysHome(acc, h,
-                          [this, acc, gh, h, mergeable,
-                           respond = std::move(respond)](Version v) {
-                ctx_.net.send(h, gh, MsgType::ReadResp,
-                              [this, acc, gh, v, mergeable, respond]() {
-                    GpmNode &home = ctx_.gpm(gh);
-                    if (mayCacheAt(gh, acc.lineAddr))
-                        home.l2().fill(acc.lineAddr, v);
-                    if (mergeable)
-                        home.mshrComplete(acc.lineAddr, v);
-                    else
-                        respond(v);
-                });
-            });
-        });
+        ctx_.net.inject(
+            {.src = gh,
+             .dst = h,
+             .type = MsgType::ReadReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, gh, h, mergeable,
+                           respond = std::move(respond)]() mutable {
+                 loadAtSysHome(
+                     acc, h,
+                     [this, acc, gh, h, mergeable,
+                      respond = std::move(respond)](Version v) mutable {
+                         ctx_.net.inject(
+                             {.src = h,
+                              .dst = gh,
+                              .type = MsgType::ReadResp,
+                              .addr = acc.lineAddr,
+                              .onArrival =
+                                  [this, acc, gh, v, mergeable,
+                                   respond =
+                                       std::move(respond)]() mutable {
+                                      GpmNode &home = ctx_.gpm(gh);
+                                      if (mayCacheAt(gh, acc.lineAddr))
+                                          home.l2().fill(acc.lineAddr, v);
+                                      if (mergeable)
+                                          home.mshrComplete(acc.lineAddr,
+                                                            v);
+                                      else
+                                          respond(v);
+                                  }});
+                     });
+             }});
     });
 }
 
@@ -158,7 +193,8 @@ SwProtocol::loadAtSysHome(MemAccess acc, GpmId h, LoadDoneCb respond)
         if (res.hit) {
             ++loads_sys_home_hit_;
             ctx_.engine.schedule(dataLat(),
-                                 [respond, v = res.version]() {
+                                 [respond = std::move(respond),
+                                  v = res.version]() mutable {
                 respond(v);
             });
             return;
@@ -191,28 +227,39 @@ SwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
     StoreFlow f{acc, v, std::move(sys_done), false};
 
     ctx_.engine.schedule(tagLat(), [this, f = std::move(f), gh, h,
-                                   accepted]() mutable {
+                                   accepted =
+                                       std::move(accepted)]() mutable {
         if (mayCacheAt(f.acc.gpm, f.acc.lineAddr))
             ctx_.gpm(f.acc.gpm).l2().store(f.acc.lineAddr, f.v);
         accepted();
         const GpmId src = f.acc.gpm;
+        const Addr line = f.acc.lineAddr;
         if (hier_) {
             if (src == gh) {
                 storeAtGpuHome(std::move(f), gh, h);
             } else {
-                ctx_.net.send(src, gh, MsgType::WriteThrough,
-                              [this, f = std::move(f), gh, h]() mutable {
-                    storeAtGpuHome(std::move(f), gh, h);
-                });
+                ctx_.net.inject(
+                    {.src = src,
+                     .dst = gh,
+                     .type = MsgType::WriteThrough,
+                     .addr = line,
+                     .onArrival = [this, f = std::move(f), gh,
+                                   h]() mutable {
+                         storeAtGpuHome(std::move(f), gh, h);
+                     }});
             }
         } else {
             if (src == h) {
                 storeAtSysHome(std::move(f), h);
             } else {
-                ctx_.net.send(src, h, MsgType::WriteThrough,
-                              [this, f = std::move(f), h]() mutable {
-                    storeAtSysHome(std::move(f), h);
-                });
+                ctx_.net.inject(
+                    {.src = src,
+                     .dst = h,
+                     .type = MsgType::WriteThrough,
+                     .addr = line,
+                     .onArrival = [this, f = std::move(f), h]() mutable {
+                         storeAtSysHome(std::move(f), h);
+                     }});
             }
         }
     });
@@ -230,10 +277,14 @@ SwProtocol::storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h)
         ctx_.gpm(gh).l2().store(f.acc.lineAddr, f.v);
     ctx_.tracker.reachedGpuLevel(f.acc.sm);
     f.gpuCleared = true;
-    ctx_.net.send(gh, h, MsgType::WriteThrough,
-                  [this, f = std::move(f), h]() mutable {
-        storeAtSysHome(std::move(f), h);
-    });
+    const Addr line = f.acc.lineAddr;
+    ctx_.net.inject({.src = gh,
+                     .dst = h,
+                     .type = MsgType::WriteThrough,
+                     .addr = line,
+                     .onArrival = [this, f = std::move(f), h]() mutable {
+                         storeAtSysHome(std::move(f), h);
+                     }});
 }
 
 void
@@ -267,12 +318,17 @@ SwProtocol::atomic(const MemAccess &acc, Version v, LoadDoneCb done,
         atomicAtHome(acc, target, h, v, std::move(done),
                      std::move(sys_done));
     } else {
-        ctx_.net.send(acc.gpm, target, MsgType::AtomicReq,
-                      [this, acc, target, h, v, done = std::move(done),
-                       sys_done = std::move(sys_done)]() mutable {
-            atomicAtHome(acc, target, h, v, std::move(done),
-                         std::move(sys_done));
-        });
+        ctx_.net.inject(
+            {.src = acc.gpm,
+             .dst = target,
+             .type = MsgType::AtomicReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, target, h, v,
+                           done = std::move(done),
+                           sys_done = std::move(sys_done)]() mutable {
+                 atomicAtHome(acc, target, h, v, std::move(done),
+                              std::move(sys_done));
+             }});
     }
 }
 
@@ -303,24 +359,39 @@ SwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
             return;
         }
         // GPU-home atomic without the line: fetch from the system home.
-        ctx_.net.send(target, h, MsgType::ReadReq,
-                      [this, acc, target, h, v, done = std::move(done),
-                       sys_done = std::move(sys_done)]() mutable {
-            loadAtSysHome(acc, h,
-                          [this, acc, target, h, v, done = std::move(done),
-                           sys_done =
-                               std::move(sys_done)](Version old_v) mutable {
-                ctx_.net.send(h, target, MsgType::ReadResp,
-                              [this, acc, target, h, v, old_v,
-                               done = std::move(done),
-                               sys_done = std::move(sys_done)]() mutable {
-                    if (mayCacheAt(target, acc.lineAddr))
-                        ctx_.gpm(target).l2().fill(acc.lineAddr, old_v);
-                    atomicPerform(acc, target, h, v, old_v, std::move(done),
-                                  std::move(sys_done));
-                });
-            });
-        });
+        ctx_.net.inject(
+            {.src = target,
+             .dst = h,
+             .type = MsgType::ReadReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, target, h, v,
+                           done = std::move(done),
+                           sys_done = std::move(sys_done)]() mutable {
+                 loadAtSysHome(
+                     acc, h,
+                     [this, acc, target, h, v, done = std::move(done),
+                      sys_done =
+                          std::move(sys_done)](Version old_v) mutable {
+                         ctx_.net.inject(
+                             {.src = h,
+                              .dst = target,
+                              .type = MsgType::ReadResp,
+                              .addr = acc.lineAddr,
+                              .onArrival =
+                                  [this, acc, target, h, v, old_v,
+                                   done = std::move(done),
+                                   sys_done =
+                                       std::move(sys_done)]() mutable {
+                                      if (mayCacheAt(target, acc.lineAddr))
+                                          ctx_.gpm(target).l2().fill(
+                                              acc.lineAddr, old_v);
+                                      atomicPerform(acc, target, h, v,
+                                                    old_v,
+                                                    std::move(done),
+                                                    std::move(sys_done));
+                                  }});
+                     });
+             }});
     });
 }
 
@@ -334,8 +405,14 @@ SwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
     if (target == acc.gpm) {
         done(old_v);
     } else {
-        ctx_.net.send(target, acc.gpm, MsgType::AtomicResp,
-                      [done = std::move(done), old_v]() { done(old_v); });
+        ctx_.net.inject({.src = target,
+                         .dst = acc.gpm,
+                         .type = MsgType::AtomicResp,
+                         .addr = acc.lineAddr,
+                         .onArrival = [done = std::move(done),
+                                       old_v]() mutable {
+                             done(old_v);
+                         }});
     }
 
     StoreFlow f{acc, v, std::move(sys_done), false};
@@ -350,10 +427,13 @@ SwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
     }
     ctx_.tracker.reachedGpuLevel(acc.sm);
     f.gpuCleared = true;
-    ctx_.net.send(target, h, MsgType::WriteThrough,
-                  [this, f = std::move(f), h]() mutable {
-        storeAtSysHome(std::move(f), h);
-    });
+    ctx_.net.inject({.src = target,
+                     .dst = h,
+                     .type = MsgType::WriteThrough,
+                     .addr = acc.lineAddr,
+                     .onArrival = [this, f = std::move(f), h]() mutable {
+                         storeAtSysHome(std::move(f), h);
+                     }});
 }
 
 // -------------------------------------------------------- acquire/release

@@ -19,6 +19,36 @@ GpmNode::GpmNode(Engine &engine, const SystemConfig &cfg, GpmId id,
     }
 }
 
+void
+GpmNode::ingress(const Message &m, Tick arrival)
+{
+    (void)arrival;
+    hmg_assert(m.dst == id_);
+    ++rx_count_[static_cast<std::size_t>(m.type)];
+    rx_bytes_ += m.bytes;
+}
+
+void
+GpmNode::invLanded()
+{
+    hmg_assert(pending_invs_ > 0);
+    if (--pending_invs_ == 0) {
+        auto waiters = std::move(inv_waiters_);
+        inv_waiters_.clear();
+        for (auto &cb : waiters)
+            cb();
+    }
+}
+
+void
+GpmNode::waitInvDrained(Callback cb)
+{
+    if (pending_invs_ == 0)
+        cb();
+    else
+        inv_waiters_.push_back(std::move(cb));
+}
+
 bool
 GpmNode::mshrRegister(Addr line, MissCb cb)
 {
@@ -54,7 +84,7 @@ GpmNode::wbLanded()
 }
 
 void
-GpmNode::waitWbDrained(std::function<void()> cb)
+GpmNode::waitWbDrained(Callback cb)
 {
     if (pending_writebacks_ == 0)
         cb();
@@ -68,6 +98,11 @@ GpmNode::reportStats(StatRecorder &r, const std::string &prefix) const
     l2_.reportStats(r, prefix + ".l2");
     dram_.reportStats(r, prefix + ".dram");
     r.record(prefix + ".mshr_merges", static_cast<double>(mshr_merges_));
+    std::uint64_t rx_msgs = 0;
+    for (auto c : rx_count_)
+        rx_msgs += c;
+    r.record(prefix + ".rx_msgs", static_cast<double>(rx_msgs));
+    r.record(prefix + ".rx_bytes", static_cast<double>(rx_bytes_));
     if (dir_)
         dir_->reportStats(r, prefix + ".dir");
 }

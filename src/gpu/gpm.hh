@@ -8,8 +8,6 @@
 #ifndef HMG_GPU_GPM_HH
 #define HMG_GPU_GPM_HH
 
-#include <algorithm>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -20,6 +18,8 @@
 #include "common/stats.hh"
 #include "core/directory.hh"
 #include "mem/dram.hh"
+#include "noc/message.hh"
+#include "sim/callback.hh"
 #include "sim/engine.hh"
 
 namespace hmg
@@ -29,6 +29,8 @@ namespace hmg
 class GpmNode
 {
   public:
+    using Callback = SmallCallback<kCompletionCbBytes, void()>;
+
     GpmNode(Engine &engine, const SystemConfig &cfg, GpmId id,
             bool with_directory);
 
@@ -39,23 +41,42 @@ class GpmNode
     Directory *dir() { return dir_.get(); }
     const Directory *dir() const { return dir_.get(); }
 
-    /**
-     * Record that this node sent an invalidation scheduled to arrive at
-     * `arrival`. A release marker received later must not be
-     * acknowledged before every such invalidation has landed
-     * (Section IV-B, "Release").
-     */
-    void noteInvSent(Tick arrival)
-    {
-        last_inv_arrival_ = std::max(last_inv_arrival_, arrival);
-    }
+    // --- network ingress dispatch ---
 
-    /** Earliest tick at which a release marker arriving now may be
-     *  acknowledged. */
-    Tick invDrainTick(Tick now) const
+    /**
+     * A transport-layer message addressed to this node was dispatched by
+     * its ingress port and will be delivered at `arrival`. The node
+     * accounts per-class receive traffic here; the protocol-level
+     * reaction is the message's own arrival continuation.
+     */
+    void ingress(const Message &m, Tick arrival);
+
+    std::uint64_t messagesReceived(MsgType t) const
     {
-        return std::max(now, last_inv_arrival_);
+        return rx_count_[static_cast<std::size_t>(t)];
     }
+    std::uint64_t bytesReceived() const { return rx_bytes_; }
+
+    // --- in-flight invalidation ledger ---
+    //
+    // A release marker received by this node must not be acknowledged
+    // before every invalidation this node has sent has landed
+    // (Section IV-B, "Release"). With per-hop queueing the arrival tick
+    // of an invalidation is not knowable at injection time, so the node
+    // keeps a count of in-flight invalidations and parks release-marker
+    // continuations until it drains — the exact analogue of the
+    // write-back ledger below.
+
+    /** An invalidation left this node. */
+    void invIssued() { ++pending_invs_; }
+
+    /** One of this node's invalidations reached its destination. */
+    void invLanded();
+
+    /** Run `cb` once no invalidations from this node are in flight. */
+    void waitInvDrained(Callback cb);
+
+    std::uint64_t pendingInvs() const { return pending_invs_; }
 
     // --- miss-status handling registers (request coalescing) ---
     //
@@ -66,7 +87,7 @@ class GpmNode
     // individual GPMs to be coalesced and/or cached within a single
     // GPU").
 
-    using MissCb = std::function<void(Version)>;
+    using MissCb = SmallCallback<kCompletionCbBytes, void(Version)>;
 
     /**
      * Join the miss on `line`. @return true if the caller is the
@@ -89,7 +110,7 @@ class GpmNode
     void wbLanded();
 
     /** Run `cb` once no write-backs from this node are in flight. */
-    void waitWbDrained(std::function<void()> cb);
+    void waitWbDrained(Callback cb);
 
     std::uint64_t pendingWritebacks() const { return pending_writebacks_; }
 
@@ -100,11 +121,14 @@ class GpmNode
     Cache l2_;
     Dram dram_;
     std::unique_ptr<Directory> dir_;
-    Tick last_inv_arrival_ = 0;
     std::unordered_map<Addr, std::vector<MissCb>> mshr_;
     std::uint64_t mshr_merges_ = 0;
+    std::uint64_t pending_invs_ = 0;
+    std::vector<Callback> inv_waiters_;
     std::uint64_t pending_writebacks_ = 0;
-    std::vector<std::function<void()>> wb_waiters_;
+    std::vector<Callback> wb_waiters_;
+    std::uint64_t rx_count_[kNumMsgTypes] = {};
+    std::uint64_t rx_bytes_ = 0;
 };
 
 } // namespace hmg

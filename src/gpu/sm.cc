@@ -213,19 +213,25 @@ Sm::doStore(const WarpPtr &w, const trace::MemOp &op)
         const MemAccess acc = accessFor(op);
         const Version v = ctx_.mem.allocateVersion();
 
-        withSlot([this, w, acc, v]() {
-            ctx_.tracker.issued(id_);
-            // Write-through, no-allocate L1 update.
-            l1_.store(acc.lineAddr, v);
-            sbInsert(acc.lineAddr, v);
-            model_.store(acc, v, /*accepted=*/[]() {},
-                         /*sys_done=*/[this, line = acc.lineAddr]() {
-                sbRemove(line);
-                releaseSlot();
+        // Transport backpressure: a congested egress NIC parks the
+        // write-through here until credits drain, so an oversubscribed
+        // inter-GPU link throttles store issue instead of growing an
+        // unbounded in-network queue.
+        ctx_.net.whenInjectable(gpm_, [this, w, acc, v]() {
+            withSlot([this, w, acc, v]() {
+                ctx_.tracker.issued(id_);
+                // Write-through, no-allocate L1 update.
+                l1_.store(acc.lineAddr, v);
+                sbInsert(acc.lineAddr, v);
+                model_.store(acc, v, /*accepted=*/[]() {},
+                             /*sys_done=*/[this, line = acc.lineAddr]() {
+                    sbRemove(line);
+                    releaseSlot();
+                });
+                // The warp retires the posted store after a small cost.
+                ctx_.engine.schedule(ctx_.cfg.storeIssueCost,
+                                     [this, w]() { advance(w); });
             });
-            // The warp retires the posted store after a small cost.
-            ctx_.engine.schedule(ctx_.cfg.storeIssueCost,
-                                 [this, w]() { advance(w); });
         });
     };
 

@@ -16,6 +16,12 @@ System::System(const SystemConfig &cfg)
         gpms_.push_back(
             std::make_unique<GpmNode>(engine_, cfg_, g, with_dir));
 
+    // Every delivered message passes through the destination node's
+    // ingress dispatch for per-class receive accounting.
+    net_->setDeliveryHook([this](const Message &m, Tick at) {
+        gpms_[m.dst]->ingress(m, at);
+    });
+
     ctx_ = std::make_unique<SystemContext>(SystemContext{
         engine_, cfg_, *net_, pages_, *amap_, mem_, tracker_, gpms_});
 

@@ -16,6 +16,7 @@
 
 #include "common/config.hh"
 #include "common/types.hh"
+#include "sim/engine.hh"
 
 namespace hmg
 {
@@ -50,6 +51,34 @@ carriesData(MsgType t)
 
 /** Wire size of a message of type `t` under configuration `cfg`. */
 std::uint32_t msgBytes(const SystemConfig &cfg, MsgType t);
+
+/** Arrival continuation carried by a Message (move-only, inline). */
+using MsgCallback = Engine::Callback;
+
+/**
+ * One typed transport-layer message. Producers construct it with
+ * designated initializers and hand it to Network::inject(); the wire
+ * size is derived from `type` by msgBytes(), so Fig. 9–11 byte
+ * accounting and per-link occupancy always agree with one definition.
+ *
+ * The struct is move-only (the continuation is a SmallCallback) and
+ * lives *inside* the port queues while in flight: forwarding a message
+ * moves it from one hop's bounded queue to the next, and final delivery
+ * moves `onArrival` straight into the engine's event wheel. No per-hop
+ * heap allocation, no per-hop fat-closure copies.
+ */
+struct Message
+{
+    GpmId src = 0;
+    GpmId dst = 0;
+    MsgType type = MsgType::ReadReq;
+    /** Line/sector address the message concerns (0 when n/a). */
+    Addr addr = 0;
+    /** Wire size; filled in by Network::inject() from `type`. */
+    std::uint32_t bytes = 0;
+    /** Runs at the delivery tick, after the last hop's latency. */
+    MsgCallback onArrival;
+};
 
 } // namespace hmg
 

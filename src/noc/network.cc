@@ -1,5 +1,6 @@
 #include "noc/network.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.hh"
@@ -13,57 +14,168 @@ Network::Network(Engine &engine, const SystemConfig &cfg)
     const double gpm_bpc = cfg.intraGpuPortBytesPerCycle();
     const double gpu_bpc = cfg.interGpuPortBytesPerCycle();
     const Tick intra_half = cfg.intraGpuHopLatency / 2;
+    const Tick intra_rest = cfg.intraGpuHopLatency - intra_half;
     const Tick inter_half = cfg.interGpuHopLatency / 2;
+    const Tick inter_rest = cfg.interGpuHopLatency - inter_half;
+    const std::uint32_t locals = cfg.gpmsPerGpu;
 
-    for (std::uint32_t i = 0; i < cfg.totalGpms(); ++i) {
-        gpm_egress_.push_back(
-            std::make_unique<Channel>(engine, gpm_bpc, intra_half));
-        gpm_ingress_.push_back(
-            std::make_unique<Channel>(engine, gpm_bpc,
-                                      cfg.intraGpuHopLatency - intra_half));
+    // Credit pools are sized to (at least twice) the bandwidth-delay
+    // product of the link FEEDING the queue: after a pop returns a
+    // credit upstream, the refill takes a full hop latency to arrive,
+    // so a smaller pool would idle the wire on every credit round trip
+    // (see noc/port.hh). The floor keeps short-latency hops from
+    // degenerating to one-message lockstep.
+    const std::uint64_t floor_bytes =
+        std::uint64_t{cfg.nocPortQueueCapacity} *
+        (cfg.msgHeaderBytes + cfg.cacheLineBytes);
+    auto pool = [&](double drain_bpc, Tick feed_latency) {
+        // +8 cycles of slack for the feeder's serialization and the
+        // integer rounding of arrival ticks.
+        const auto bdp = static_cast<std::uint64_t>(
+            drain_bpc * static_cast<double>(feed_latency + 8));
+        return std::max(floor_bytes, 2 * bdp);
+    };
+
+    // A GPM's egress is fed only by its NIC queue (zero latency); its
+    // ingress has one input per same-GPU sibling plus one for the
+    // inter-GPU switch (fed across the long switch->GPM hop).
+    for (std::uint32_t g = 0; g < cfg.totalGpms(); ++g) {
+        gpm_egress_.push_back(std::make_unique<Port>(
+            engine, gpm_bpc, intra_half, /*num_inputs=*/1,
+            pool(gpm_bpc, 0)));
+        gpm_ingress_.push_back(std::make_unique<Port>(
+            engine, gpm_bpc, intra_rest, locals + 1,
+            pool(gpm_bpc, inter_rest)));
     }
-    for (std::uint32_t g = 0; g < cfg.numGpus; ++g) {
-        gpu_egress_.push_back(
-            std::make_unique<Channel>(engine, gpu_bpc, inter_half));
-        gpu_ingress_.push_back(
-            std::make_unique<Channel>(engine, gpu_bpc,
-                                      cfg.interGpuHopLatency - inter_half));
+    // A GPU's switch egress is fed by its local GPMs; its switch ingress
+    // by the other GPUs' egresses (slot = source GPU id).
+    for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
+        gpu_egress_.push_back(std::make_unique<Port>(
+            engine, gpu_bpc, inter_half, locals,
+            pool(gpu_bpc, intra_half)));
+        gpu_ingress_.push_back(std::make_unique<Port>(
+            engine, gpu_bpc, inter_rest, cfg.numGpus,
+            pool(gpu_bpc, inter_half)));
     }
+
+    // Routing. The input index a message occupies at each hop is a pure
+    // function of (src, dst), so a given pair contends in one queue per
+    // hop and its delivery order stays FIFO (see noc/port.hh).
+    for (std::uint32_t g = 0; g < cfg.totalGpms(); ++g) {
+        gpm_egress_[g]->setRoute([this](const Message &m) -> Port::Route {
+            if (sameGpu(m.src, m.dst))
+                return {gpm_ingress_[m.dst].get(), cfg_.localGpmOf(m.src)};
+            return {gpu_egress_[cfg_.gpuOf(m.src)].get(),
+                    cfg_.localGpmOf(m.src)};
+        });
+        gpm_egress_[g]->setUpstream(0, [this, g]() { feedNic(g); });
+
+        gpm_ingress_[g]->setDeliver([this](Message &&m, Tick at) {
+            deliver(std::move(m), at);
+        });
+        const GpuId u = cfg.gpuOf(g);
+        for (std::uint32_t l = 0; l < locals; ++l) {
+            const GpmId sib = cfg.gpmId(u, l);
+            gpm_ingress_[g]->setUpstream(
+                l, [this, sib]() { gpm_egress_[sib]->pump(); });
+        }
+        gpm_ingress_[g]->setUpstream(
+            locals, [this, u]() { gpu_ingress_[u]->pump(); });
+    }
+    for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
+        gpu_egress_[u]->setRoute([this](const Message &m) -> Port::Route {
+            return {gpu_ingress_[cfg_.gpuOf(m.dst)].get(),
+                    cfg_.gpuOf(m.src)};
+        });
+        for (std::uint32_t l = 0; l < locals; ++l) {
+            const GpmId src = cfg.gpmId(u, l);
+            gpu_egress_[u]->setUpstream(
+                l, [this, src]() { gpm_egress_[src]->pump(); });
+        }
+
+        gpu_ingress_[u]->setRoute([this](const Message &m) -> Port::Route {
+            return {gpm_ingress_[m.dst].get(), cfg_.gpmsPerGpu};
+        });
+        for (std::uint32_t su = 0; su < cfg.numGpus; ++su) {
+            gpu_ingress_[u]->setUpstream(
+                su, [this, su]() { gpu_egress_[su]->pump(); });
+        }
+    }
+
+    nic_.resize(cfg.totalGpms());
+    inject_waiters_.resize(cfg.totalGpms());
+    draining_waiters_.resize(cfg.totalGpms(), false);
 }
 
-Tick
-Network::send(GpmId src, GpmId dst, MsgType t, Engine::Callback on_arrival)
+void
+Network::inject(Message m)
 {
-    return sendAt(engine_.now(), src, dst, t, std::move(on_arrival));
-}
+    hmg_assert(m.src < cfg_.totalGpms() && m.dst < cfg_.totalGpms());
+    hmg_assert(m.src != m.dst);
 
-Tick
-Network::sendAt(Tick earliest, GpmId src, GpmId dst, MsgType t,
-                Engine::Callback on_arrival)
-{
-    hmg_assert(src < cfg_.totalGpms() && dst < cfg_.totalGpms());
-    hmg_assert(src != dst);
-
-    const std::uint32_t bytes = msgBytes(cfg_, t);
-    const auto ti = static_cast<std::size_t>(t);
+    m.bytes = msgBytes(cfg_, m.type);
+    const auto ti = static_cast<std::size_t>(m.type);
+    // Byte/message accounting happens at injection: the traffic exists
+    // the moment the protocol emits it, whatever the fabric later does
+    // with it. (Per-hop occupancy is tracked by the ports themselves.)
     ++msg_count_[ti];
+    intra_bytes_[ti] += m.bytes;
+    if (!sameGpu(m.src, m.dst))
+        inter_bytes_[ti] += m.bytes;
 
-    Tick at = gpm_egress_[src]->sendAt(earliest, bytes);
-    if (sameGpu(src, dst)) {
-        intra_bytes_[ti] += bytes;
-    } else {
-        GpuId sg = cfg_.gpuOf(src);
-        GpuId dg = cfg_.gpuOf(dst);
-        at = gpu_egress_[sg]->sendAt(at, bytes);
-        at = gpu_ingress_[dg]->sendAt(at, bytes);
-        intra_bytes_[ti] += bytes;
-        inter_bytes_[ti] += bytes;
+    const GpmId src = m.src;
+    nic_[src].push_back(std::move(m));
+    feedNic(src);
+}
+
+void
+Network::feedNic(GpmId src)
+{
+    auto &nic = nic_[src];
+    Port &egress = *gpm_egress_[src];
+    const Tick now = engine_.now();
+    while (!nic.empty() && egress.canAccept(0)) {
+        Message m = std::move(nic.front());
+        nic.pop_front();
+        egress.push(0, now, std::move(m));
     }
-    at = gpm_ingress_[dst]->sendAt(at, bytes);
+    drainInjectWaiters(src);
+}
 
-    if (on_arrival)
-        engine_.scheduleAt(at, std::move(on_arrival));
-    return at;
+void
+Network::whenInjectable(GpmId src, InjectWaiter cb)
+{
+    if (injectable(src)) {
+        cb.consume();
+        return;
+    }
+    inject_waiters_[src].push_back(std::move(cb));
+}
+
+void
+Network::drainInjectWaiters(GpmId src)
+{
+    if (draining_waiters_[src])
+        return;
+    draining_waiters_[src] = true;
+    auto &waiters = inject_waiters_[src];
+    while (!waiters.empty() &&
+           injectionBacklog(src) < cfg_.nocInjectionBacklogLimit) {
+        InjectWaiter cb = std::move(waiters.front());
+        waiters.pop_front();
+        cb.consume();
+    }
+    draining_waiters_[src] = false;
+}
+
+void
+Network::deliver(Message &&m, Tick arrival)
+{
+    ++delivered_;
+    if (delivery_hook_)
+        delivery_hook_(m, arrival);
+    if (m.onArrival)
+        engine_.scheduleAt(arrival, std::move(m.onArrival));
 }
 
 std::uint64_t
@@ -84,6 +196,29 @@ Network::totalIntraGpuBytes() const
     return sum;
 }
 
+double
+Network::interGpuUtilizationAvg() const
+{
+    double sum = 0;
+    for (const auto &p : gpu_egress_)
+        sum += p->utilization();
+    for (const auto &p : gpu_ingress_)
+        sum += p->utilization();
+    return sum / static_cast<double>(gpu_egress_.size() +
+                                     gpu_ingress_.size());
+}
+
+double
+Network::interGpuUtilizationPeak() const
+{
+    double peak = 0;
+    for (const auto &p : gpu_egress_)
+        peak = std::max(peak, p->utilization());
+    for (const auto &p : gpu_ingress_)
+        peak = std::max(peak, p->utilization());
+    return peak;
+}
+
 void
 Network::reportStats(StatRecorder &r, const std::string &prefix) const
 {
@@ -102,6 +237,22 @@ Network::reportStats(StatRecorder &r, const std::string &prefix) const
              static_cast<double>(totalIntraGpuBytes()));
     r.record(prefix + ".total_inter_bytes",
              static_cast<double>(totalInterGpuBytes()));
+    r.record(prefix + ".delivered", static_cast<double>(delivered_));
+
+    for (std::uint32_t g = 0; g < cfg_.totalGpms(); ++g) {
+        const std::string base =
+            prefix + ".port.gpm" + std::to_string(g);
+        gpm_egress_[g]->reportStats(r, base + ".egress");
+        gpm_ingress_[g]->reportStats(r, base + ".ingress");
+    }
+    for (std::uint32_t u = 0; u < cfg_.numGpus; ++u) {
+        const std::string base =
+            prefix + ".port.gpu" + std::to_string(u);
+        gpu_egress_[u]->reportStats(r, base + ".egress");
+        gpu_ingress_[u]->reportStats(r, base + ".ingress");
+    }
+    r.record(prefix + ".inter_gpu.util_avg", interGpuUtilizationAvg());
+    r.record(prefix + ".inter_gpu.util_peak", interGpuUtilizationPeak());
 }
 
 } // namespace hmg

@@ -3,9 +3,9 @@
  * The two-tier interconnect: intra-GPU crossbars and the inter-GPU
  * switch (Fig. 1 / Fig. 4 of the paper).
  *
- * Each GPM owns a pair of directed channels (egress/ingress) into its
+ * Each GPM owns a pair of directed ports (egress/ingress) into its
  * GPU's crossbar, sized so the per-GPU aggregate matches Table II's
- * 2 TB/s. Each GPU owns a pair of directed channels into the NVSwitch
+ * 2 TB/s. Each GPU owns a pair of directed ports into the NVSwitch
  * fabric at 200 GB/s each. A GPM-to-GPM transfer traverses:
  *
  *   same GPM:   nothing (handled locally by the caller)
@@ -13,18 +13,30 @@
  *   cross GPU:  gpmEgress[src] -> gpuEgress[srcGpu]
  *               -> gpuIngress[dstGpu] -> gpmIngress[dst]
  *
- * Paths are chained analytically with Channel::sendAt, so a multi-hop
- * message costs one engine event. Per-(src,dst) FIFO ordering is
- * preserved, which the protocols' release/invalidation-drain logic
- * requires. (Cross-source interleaving at a shared hop is approximated
- * in call order — an acceptable fidelity tradeoff documented in
- * DESIGN.md.)
+ * Every hop is a Port (noc/port.hh): a bounded queue per upstream
+ * source, deterministic round-robin arbitration among contending
+ * sources, exact-rational bandwidth serialization, and credit-style
+ * backpressure that propagates hop by hop back to the injecting GPM.
+ * Cross-source contention at a shared hop is therefore modeled
+ * explicitly, per cycle — including the queueing delay and the 100%
+ * utilization ceiling of an oversubscribed inter-GPU link (the effect
+ * HMG's hierarchy exists to relieve; Fig. 12). Per-(src,dst) delivery
+ * stays FIFO, which the protocols' release/invalidation-drain logic
+ * requires.
+ *
+ * Producers construct typed Messages and inject() them. Injection
+ * lands in an unbounded per-GPM NIC queue (so protocol logic can never
+ * deadlock against the fabric); the NIC feeds the GPM's egress port as
+ * credits free up, and the SM store path observes the NIC backlog via
+ * whenInjectable() to throttle issue under congestion.
  */
 
 #ifndef HMG_NOC_NETWORK_HH
 #define HMG_NOC_NETWORK_HH
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,7 +44,8 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "noc/message.hh"
-#include "sim/channel.hh"
+#include "noc/port.hh"
+#include "sim/callback.hh"
 #include "sim/engine.hh"
 
 namespace hmg
@@ -45,25 +58,52 @@ class Network
     Network(Engine &engine, const SystemConfig &cfg);
 
     /**
-     * Send a message of type `t` from GPM `src` to GPM `dst`.
-     * When `on_arrival` is provided it runs at the arrival tick.
-     * @return the absolute arrival tick.
+     * Queue a typed message for transport. `m.bytes` is derived from
+     * `m.type` here; `m.onArrival` runs at the delivery tick, after the
+     * last hop. Never blocks (the NIC queue is unbounded); senders that
+     * should feel backpressure poll injectionBacklog()/whenInjectable().
      */
-    Tick send(GpmId src, GpmId dst, MsgType t,
-              Engine::Callback on_arrival = {});
+    void inject(Message m);
 
     /**
-     * Like send(), but the message enters the network no earlier than
-     * `earliest` (chaining after a local cache/DRAM latency).
+     * Observer invoked when a message is dispatched by its final
+     * ingress port, before the arrival continuation runs; the System
+     * routes it to the destination GpmNode's ingress accounting.
      */
-    Tick sendAt(Tick earliest, GpmId src, GpmId dst, MsgType t,
-                Engine::Callback on_arrival = {});
+    using DeliveryHook = std::function<void(const Message &, Tick)>;
+    void setDeliveryHook(DeliveryHook hook)
+    {
+        delivery_hook_ = std::move(hook);
+    }
 
     /** True when both GPMs sit on the same GPU. */
     bool sameGpu(GpmId a, GpmId b) const
     {
         return cfg_.gpuOf(a) == cfg_.gpuOf(b);
     }
+
+    // --- injection backpressure (SM store-issue throttle) ---
+
+    /** Messages parked in `src`'s NIC queue awaiting egress credit. */
+    std::uint32_t injectionBacklog(GpmId src) const
+    {
+        return static_cast<std::uint32_t>(nic_[src].size());
+    }
+
+    /** May `src` inject without exceeding the configured backlog? */
+    bool injectable(GpmId src) const
+    {
+        return injectionBacklog(src) < cfg_.nocInjectionBacklogLimit &&
+               inject_waiters_[src].empty();
+    }
+
+    using InjectWaiter = SmallCallback<kCompletionCbBytes, void()>;
+
+    /**
+     * Run `cb` as soon as `src` may inject (immediately when already
+     * injectable). Waiters run in FIFO order as the NIC drains.
+     */
+    void whenInjectable(GpmId src, InjectWaiter cb);
 
     // --- statistics (drive Fig. 11 and the bandwidth analyses) ---
 
@@ -87,21 +127,52 @@ class Network
     std::uint64_t totalInterGpuBytes() const;
     std::uint64_t totalIntraGpuBytes() const;
 
+    /** Messages fully delivered (arrival tick reached dispatch). */
+    std::uint64_t messagesDelivered() const { return delivered_; }
+
+    // --- per-link observability (Fig. 12's oversubscription story) ---
+
+    const Port &gpmEgressPort(GpmId g) const { return *gpm_egress_[g]; }
+    const Port &gpmIngressPort(GpmId g) const { return *gpm_ingress_[g]; }
+    const Port &gpuEgressPort(GpuId u) const { return *gpu_egress_[u]; }
+    const Port &gpuIngressPort(GpuId u) const { return *gpu_ingress_[u]; }
+
+    /** Mean utilization across the 2N inter-GPU link directions. */
+    double interGpuUtilizationAvg() const;
+    /** Highest utilization among the inter-GPU link directions. */
+    double interGpuUtilizationPeak() const;
+
     void reportStats(StatRecorder &r, const std::string &prefix) const;
 
   private:
+    /** Move NIC messages into the egress port while credits last, then
+     *  wake store-issue waiters the drained backlog unblocks. */
+    void feedNic(GpmId src);
+    void drainInjectWaiters(GpmId src);
+
+    /** Final-hop dispatch: account, observe, schedule the arrival. */
+    void deliver(Message &&m, Tick arrival);
+
     Engine &engine_;
     const SystemConfig &cfg_;
 
-    // Channels are non-movable (they hold an Engine&), hence unique_ptr.
-    std::vector<std::unique_ptr<Channel>> gpm_egress_;
-    std::vector<std::unique_ptr<Channel>> gpm_ingress_;
-    std::vector<std::unique_ptr<Channel>> gpu_egress_;
-    std::vector<std::unique_ptr<Channel>> gpu_ingress_;
+    // Ports are non-movable (they hold an Engine&), hence unique_ptr.
+    std::vector<std::unique_ptr<Port>> gpm_egress_;
+    std::vector<std::unique_ptr<Port>> gpm_ingress_;
+    std::vector<std::unique_ptr<Port>> gpu_egress_;
+    std::vector<std::unique_ptr<Port>> gpu_ingress_;
+
+    /** Per-GPM injection queues (unbounded; see file comment). */
+    std::vector<std::deque<Message>> nic_;
+    std::vector<std::deque<InjectWaiter>> inject_waiters_;
+    std::vector<bool> draining_waiters_;
+
+    DeliveryHook delivery_hook_;
 
     std::uint64_t intra_bytes_[kNumMsgTypes] = {};
     std::uint64_t inter_bytes_[kNumMsgTypes] = {};
     std::uint64_t msg_count_[kNumMsgTypes] = {};
+    std::uint64_t delivered_ = 0;
 };
 
 } // namespace hmg

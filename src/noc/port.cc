@@ -1,0 +1,186 @@
+#include "noc/port.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+Port::Port(Engine &engine, double bytes_per_cycle, Tick latency,
+           std::uint32_t num_inputs, std::uint64_t capacity_bytes)
+    : engine_(engine),
+      wire_(bytes_per_cycle),
+      latency_(latency),
+      capacity_(capacity_bytes),
+      inputs_(num_inputs)
+{
+    hmg_assert(num_inputs > 0);
+    hmg_assert(capacity_bytes > 0);
+}
+
+void
+Port::setUpstream(std::uint32_t input, NotifyFn notify)
+{
+    inputs_.at(input).upstream = std::move(notify);
+}
+
+void
+Port::push(std::uint32_t input, Tick ready, Message &&m)
+{
+    Input &in = inputs_.at(input);
+    hmg_assert(in.arrived_bytes < capacity_);
+    hmg_assert(ready >= engine_.now());
+    hmg_assert(m.bytes > 0);
+    if (ready <= engine_.now()) {
+        ++in.arrived;
+        in.arrived_bytes += m.bytes;
+    }
+    in.q.push_back(Transit{ready, std::move(m)});
+    ++depth_;
+    schedulePump(ready);
+}
+
+void
+Port::schedulePump(Tick at)
+{
+    if (pump_pending_ && pump_at_ <= at)
+        return;
+    pump_pending_ = true;
+    pump_at_ = at;
+    // The event captures only `this`; a wake-up superseded by an
+    // earlier one still fires but finds pump_pending_ tracking a
+    // different tick, calls the idempotent pump(), and dies without
+    // re-arming.
+    engine_.scheduleAt(at, [this]() {
+        if (pump_pending_ && pump_at_ == engine_.now())
+            pump_pending_ = false;
+        pump();
+    });
+}
+
+Tick
+Port::nextHeadArrival(Tick now) const
+{
+    Tick next = 0;
+    for (const Input &in : inputs_) {
+        if (in.q.empty() || in.q.front().ready <= now)
+            continue;
+        if (next == 0 || in.q.front().ready < next)
+            next = in.q.front().ready;
+    }
+    return next;
+}
+
+void
+Port::noteArrivals(Tick now)
+{
+    std::uint32_t backlog = 0;
+    for (Input &in : inputs_) {
+        while (in.arrived < in.q.size() &&
+               in.q[in.arrived].ready <= now) {
+            in.arrived_bytes += in.q[in.arrived].msg.bytes;
+            ++in.arrived;
+        }
+        backlog += in.arrived;
+    }
+    peak_depth_ = std::max(peak_depth_, backlog);
+}
+
+void
+Port::pump()
+{
+    const Tick now = engine_.now();
+    noteArrivals(now);
+    for (;;) {
+        if (wire_.freeCycle() > now) {
+            // The wire is serializing into a future cycle; come back
+            // when it frees (only needed if work is actually waiting).
+            if (depth_ > 0)
+                schedulePump(wire_.freeCycle());
+            return;
+        }
+
+        // Deterministic round-robin: scan from rr_, take the first
+        // input whose head has arrived and whose downstream has room.
+        // A blocked head blocks its whole input — later messages of the
+        // same queue never overtake it, which is what keeps
+        // per-(src,dst) order FIFO.
+        const std::uint32_t n = numInputs();
+        std::uint32_t pick = n;
+        Route route{};
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t in = (rr_ + i) % n;
+            const auto &q = inputs_[in].q;
+            if (q.empty() || q.front().ready > now)
+                continue;
+            if (route_) {
+                Route r = route_(q.front().msg);
+                if (r.next && !r.next->canAccept(r.input))
+                    continue;
+                route = r;
+            }
+            pick = in;
+            break;
+        }
+        if (pick == n) {
+            // Nothing dispatchable. Re-arm for the earliest in-flight
+            // head (the push wake-up may have been coalesced away);
+            // blocked heads re-pump when the downstream frees credits.
+            const Tick next = nextHeadArrival(now);
+            if (next != 0)
+                schedulePump(next);
+            return;
+        }
+        rr_ = (pick + 1) % n;
+
+        Input &in = inputs_[pick];
+        hmg_assert(in.arrived > 0); // eligibility required ready <= now
+        Transit t = std::move(in.q.front());
+        in.q.pop_front();
+        --in.arrived;
+        hmg_assert(in.arrived_bytes >= t.msg.bytes);
+        in.arrived_bytes -= t.msg.bytes;
+        --depth_;
+        ++msgs_;
+        qdelay_sum_ += now - t.ready;
+        ++qdelay_msgs_;
+        qdelay_hist_.sample(now - t.ready);
+
+        // Occupy the wire, then hand the message to the next stage
+        // tagged with its arrival tick; it waits out the flight time
+        // inside the downstream queue (or the event wheel, at the last
+        // hop).
+        const Tick arrival = wire_.serialize(now, t.msg.bytes) + latency_;
+        if (route.next)
+            route.next->push(route.input, arrival, std::move(t.msg));
+        else
+            deliver_(std::move(t.msg), arrival);
+
+        // The freed slot is this hop's credit return: let the upstream
+        // stage re-arbitrate immediately (same tick, deterministic).
+        if (in.upstream)
+            in.upstream();
+    }
+}
+
+double
+Port::utilization() const
+{
+    const Tick now = engine_.now();
+    return now == 0 ? 0.0 : wire_.busyCycles() / static_cast<double>(now);
+}
+
+void
+Port::reportStats(StatRecorder &r, const std::string &prefix) const
+{
+    r.record(prefix + ".bytes", static_cast<double>(wire_.bytesTotal()));
+    r.record(prefix + ".msgs", static_cast<double>(msgs_));
+    r.record(prefix + ".util", utilization());
+    r.record(prefix + ".peak_depth", static_cast<double>(peak_depth_));
+    r.record(prefix + ".qdelay_cycles", static_cast<double>(qdelay_sum_));
+    r.record(prefix + ".qdelay_msgs", static_cast<double>(qdelay_msgs_));
+    qdelay_hist_.reportStats(r, prefix + ".qdelay_hist");
+}
+
+} // namespace hmg

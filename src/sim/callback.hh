@@ -1,16 +1,22 @@
 /**
  * @file
- * A small-buffer-optimized, move-only callable for engine events.
+ * A small-buffer-optimized, move-only callable for engine events and
+ * protocol completion paths.
  *
  * std::function's inline buffer (16 bytes on libstdc++) is smaller than
  * almost every closure the protocol engines schedule — a typical data-path
  * continuation captures `this`, a MemAccess, a couple of ids and two
- * completion std::functions, ~112 bytes — so the seed engine paid one
- * heap allocation + free per event. SmallCallback widens the inline
- * buffer so all of those captures are stored in place; only outsized or
+ * completion callbacks, ~180 bytes — so the seed engine paid one heap
+ * allocation + free per event. SmallCallback widens the inline buffer so
+ * all of those captures are stored in place; only outsized or
  * throwing-move callables fall back to the heap. Dispatch is a single
  * ops-table pointer (invoke / relocate / destroy), generated per closure
  * type.
+ *
+ * The signature is a template parameter (`SmallCallback<N, R(Args...)>`,
+ * defaulting to `void()`), so the same machinery backs the engine's
+ * events, the protocols' `void(Version)` load completions, and the
+ * per-hop arrival continuations of the transport layer.
  */
 
 #ifndef HMG_SIM_CALLBACK_HH
@@ -24,9 +30,21 @@
 namespace hmg
 {
 
-/** Move-only `void()` callable with `N` bytes of inline storage. */
-template <std::size_t N>
-class SmallCallback
+/**
+ * Inline capacity shared by the protocol completion callbacks
+ * (core/protocol.hh's LoadDoneCb/DoneCb and GpmNode's parked
+ * continuations). Sized for the SM front-end's fattest completion
+ * capture (`this` + a shared_ptr warp handle + a MemAccess = 48–56
+ * bytes); anything larger spills to the heap gracefully.
+ */
+constexpr std::size_t kCompletionCbBytes = 56;
+
+template <std::size_t N, typename Sig = void()>
+class SmallCallback;
+
+/** Move-only `R(Args...)` callable with `N` bytes of inline storage. */
+template <std::size_t N, typename R, typename... Args>
+class SmallCallback<N, R(Args...)>
 {
   public:
     SmallCallback() = default;
@@ -35,7 +53,7 @@ class SmallCallback
     template <typename F,
               typename = std::enable_if_t<
                   !std::is_same_v<std::decay_t<F>, SmallCallback> &&
-                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
     SmallCallback(F &&f)
     {
         using Fn = std::decay_t<F>;
@@ -71,19 +89,23 @@ class SmallCallback
 
     /** Invoke the stored callable. Undefined if empty (like std::function
      *  minus the throw). */
-    void operator()() { ops_->invoke(buf_); }
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
+    }
 
     /**
      * Invoke the stored callable and destroy it in place, leaving *this
      * empty. One indirect call instead of move-out + invoke + destroy —
      * the engine's event-execution hot path. Undefined if empty.
      */
-    void
-    consume()
+    R
+    consume(Args... args)
     {
         const Ops *o = ops_;
         ops_ = nullptr;
-        o->invoke_destroy(buf_);
+        return o->invoke_destroy(buf_, std::forward<Args>(args)...);
     }
 
     static constexpr std::size_t inlineCapacity() { return N; }
@@ -94,9 +116,9 @@ class SmallCallback
   private:
     struct Ops
     {
-        void (*invoke)(void *);
+        R (*invoke)(void *, Args...);
         /** Invoke, then destroy — fused for the consume() fast path. */
-        void (*invoke_destroy)(void *);
+        R (*invoke_destroy)(void *, Args...);
         /** Move-construct into `dst` from `src`, then destroy `src`. */
         void (*relocate)(void *dst, void *src);
         void (*destroy)(void *);
@@ -105,11 +127,20 @@ class SmallCallback
 
     template <typename Fn>
     static constexpr Ops inlineOps = {
-        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
-        [](void *p) {
+        [](void *p, Args... args) -> R {
+            return (*std::launder(reinterpret_cast<Fn *>(p)))(
+                std::forward<Args>(args)...);
+        },
+        [](void *p, Args... args) -> R {
             Fn *f = std::launder(reinterpret_cast<Fn *>(p));
-            (*f)();
-            f->~Fn();
+            if constexpr (std::is_void_v<R>) {
+                (*f)(std::forward<Args>(args)...);
+                f->~Fn();
+            } else {
+                R r = (*f)(std::forward<Args>(args)...);
+                f->~Fn();
+                return r;
+            }
         },
         [](void *dst, void *src) {
             Fn *s = std::launder(reinterpret_cast<Fn *>(src));
@@ -122,11 +153,20 @@ class SmallCallback
 
     template <typename Fn>
     static constexpr Ops heapOps = {
-        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
-        [](void *p) {
+        [](void *p, Args... args) -> R {
+            return (**reinterpret_cast<Fn **>(p))(
+                std::forward<Args>(args)...);
+        },
+        [](void *p, Args... args) -> R {
             Fn *f = *reinterpret_cast<Fn **>(p);
-            (*f)();
-            delete f;
+            if constexpr (std::is_void_v<R>) {
+                (*f)(std::forward<Args>(args)...);
+                delete f;
+            } else {
+                R r = (*f)(std::forward<Args>(args)...);
+                delete f;
+                return r;
+            }
         },
         [](void *dst, void *src) {
             *reinterpret_cast<Fn **>(dst) = *reinterpret_cast<Fn **>(src);

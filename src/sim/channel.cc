@@ -1,7 +1,5 @@
 #include "sim/channel.hh"
 
-#include <cmath>
-#include <numeric>
 #include <utility>
 
 #include "common/log.hh"
@@ -10,20 +8,8 @@ namespace hmg
 {
 
 Channel::Channel(Engine &engine, double bytes_per_cycle, Tick latency)
-    : engine_(engine), bytes_per_cycle_(bytes_per_cycle), latency_(latency)
+    : engine_(engine), wire_(bytes_per_cycle), latency_(latency)
 {
-    hmg_assert(bytes_per_cycle > 0);
-    // Quantize the (possibly fractional) bandwidth to an exact rational
-    // bw_num_/bw_den_ B/cyc so occupancy accounting never drifts. Common
-    // values (integers, halves like 1.5 B/cyc) are represented exactly.
-    constexpr std::uint64_t kScale = std::uint64_t{1} << 20;
-    bw_num_ = static_cast<std::uint64_t>(
-        std::llround(bytes_per_cycle * static_cast<double>(kScale)));
-    hmg_assert(bw_num_ > 0);
-    bw_den_ = kScale;
-    const std::uint64_t g = std::gcd(bw_num_, bw_den_);
-    bw_num_ /= g;
-    bw_den_ /= g;
 }
 
 Tick
@@ -35,26 +21,12 @@ Channel::send(std::uint32_t bytes)
 Tick
 Channel::sendAt(Tick earliest, std::uint32_t bytes)
 {
-    // Serialization starts at max(exact free time, earliest). An idle gap
-    // discards the fractional remainder: the serializer was idle at the
-    // whole-cycle tick `earliest`.
-    if (earliest > free_cycle_ || (earliest == free_cycle_ && free_frac_ == 0)) {
-        free_cycle_ = earliest;
-        free_frac_ = 0;
-    }
-    const std::uint64_t units =
-        free_frac_ + std::uint64_t{bytes} * bw_den_;
-    free_cycle_ += units / bw_num_;
-    free_frac_ = units % bw_num_;
-
-    const Tick arrival = busyUntil() + latency_;
+    const Tick arrival = wire_.serialize(earliest, bytes) + latency_;
     // Exact accounting makes arrivals monotonic by construction (the free
     // time never moves backwards), which is what keeps per-channel
     // delivery FIFO.
     hmg_assert(arrival >= last_arrival_);
     last_arrival_ = arrival;
-
-    bytes_sent_ += bytes;
     ++messages_sent_;
     return arrival;
 }
@@ -65,12 +37,6 @@ Channel::send(std::uint32_t bytes, Engine::Callback on_arrival)
     Tick arrival = send(bytes);
     engine_.scheduleAt(arrival, std::move(on_arrival));
     return arrival;
-}
-
-Tick
-Channel::busyUntil() const
-{
-    return free_cycle_ + (free_frac_ != 0 ? 1 : 0);
 }
 
 } // namespace hmg

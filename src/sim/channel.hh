@@ -2,25 +2,27 @@
  * @file
  * Bandwidth-serialized, fixed-latency FIFO channel.
  *
- * Every bandwidth-limited resource in the machine — a GPM's port into the
- * intra-GPU crossbar, a GPU's NVLink port into the switch, a GPM's DRAM
- * channel — is modeled as a Channel. A message of B bytes occupies the
- * channel for B / bytes_per_cycle cycles starting no earlier than the
- * channel's previous departure, then arrives after an additional
- * propagation latency. Because occupancy intervals are non-overlapping
- * and monotonic, delivery order per channel is FIFO, a property the
- * release/invalidation-drain machinery of the coherence protocols relies
- * on (Section IV-B "Release").
+ * Point-to-point bandwidth-limited resources — a GPM's DRAM channel, an
+ * SM's issue port — are modeled as a Channel. A message of B bytes
+ * occupies the channel for B / bytes_per_cycle cycles starting no
+ * earlier than the channel's previous departure, then arrives after an
+ * additional propagation latency. Because occupancy intervals are
+ * non-overlapping and monotonic, delivery order per channel is FIFO.
+ *
+ * Shared interconnect hops with multiple contending sources are modeled
+ * by noc/port.hh, which adds bounded queues, round-robin arbitration
+ * and backpressure on top of the same RateSerializer arithmetic
+ * (sim/serializer.hh).
  */
 
 #ifndef HMG_SIM_CHANNEL_HH
 #define HMG_SIM_CHANNEL_HH
 
 #include <cstdint>
-#include <string>
 
 #include "common/types.hh"
 #include "sim/engine.hh"
+#include "sim/serializer.hh"
 
 namespace hmg
 {
@@ -44,8 +46,8 @@ class Channel
 
     /**
      * Enqueue a message that reaches this channel's serializer no
-     * earlier than `earliest` (used to chain multi-hop paths without
-     * intermediate events). `earliest` may be in the future.
+     * earlier than `earliest` (used to chain a local latency without an
+     * intermediate event). `earliest` may be in the future.
      * @return the absolute arrival tick.
      */
     Tick sendAt(Tick earliest, std::uint32_t bytes);
@@ -54,39 +56,23 @@ class Channel
     Tick send(std::uint32_t bytes, Engine::Callback on_arrival);
 
     /** Tick at which the channel next becomes free to serialize. */
-    Tick busyUntil() const;
+    Tick busyUntil() const { return wire_.busyUntil(); }
 
     /** The latest arrival tick of any message sent so far. */
     Tick lastArrival() const { return last_arrival_; }
 
     // Occupancy statistics.
-    std::uint64_t bytesSent() const { return bytes_sent_; }
+    std::uint64_t bytesSent() const { return wire_.bytesTotal(); }
     std::uint64_t messagesSent() const { return messages_sent_; }
 
-    double bytesPerCycle() const { return bytes_per_cycle_; }
+    double bytesPerCycle() const { return wire_.bytesPerCycle(); }
     Tick latency() const { return latency_; }
 
   private:
     Engine &engine_;
-    double bytes_per_cycle_;
+    RateSerializer wire_;
     Tick latency_;
-    /**
-     * Occupancy accounting is exact integer arithmetic: the bandwidth is
-     * quantized once, at construction, to the rational bw_num_/bw_den_
-     * bytes per cycle (2^-20 B/cyc resolution, sub-ppm of any Table II
-     * figure), and a message of B bytes occupies B * bw_den_ "sub-cycle
-     * units" of 1/bw_num_ cycle each. The serializer-free time is then
-     * the pair (free_cycle_, free_frac_) with 0 <= free_frac_ < bw_num_.
-     * Unlike the floating-point accumulator this replaces, the result
-     * cannot drift: 10M back-to-back sends land exactly where one send
-     * of 10M times the bytes would.
-     */
-    std::uint64_t bw_num_ = 1;
-    std::uint64_t bw_den_ = 1;
-    Tick free_cycle_ = 0;
-    std::uint64_t free_frac_ = 0;
     Tick last_arrival_ = 0;
-    std::uint64_t bytes_sent_ = 0;
     std::uint64_t messages_sent_ = 0;
 };
 

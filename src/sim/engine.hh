@@ -51,11 +51,12 @@ class Engine
 {
   public:
     /**
-     * Inline capacity of 120 bytes covers every closure the protocol
+     * Inline capacity of 192 bytes covers every closure the protocol
      * engines schedule today (the fattest captures `this` + MemAccess +
-     * two ids + a Version + two std::function completions = 112 bytes).
+     * two ids + a Version + two 64-byte SmallCallback completions =
+     * 184 bytes).
      */
-    using Callback = SmallCallback<120>;
+    using Callback = SmallCallback<192>;
 
     Engine();
 
