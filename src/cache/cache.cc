@@ -24,12 +24,13 @@ Cache::load(Addr line_addr)
 }
 
 bool
-Cache::store(Addr line_addr, Version version, bool mark_dirty)
+Cache::store(Addr line_addr, Version version, bool mark_dirty,
+             bool serialized)
 {
     ++stores_;
     if (CacheLine *line = tags_.lookup(line_addr)) {
         ++store_hits_;
-        if (line->version < version)
+        if (serialized || line->version < version)
             line->version = version;
         line->dirty = line->dirty || mark_dirty;
         return true;

@@ -56,9 +56,20 @@ class Cache
      * in place; allocates on miss when write_allocate is set. Counts
      * store hits/misses. When `mark_dirty` is set the line is flagged
      * dirty (write-back mode).
+     *
+     * `serialized` selects which order wins when the copy is already
+     * present. A writer's own L2 keeps the newer *version id* (a store
+     * must not be clobbered by a concurrently filled older value). At a
+     * serialization point — the system home, or a GPU home applying a
+     * landed write-through — same-line writes are ordered by *arrival*,
+     * so the incoming value wins unconditionally; keeping the larger
+     * version id there wedges the home copy out of sync with memory
+     * whenever two racy writers arrive out of issue order (found by the
+     * runtime coherence checker on racy atomics).
      * @return true if the line is (now) present in this cache.
      */
-    bool store(Addr line_addr, Version version, bool mark_dirty = false);
+    bool store(Addr line_addr, Version version, bool mark_dirty = false,
+               bool serialized = false);
 
     /**
      * Visit every dirty line and clear its dirty flag (release /

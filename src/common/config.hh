@@ -148,6 +148,15 @@ struct SystemConfig
      */
     bool l2WriteBack = false;
 
+    /**
+     * When true, the selected coherence model is wrapped in the
+     * CoherenceChecker decorator (`--check`): every load, store, atomic
+     * and synchronization operation is verified against the version
+     * oracle and the directory-coverage invariants of core/checker.hh.
+     * Verification only — protocol behavior and timing are unchanged.
+     */
+    bool checkCoherence = false;
+
     // ---- derived helpers ----
     std::uint32_t totalGpms() const { return numGpus * gpmsPerGpu; }
     std::uint32_t totalSms() const { return numGpus * smsPerGpu; }

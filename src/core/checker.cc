@@ -1,0 +1,635 @@
+#include "core/checker.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+namespace
+{
+
+/** Key of the in-flight write-through map: (domain, line) packed. The
+ *  domain is the writer's GPU, not its GPM: a hierarchical write-through
+ *  plants copies at both the writer's L2 and its GPU home's L2 before
+ *  the system home has heard of either, so every copy on the writer's
+ *  GPU shares the transient window. */
+Addr
+wtKey(GpuId gpu, Addr line)
+{
+    return (Addr{gpu} << 48) | line;
+}
+
+} // namespace
+
+CoherenceChecker::CoherenceChecker(SystemContext &ctx,
+                                   std::unique_ptr<CoherenceModel> inner)
+    : CoherenceModel(ctx), inner_(std::move(inner)),
+      name_(std::string(inner_->name()) + "+check"),
+      hw_(isHardwareProtocol(ctx.cfg.protocol)),
+      hier_(isHierarchicalProtocol(ctx.cfg.protocol))
+{
+    sms_.resize(ctx.cfg.totalSms());
+    released_gpu_.resize(ctx.cfg.numGpus);
+    gpu_epoch_.assign(ctx.cfg.numGpus, 0);
+    ctx.checker = this;
+}
+
+CoherenceChecker::~CoherenceChecker()
+{
+    ctx_.checker = nullptr;
+}
+
+// ------------------------------------------------------------ tx ring
+
+void
+CoherenceChecker::logTx(const char *kind, const MemAccess &acc, Version v)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "[%llu] %-9s sm%-3u gpm%-2u line %#llx %s v%llu",
+                  static_cast<unsigned long long>(ctx_.engine.now()), kind,
+                  acc.sm, acc.gpm,
+                  static_cast<unsigned long long>(acc.lineAddr),
+                  toString(acc.scope), static_cast<unsigned long long>(v));
+    if (txlog_.size() < kTxLogEntries)
+        txlog_.emplace_back(buf);
+    else
+        txlog_[tx_next_ % kTxLogEntries] = buf;
+    ++tx_next_;
+}
+
+void
+CoherenceChecker::dumpTxRing(std::FILE *out) const
+{
+    std::fprintf(out, "--- last %zu protocol events (oldest first) ---\n",
+                 txlog_.size());
+    const std::size_t n = txlog_.size();
+    const std::size_t start = tx_next_ > n ? tx_next_ % kTxLogEntries : 0;
+    for (std::size_t i = 0; i < n; ++i)
+        std::fprintf(out, "  %s\n", txlog_[(start + i) % n].c_str());
+    std::fflush(out);
+}
+
+void
+CoherenceChecker::violation(const char *fmt, ...)
+{
+    char msg[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    va_end(args);
+
+    std::fflush(stdout);
+    std::fprintf(stderr, "=== coherence violation at tick %llu ===\n%s\n",
+                 static_cast<unsigned long long>(ctx_.engine.now()), msg);
+    dumpTxRing(stderr);
+    hmg_panic("coherence violation: %s", msg);
+}
+
+// ----------------------------------------------------- oracle updates
+
+void
+CoherenceChecker::recordWrite(const MemAccess &acc, Version v)
+{
+    auto [it, inserted] = version_line_.emplace(v, acc.lineAddr);
+    if (!inserted && it->second != acc.lineAddr)
+        violation("version %llu written to line %#llx was already "
+                  "produced for line %#llx",
+                  static_cast<unsigned long long>(v),
+                  static_cast<unsigned long long>(acc.lineAddr),
+                  static_cast<unsigned long long>(it->second));
+    SmState &sm = sms_.at(acc.sm);
+    sm.writeLog.emplace_back(acc.lineAddr, v);
+    ++sm.logged;
+    ++writes_logged_;
+}
+
+void
+CoherenceChecker::recordArrival(Addr line, Version v)
+{
+    arrival_rank_.emplace(v, ++arr_next_[line]);
+}
+
+bool
+CoherenceChecker::newerThan(Version a, Version b) const
+{
+    if (a == b)
+        return false;
+    // Version 0 is the initial value: older than everything, and never
+    // in the arrival map — without these guards it would fall into the
+    // unlanded branch below and rank as *newest*, which (among other
+    // things) made the floor pick in verifyObserved select an absent
+    // GPU floor over a real system floor. Found by the exhaustive
+    // model checker (src/verify/) while mirroring this predicate.
+    if (a == 0)
+        return false;
+    if (b == 0)
+        return true;
+    const auto ra = arrival_rank_.find(a);
+    const auto rb = arrival_rank_.find(b);
+    if (ra != arrival_rank_.end() && rb != arrival_rank_.end())
+        return ra->second > rb->second;
+    // An unlanded write will reach the home after every landed one,
+    // making it coherence-newer; between two unlanded writes fall back
+    // to version-id order (same-SM writes land in id order).
+    if (ra == arrival_rank_.end() && rb != arrival_rank_.end())
+        return true;
+    if (ra != arrival_rank_.end())
+        return false;
+    return a > b;
+}
+
+bool
+CoherenceChecker::staleAgainst(Version v, Version floor) const
+{
+    if (floor == 0 || v == floor)
+        return false;
+    if (v == 0)
+        return true; // the never-written initial value predates any floor
+    const auto rv = arrival_rank_.find(v);
+    const auto rf = arrival_rank_.find(floor);
+    if (rf == arrival_rank_.end())
+        // GPU-scope floors can be folded before the write-through
+        // reaches the system home; without its rank the coherence
+        // order is still open, so don't flag (conservative).
+        return false;
+    if (rv == arrival_rank_.end())
+        // An unlanded observed version will land after the floor did,
+        // making it coherence-newer: reading it is legal (this also
+        // covers reading one's own in-flight write).
+        return false;
+    return rv->second < rf->second;
+}
+
+Version
+CoherenceChecker::floorOf(const FloorMap &m, Addr line,
+                          std::uint64_t epoch) const
+{
+    if (epoch == 0)
+        return 0;
+    auto it = m.find(line);
+    if (it == m.end())
+        return 0;
+    // Entries carry coherence-increasing versions and nondecreasing
+    // epochs, so the newest entry not past `epoch` is the floor.
+    const auto &entries = it->second;
+    for (auto rit = entries.rbegin(); rit != entries.rend(); ++rit)
+        if (rit->epoch <= epoch)
+            return rit->version;
+    return 0;
+}
+
+void
+CoherenceChecker::fold(FloorMap &m, std::uint64_t epoch, SmState &sm,
+                       std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &[line, v] = sm.writeLog[i];
+        auto &entries = m[line];
+        if (entries.empty() || newerThan(v, entries.back().version))
+            entries.push_back({epoch, v});
+    }
+}
+
+void
+CoherenceChecker::foldRelease(const MemAccess &acc, std::uint64_t upTo)
+{
+    if (acc.scope != Scope::Sys && acc.scope != Scope::Gpu)
+        return; // narrower scopes order nothing below the L1
+    SmState &sm = sms_.at(acc.sm);
+    // `upTo` is an absolute log position from issue time. Overlapping
+    // releases from the same SM's warps complete in any order, and a
+    // kernel boundary may have folded everything already, so fold only
+    // the writes nobody has folded yet. A later-epoch fold of an
+    // earlier release's writes is sound: floors only become claimable
+    // by acquirers that acked the (later) epoch.
+    const std::uint64_t already = sm.folded;
+    if (upTo <= already) {
+        ++releases_folded_;
+        return;
+    }
+    const auto count = static_cast<std::size_t>(upTo - already);
+    if (count > sm.writeLog.size())
+        hmg_panic("release fold of %zu entries exceeds SM %u write log "
+                  "(%zu pending)",
+                  count, acc.sm, sm.writeLog.size());
+    if (acc.scope == Scope::Sys) {
+        fold(released_sys_, ++sys_epoch_, sm, count);
+    } else {
+        const GpuId g = ctx_.cfg.gpuOf(acc.gpm);
+        fold(released_gpu_[g], ++gpu_epoch_[g], sm, count);
+    }
+    sm.writeLog.erase(sm.writeLog.begin(),
+                      sm.writeLog.begin() +
+                          static_cast<std::ptrdiff_t>(count));
+    sm.folded = upTo;
+    ++releases_folded_;
+}
+
+void
+CoherenceChecker::foldBoundary()
+{
+    // A dependent-kernel boundary is a machine-wide release/acquire
+    // pair: every SM's outstanding writes become floors for everyone.
+    const std::uint64_t epoch = ++sys_epoch_;
+    for (auto &sm : sms_) {
+        fold(released_sys_, epoch, sm, sm.writeLog.size());
+        sm.writeLog.clear();
+        sm.folded = sm.logged;
+    }
+    for (SmId s = 0; s < static_cast<SmId>(sms_.size()); ++s) {
+        sms_[s].ackedSys = sys_epoch_;
+        sms_[s].ackedGpu = gpu_epoch_[ctx_.cfg.gpuOf(ctx_.cfg.gpmOfSm(s))];
+    }
+}
+
+// ------------------------------------------------- transient tracking
+
+void
+CoherenceChecker::noteInvSent(Addr sector)
+{
+    ++invs_by_sector_[sector];
+    ++invs_in_flight_;
+}
+
+void
+CoherenceChecker::noteInvDelivered(Addr sector)
+{
+    auto it = invs_by_sector_.find(sector);
+    if (it == invs_by_sector_.end() || invs_in_flight_ == 0)
+        hmg_panic("invalidation ledger underflow on sector %#llx",
+                  static_cast<unsigned long long>(sector));
+    if (--it->second == 0)
+        invs_by_sector_.erase(it);
+    --invs_in_flight_;
+}
+
+Addr
+CoherenceChecker::sectorOf(Addr line) const
+{
+    // All directories share one geometry; use GPM 0's.
+    return ctx_.gpms.at(0)->dir()->sectorOf(line);
+}
+
+bool
+CoherenceChecker::invInFlightOn(Addr line) const
+{
+    if (!hw_ || invs_in_flight_ == 0)
+        return false;
+    return invs_by_sector_.count(sectorOf(line)) != 0;
+}
+
+bool
+CoherenceChecker::writeInFlight(GpuId gpu, Addr line) const
+{
+    return writes_in_flight_.count(wtKey(gpu, line)) != 0;
+}
+
+bool
+CoherenceChecker::coverageExempt(GpmId g, Addr line,
+                                 const CacheLine &copy) const
+{
+    // Transients the protocol resolves on its own: an invalidation for
+    // the sector is still in flight; the copy's own write-through has
+    // not reached the home yet (the home learns of the writer when it
+    // lands); an atomic is being performed away from its requester; or
+    // the copy is dirty write-back data, which travels by update
+    // messages rather than sharer tracking.
+    return invInFlightOn(line) || writeInFlight(ctx_.cfg.gpuOf(g), line) ||
+           atomics_in_flight_.count(line) != 0 ||
+           (ctx_.cfg.l2WriteBack && copy.dirty);
+}
+
+// ------------------------------------------------- invariant checks
+
+void
+CoherenceChecker::verifyObserved(const MemAccess &acc, const char *op,
+                                 Version v, Version sys_floor,
+                                 Version gpu_floor, bool inv_at_issue)
+{
+    ++checks_;
+    ++loads_checked_;
+    if (v != 0) {
+        auto it = version_line_.find(v);
+        if (it == version_line_.end())
+            violation("%s at sm %u on line %#llx returned version %llu "
+                      "that no store ever produced",
+                      op, acc.sm,
+                      static_cast<unsigned long long>(acc.lineAddr),
+                      static_cast<unsigned long long>(v));
+        if (it->second != acc.lineAddr)
+            violation("%s at sm %u on line %#llx returned version %llu "
+                      "that belongs to line %#llx",
+                      op, acc.sm,
+                      static_cast<unsigned long long>(acc.lineAddr),
+                      static_cast<unsigned long long>(v),
+                      static_cast<unsigned long long>(it->second));
+    }
+    const Version floor =
+        newerThan(gpu_floor, sys_floor) ? gpu_floor : sys_floor;
+    if (staleAgainst(v, floor)) {
+        if (inv_at_issue || invInFlightOn(acc.lineAddr)) {
+            // Stale-replant window: per-channel FIFO delivers a
+            // ReadResp carrying pre-floor data before the trailing
+            // invalidation that kills the replanted copy. A load that
+            // hits the copy in that window legitimately returns the
+            // old version; the inv is in flight at the load's issue or
+            // completion. Tolerate the transient.
+            ++coverage_exemptions_;
+            return;
+        }
+        violation("%s at sm %u (%s) on line %#llx observed version %llu, "
+                  "older than the acquired release floor %llu "
+                  "(sys %llu, gpu %llu)",
+                  op, acc.sm, toString(acc.scope),
+                  static_cast<unsigned long long>(acc.lineAddr),
+                  static_cast<unsigned long long>(v),
+                  static_cast<unsigned long long>(floor),
+                  static_cast<unsigned long long>(sys_floor),
+                  static_cast<unsigned long long>(gpu_floor));
+    }
+}
+
+void
+CoherenceChecker::checkStructural(Addr line)
+{
+    if (!ctx_.pages.isPlaced(line))
+        return;
+    ++checks_;
+    const GpmId home = ctx_.pages.homeOf(line);
+    std::uint32_t dirty_copies = 0;
+    for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g) {
+        const CacheLine *cl = ctx_.gpm(g).l2().peek(line);
+        if (!cl)
+            continue;
+        if (cl->dirty) {
+            if (!ctx_.cfg.l2WriteBack)
+                violation("write-through mode, yet line %#llx is dirty "
+                          "in GPM %u's L2",
+                          static_cast<unsigned long long>(line), g);
+            ++dirty_copies;
+        }
+        if (hw_ && g != home)
+            checkCopyCovered(g, *cl);
+    }
+    if (dirty_copies > 1)
+        violation("line %#llx has %u dirty L2 copies; write-back mode "
+                  "allows a single dirty owner",
+                  static_cast<unsigned long long>(line), dirty_copies);
+}
+
+void
+CoherenceChecker::checkCopyCovered(GpmId g, const CacheLine &copy)
+{
+    const Addr line = copy.addr;
+    const GpmId home = ctx_.pages.homeOf(line);
+    if (hier_) {
+        const GpmId gh = ctx_.amap.gpuHome(ctx_.cfg.gpuOf(g), line);
+        if (gh == g) {
+            // A GPU home registers directly at the system home, which
+            // tracks it the way recordSharer does: sharers on the
+            // system home's own GPU get a GPM bit, remote GPU homes a
+            // GPU bit.
+            const DirEntry *e = ctx_.gpm(home).dir()->peek(line);
+            if (e && (ctx_.cfg.gpuOf(g) == ctx_.cfg.gpuOf(home)
+                          ? e->hasGpm(ctx_.cfg.localGpmOf(g))
+                          : e->hasGpu(ctx_.cfg.gpuOf(g))))
+                return;
+        } else {
+            const DirEntry *e = ctx_.gpm(gh).dir()->peek(line);
+            if (e && e->hasGpm(ctx_.cfg.localGpmOf(g)))
+                return;
+        }
+    } else {
+        const DirEntry *e = ctx_.gpm(home).dir()->peek(line);
+        if (e && e->hasGpm(g))
+            return;
+    }
+    if (coverageExempt(g, line, copy)) {
+        ++coverage_exemptions_;
+        return;
+    }
+    // Dump both directory levels so a violation report pinpoints which
+    // sharer bit is missing.
+    const GpmId gh =
+        hier_ ? ctx_.amap.gpuHome(ctx_.cfg.gpuOf(g), line) : home;
+    const DirEntry *he = ctx_.gpm(home).dir()->peek(line);
+    const DirEntry *ge = ctx_.gpm(gh).dir()->peek(line);
+    violation("GPM %u caches line %#llx (v%llu) with no covering "
+              "directory state; a future store could never invalidate it "
+              "[home=%u gh=%u dir(home)={gpm=%#x,gpu=%#x} "
+              "dir(gh)={gpm=%#x,gpu=%#x}]",
+              g, static_cast<unsigned long long>(line),
+              static_cast<unsigned long long>(copy.version), home, gh,
+              he ? he->gpmSharers : 0u, he ? he->gpuSharers : 0u,
+              ge ? ge->gpmSharers : 0u, ge ? ge->gpuSharers : 0u);
+}
+
+void
+CoherenceChecker::checkQuiescent()
+{
+    ++boundary_scans_;
+    for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g) {
+        ctx_.gpm(g).l2().tags().forEachValid([&](const CacheLine &cl) {
+            ++checks_;
+            if (cl.dirty)
+                violation("dirty line %#llx in GPM %u's L2 survived the "
+                          "boundary drain",
+                          static_cast<unsigned long long>(cl.addr), g);
+            if (!ctx_.pages.isPlaced(cl.addr))
+                return;
+            if (ctx_.pages.homeOf(cl.addr) == g) {
+                const Version memv = ctx_.mem.read(cl.addr);
+                if (cl.version != memv)
+                    violation("home L2 copy of line %#llx (v%llu) "
+                              "diverged from memory (v%llu) after the "
+                              "boundary drain",
+                              static_cast<unsigned long long>(cl.addr),
+                              static_cast<unsigned long long>(cl.version),
+                              static_cast<unsigned long long>(memv));
+            } else if (hw_) {
+                checkCopyCovered(g, cl);
+            }
+        });
+    }
+}
+
+// --------------------------------------------- CoherenceModel facade
+
+void
+CoherenceChecker::load(const MemAccess &acc, LoadDoneCb done)
+{
+    // Snapshot the sync obligations at issue time: an acquire completing
+    // while this load is in flight must not retroactively strengthen it.
+    const SmState &sm = sms_.at(acc.sm);
+    const Version sys_floor =
+        floorOf(released_sys_, acc.lineAddr, sm.ackedSys);
+    // System-scope loads are served at the system home, which a
+    // GPU-scope release never promises to have reached: only narrower
+    // scopes inherit the per-GPU floor (matching-scope pairing).
+    const Version gpu_floor =
+        acc.scope >= Scope::Sys
+            ? 0
+            : floorOf(released_gpu_[ctx_.cfg.gpuOf(acc.gpm)], acc.lineAddr,
+                      sm.ackedGpu);
+    const bool inv_at_issue = invInFlightOn(acc.lineAddr);
+    inner_->load(acc, [this, acc, sys_floor, gpu_floor, inv_at_issue,
+                       done = std::move(done)](Version v) mutable {
+        logTx("ld", acc, v);
+        verifyObserved(acc, "load", v, sys_floor, gpu_floor, inv_at_issue);
+        checkStructural(acc.lineAddr);
+        done(v);
+    });
+}
+
+void
+CoherenceChecker::store(const MemAccess &acc, Version v, DoneCb accepted,
+                        DoneCb sys_done)
+{
+    logTx("st", acc, v);
+    recordWrite(acc, v);
+    const Addr key = wtKey(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr);
+    ++writes_in_flight_[key];
+    inner_->store(acc, v, std::move(accepted),
+                  [this, acc, v, key,
+                   sys_done = std::move(sys_done)]() mutable {
+        auto it = writes_in_flight_.find(key);
+        if (it != writes_in_flight_.end() && --it->second == 0)
+            writes_in_flight_.erase(it);
+        // This callback runs in the same event that applies the write
+        // at the system home, so ranks record exact arrival order.
+        recordArrival(acc.lineAddr, v);
+        logTx("st.sys", acc, v);
+        checkStructural(acc.lineAddr);
+        if (sys_done)
+            sys_done();
+    });
+}
+
+void
+CoherenceChecker::atomic(const MemAccess &acc, Version v, LoadDoneCb done,
+                         DoneCb sys_done)
+{
+    logTx("atom", acc, v);
+    recordWrite(acc, v);
+    ++atomics_in_flight_[acc.lineAddr];
+    const SmState &sm = sms_.at(acc.sm);
+    const Version sys_floor =
+        floorOf(released_sys_, acc.lineAddr, sm.ackedSys);
+    const Version gpu_floor =
+        acc.scope >= Scope::Sys
+            ? 0
+            : floorOf(released_gpu_[ctx_.cfg.gpuOf(acc.gpm)], acc.lineAddr,
+                      sm.ackedGpu);
+    const bool inv_at_issue = invInFlightOn(acc.lineAddr);
+    inner_->atomic(
+        acc, v,
+        [this, acc, sys_floor, gpu_floor, inv_at_issue,
+         done = std::move(done)](Version pre) mutable {
+            logTx("atom.resp", acc, pre);
+            verifyObserved(acc, "atomic", pre, sys_floor, gpu_floor,
+                           inv_at_issue);
+            done(pre);
+        },
+        [this, acc, v, sys_done = std::move(sys_done)]() mutable {
+            auto it = atomics_in_flight_.find(acc.lineAddr);
+            if (it != atomics_in_flight_.end() && --it->second == 0)
+                atomics_in_flight_.erase(it);
+            recordArrival(acc.lineAddr, v);
+            checkStructural(acc.lineAddr);
+            if (sys_done)
+                sys_done();
+        });
+}
+
+void
+CoherenceChecker::acquire(const MemAccess &acc, DoneCb done)
+{
+    logTx("acq", acc, 0);
+    inner_->acquire(acc, [this, acc, done = std::move(done)]() mutable {
+        SmState &sm = sms_.at(acc.sm);
+        const GpuId g = ctx_.cfg.gpuOf(acc.gpm);
+        if (acc.scope >= Scope::Sys) {
+            // A system acquire subsumes a GPU acquire: it invalidates
+            // at least as much, and GPU-released data is at the GPU
+            // home on the load path of every narrower-scope access.
+            sm.ackedSys = sys_epoch_;
+            sm.ackedGpu = std::max(sm.ackedGpu, gpu_epoch_[g]);
+        } else if (acc.scope == Scope::Gpu) {
+            sm.ackedGpu = std::max(sm.ackedGpu, gpu_epoch_[g]);
+        }
+        ++acquires_synced_;
+        done();
+    });
+}
+
+void
+CoherenceChecker::release(const MemAccess &acc, DoneCb done)
+{
+    logTx("rel", acc, 0);
+    const std::uint64_t up_to = sms_.at(acc.sm).logged;
+    inner_->release(acc,
+                    [this, acc, up_to, done = std::move(done)]() mutable {
+        logTx("rel.done", acc, 0);
+        foldRelease(acc, up_to);
+        done();
+    });
+}
+
+void
+CoherenceChecker::kernelBoundary()
+{
+    inner_->kernelBoundary();
+}
+
+void
+CoherenceChecker::drainForBoundary(DoneCb done)
+{
+    inner_->drainForBoundary([this, done = std::move(done)]() mutable {
+        foldBoundary();
+        checkQuiescent();
+        done();
+    });
+}
+
+bool
+CoherenceChecker::mayCacheInL1(GpmId gpm, Addr line_addr) const
+{
+    return inner_->mayCacheInL1(gpm, line_addr);
+}
+
+bool
+CoherenceChecker::invalidatesL1OnAcquire() const
+{
+    return inner_->invalidatesL1OnAcquire();
+}
+
+const char *
+CoherenceChecker::name() const
+{
+    return name_.c_str();
+}
+
+void
+CoherenceChecker::reportStats(StatRecorder &r) const
+{
+    inner_->reportStats(r);
+    r.record("checker.checks", static_cast<double>(checks_));
+    r.record("checker.loads_checked", static_cast<double>(loads_checked_));
+    r.record("checker.writes_logged",
+             static_cast<double>(writes_logged_));
+    r.record("checker.releases_folded",
+             static_cast<double>(releases_folded_));
+    r.record("checker.acquires_synced",
+             static_cast<double>(acquires_synced_));
+    r.record("checker.boundary_scans",
+             static_cast<double>(boundary_scans_));
+    r.record("checker.transient_exemptions",
+             static_cast<double>(coverage_exemptions_));
+}
+
+} // namespace hmg

@@ -42,6 +42,19 @@ Directory::find(Addr addr)
     return nullptr;
 }
 
+const DirEntry *
+Directory::peek(Addr addr) const
+{
+    Addr sector = sectorOf(addr);
+    const DirEntry *base = &entries_[setOf(addr) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const DirEntry &e = base[w];
+        if (e.valid && e.sector == sector)
+            return &e;
+    }
+    return nullptr;
+}
+
 DirEntry *
 Directory::allocate(Addr addr, DirEntry *evicted)
 {

@@ -81,6 +81,9 @@ class Directory
     /** Find the entry covering `addr`, refreshing LRU. */
     DirEntry *find(Addr addr);
 
+    /** Stat-neutral, LRU-neutral lookup (checkers / snapshots). */
+    const DirEntry *peek(Addr addr) const;
+
     /**
      * Find-or-allocate the entry covering `addr`. On a conflict/capacity
      * eviction the displaced entry (whose sharers must be invalidated —

@@ -5,26 +5,11 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "core/checker.hh"
+#include "verify/apply.hh"
 
 namespace hmg
 {
-
-namespace
-{
-
-/** Iterate the set bits of `mask`, calling fn(bit_index). */
-template <typename Fn>
-void
-forEachBit(std::uint32_t mask, Fn &&fn)
-{
-    while (mask) {
-        unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
-        mask &= mask - 1;
-        fn(bit);
-    }
-}
-
-} // namespace
 
 HwProtocol::HwProtocol(SystemContext &ctx, bool hierarchical)
     : CoherenceModel(ctx), hier_(hierarchical)
@@ -139,7 +124,8 @@ HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
             done(v);
             return;
         }
-        recordSharer(gh, acc.gpm, acc.lineAddr);
+        applyDirEventAt(dirTableFor(gh, acc.lineAddr), gh, acc.gpm,
+                        acc.lineAddr, verify::DirEvent::LoadMiss, nullptr);
         ctx_.net.inject({.src = gh,
                          .dst = acc.gpm,
                          .type = MsgType::ReadResp,
@@ -216,7 +202,9 @@ HwProtocol::loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
     if (via != h) {
         respond = [this, acc, via, h,
                    inner = std::move(respond)](Version v) mutable {
-            recordSharer(h, via, acc.lineAddr);
+            applyDirEventAt(dirTableFor(h, acc.lineAddr), h, via,
+                            acc.lineAddr, verify::DirEvent::LoadMiss,
+                            nullptr);
             inner(v);
         };
     }
@@ -331,13 +319,13 @@ HwProtocol::storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h)
         return;
     }
     GpmNode &home = ctx_.gpm(gh);
-    home.l2().store(f.acc.lineAddr, f.v);
+    home.l2().store(f.acc.lineAddr, f.v, /*mark_dirty=*/false,
+                    f.serialized);
 
-    auto job = makeInvJob(/*from_store=*/true);
-    invalidateSharers(gh, f.recordWriter ? f.acc.gpm : kInvalidGpm,
-                      f.acc.lineAddr, job);
-    if (f.recordWriter && f.acc.gpm != gh)
-        recordSharer(gh, f.acc.gpm, f.acc.lineAddr);
+    applyDirEventAt(dirTableFor(gh, f.acc.lineAddr), gh,
+                    f.recordWriter ? f.acc.gpm : kInvalidGpm,
+                    f.acc.lineAddr, verify::DirEvent::Store,
+                    makeInvJob(/*from_store=*/true));
 
     if (f.tracked)
         ctx_.tracker.reachedGpuLevel(f.acc.sm);
@@ -358,15 +346,15 @@ void
 HwProtocol::storeAtSysHome(StoreFlow f, GpmId via, GpmId h)
 {
     GpmNode &home = ctx_.gpm(h);
-    home.l2().store(f.acc.lineAddr, f.v);
-    ctx_.mem.write(f.acc.lineAddr, f.v);
+    home.l2().store(f.acc.lineAddr, f.v, /*mark_dirty=*/false,
+                    f.serialized);
+    ctx_.mem.write(f.acc.lineAddr, f.v, f.serialized);
     home.dram().write(ctx_.cfg.cacheLineBytes);
 
-    auto job = makeInvJob(/*from_store=*/true);
-    invalidateSharers(h, f.recordWriter ? via : kInvalidGpm,
-                      f.acc.lineAddr, job);
-    if (f.recordWriter && via != h)
-        recordSharer(h, via, f.acc.lineAddr);
+    applyDirEventAt(dirTableFor(h, f.acc.lineAddr), h,
+                    f.recordWriter ? via : kInvalidGpm, f.acc.lineAddr,
+                    verify::DirEvent::Store,
+                    makeInvJob(/*from_store=*/true));
 
     if (f.tracked) {
         if (!f.gpuCleared)
@@ -479,13 +467,16 @@ HwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
                           Version old_v, LoadDoneCb done, DoneCb sys_done)
 {
     GpmNode &node = ctx_.gpm(target);
-    node.l2().store(acc.lineAddr, v);
+    // The RMW serializes at `target`: its copy takes the arrival order.
+    node.l2().store(acc.lineAddr, v, /*mark_dirty=*/false,
+                    /*serialized=*/true);
 
-    // Coherence-wise an atomic is a store: invalidate every sharer
-    // (including the requester's stale copy — atomics do not refresh the
-    // requester's own L2).
-    auto job = makeInvJob(/*from_store=*/true);
-    invalidateSharers(target, kInvalidGpm, acc.lineAddr, job);
+    // Coherence-wise an atomic is a store with no tracked writer:
+    // invalidate every sharer (including the requester's stale copy —
+    // atomics do not refresh the requester's own L2).
+    applyDirEventAt(dirTableFor(target, acc.lineAddr), target,
+                    kInvalidGpm, acc.lineAddr, verify::DirEvent::Store,
+                    makeInvJob(/*from_store=*/true));
 
     // Return the pre-op value to the requester.
     if (target == acc.gpm) {
@@ -532,65 +523,92 @@ HwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
 
 // --------------------------------------------------- directory plumbing
 
-void
-HwProtocol::recordSharer(GpmId h, GpmId via, Addr line)
+const verify::TransitionTable &
+HwProtocol::dirTableFor(GpmId h, Addr line) const
 {
-    GpmNode &home = ctx_.gpm(h);
-    DirEntry evicted;
-    DirEntry *e = home.dir()->allocate(line, &evicted);
-    if (evicted.valid && evicted.hasSharers())
-        evictEntry(h, evicted);
+    using verify::Role;
+    if (!hier_)
+        return verify::tableFor(Role::FlatHome);
+    return h == sysHome(line) ? verify::tableFor(Role::SysHome)
+                              : verify::tableFor(Role::GpuHome);
+}
 
-    if (!hier_) {
-        e->addGpm(via);
-    } else if (ctx_.cfg.gpuOf(via) == ctx_.cfg.gpuOf(h)) {
-        e->addGpm(ctx_.cfg.localGpmOf(via));
-    } else {
-        e->addGpu(ctx_.cfg.gpuOf(via));
+const verify::Transition *
+HwProtocol::applyDirEventAt(const verify::TransitionTable &t, GpmId h,
+                            GpmId via, Addr line, verify::DirEvent ev,
+                            const InvJobPtr &job)
+{
+    using verify::DirEvent;
+    using verify::DirUpdate;
+    Directory &dir = *ctx_.gpm(h).dir();
+    const Addr sector = dir.sectorOf(line);
+
+    // Sharer recording on a load never counted as a directory lookup;
+    // every other event pays the find() that gated it imperatively.
+    DirEntry *e = nullptr;
+    const DirEntry *snap = nullptr;
+    if (ev == DirEvent::LoadMiss)
+        snap = dir.peek(line);
+    else
+        snap = e = dir.find(line);
+    const verify::DirSnapshot pre{snap != nullptr,
+                                  snap ? snap->gpmSharers : 0,
+                                  snap ? snap->gpuSharers : 0};
+
+    auto outcome = verify::applyDirEvent(
+        t, topo(), hier_, h, via, ev, pre,
+        [this, sector](GpuId g) { return gpuHomeFor(g, sector); },
+        [&](GpmId dst) { sendInv(h, dst, sector, job); });
+
+    if (!outcome.keepEntry) {
+        // An entry whose sharers were all downgraded away carries no
+        // obligations; a store leaves it in place (same occupancy the
+        // imperative code kept). A processed re-fan always drops its.
+        if (e && (ev == DirEvent::InvRecv || pre.gpmBits || pre.gpuBits))
+            dir.remove(line);
+        return outcome.row;
     }
+    switch (outcome.row->update) {
+      case DirUpdate::None:
+      case DirUpdate::Clear:
+        break;
+      case DirUpdate::DropSharer:
+        if (e) {
+            e->gpmSharers = outcome.gpmBits;
+            e->gpuSharers = outcome.gpuBits;
+        }
+        break;
+      case DirUpdate::SetSoleSharer:
+        if (e && e->hasSharers())
+            dir.remove(line);
+        [[fallthrough]];
+      case DirUpdate::AddSharer: {
+        DirEntry evicted;
+        DirEntry *ne = dir.allocate(line, &evicted);
+        if (evicted.valid && evicted.hasSharers())
+            replaceVictim(h, evicted);
+        ne->gpmSharers = outcome.gpmBits;
+        ne->gpuSharers = outcome.gpuBits;
+        break;
+      }
+    }
+    return outcome.row;
 }
 
 void
-HwProtocol::invalidateSharers(GpmId h, GpmId via, Addr line,
-                              const InvJobPtr &job)
+HwProtocol::replaceVictim(GpmId h, const DirEntry &victim)
 {
-    GpmNode &home = ctx_.gpm(h);
-    DirEntry *e = home.dir()->find(line);
-    if (!e || !e->hasSharers())
-        return;
-
-    const Addr sector = home.dir()->sectorOf(line);
-    const std::uint32_t gpms = e->gpmSharers;
-    const std::uint32_t gpus = e->gpuSharers;
-    // Table I: the entry goes Invalid; a remote writer is re-recorded
-    // as the sole sharer by the caller's recordSharer() right after.
-    home.dir()->remove(line);
-
-    if (!hier_) {
-        forEachBit(gpms, [&](unsigned flat) {
-            GpmId dst = static_cast<GpmId>(flat);
-            if (dst != via && dst != h)
-                sendInv(h, dst, sector, job);
-        });
-        return;
-    }
-
-    const GpuId hg = ctx_.cfg.gpuOf(h);
-    forEachBit(gpms, [&](unsigned local) {
-        GpmId dst = ctx_.cfg.gpmId(hg, local);
-        if (dst != via && dst != h)
-            sendInv(h, dst, sector, job);
-    });
-    const GpuId via_gpu =
-        via == kInvalidGpm ? ~GpuId{0} : ctx_.cfg.gpuOf(via);
-    forEachBit(gpus, [&](unsigned gpu) {
-        if (gpu == via_gpu || gpu == hg)
-            return;
-        // GPU-level invalidations target the sharing GPU's home node,
-        // which re-fans them to its GPM sharers (Table I, HMG).
-        GpmId dst = gpuHomeFor(static_cast<GpuId>(gpu), sector);
-        sendInv(h, dst, sector, job);
-    });
+    auto job = makeInvJob(/*from_store=*/false);
+    const Addr sector = victim.sector;
+    const verify::DirSnapshot pre{true, victim.gpmSharers,
+                                  victim.gpuSharers};
+    // The victim is already detached from the directory, so the row's
+    // Invalid next-state needs no commit — only its invalidation fan.
+    verify::applyDirEvent(
+        dirTableFor(h, sector), topo(), hier_, h, kInvalidGpm,
+        verify::DirEvent::Replace, pre,
+        [this, sector](GpuId g) { return gpuHomeFor(g, sector); },
+        [&](GpmId dst) { sendInv(h, dst, sector, job); });
 }
 
 void
@@ -601,8 +619,12 @@ HwProtocol::sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job)
     // The sender's in-flight-invalidation ledger gates release-marker
     // acknowledgment (GpmNode::waitInvDrained); the landing is counted
     // before handleInv so a re-fanned invalidation issued there can
-    // never observe its trigger as still in flight.
+    // never observe its trigger as still in flight. The checker's
+    // delivery note comes after handleInv for the same reason: a
+    // re-fanned wave must overlap its trigger in the per-sector count.
     ctx_.gpm(from).invIssued();
+    if (ctx_.checker)
+        ctx_.checker->noteInvSent(sector);
     ctx_.net.inject({.src = from,
                      .dst = to,
                      .type = MsgType::Inv,
@@ -610,6 +632,8 @@ HwProtocol::sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job)
                      .onArrival = [this, from, to, sector, job]() {
                          ctx_.gpm(from).invLanded();
                          handleInv(to, sector, job);
+                         if (ctx_.checker)
+                             ctx_.checker->noteInvDelivered(sector);
                      }});
 }
 
@@ -635,49 +659,15 @@ HwProtocol::handleInv(GpmId at, Addr sector, InvJobPtr job)
 
     if (hier_) {
         // The HMG-only transition of Table I: a GPU home receiving an
-        // invalidation forwards it to its GPM sharers and drops the
+        // invalidation re-fans it to its GPM sharers and drops the
         // entry.
         const GpuId g = ctx_.cfg.gpuOf(at);
-        if (ctx_.pages.isPlaced(sector) && gpuHomeFor(g, sector) == at) {
-            if (DirEntry *e = node.dir()->find(sector)) {
-                const std::uint32_t gpms = e->gpmSharers;
-                node.dir()->remove(sector);
-                forEachBit(gpms, [&](unsigned local) {
-                    GpmId dst = ctx_.cfg.gpmId(g, local);
-                    if (dst != at)
-                        sendInv(at, dst, sector, job);
-                });
-            }
-        }
+        if (ctx_.pages.isPlaced(sector) && gpuHomeFor(g, sector) == at)
+            applyDirEventAt(verify::tableFor(verify::Role::GpuHome), at,
+                            kInvalidGpm, sector,
+                            verify::DirEvent::InvRecv, job);
     }
     finishInvMsg(job, lines);
-}
-
-void
-HwProtocol::evictEntry(GpmId h, const DirEntry &victim)
-{
-    auto job = makeInvJob(/*from_store=*/false);
-    const Addr sector = victim.sector;
-
-    if (!hier_) {
-        forEachBit(victim.gpmSharers, [&](unsigned flat) {
-            GpmId dst = static_cast<GpmId>(flat);
-            if (dst != h)
-                sendInv(h, dst, sector, job);
-        });
-        return;
-    }
-    const GpuId hg = ctx_.cfg.gpuOf(h);
-    forEachBit(victim.gpmSharers, [&](unsigned local) {
-        GpmId dst = ctx_.cfg.gpmId(hg, local);
-        if (dst != h)
-            sendInv(h, dst, sector, job);
-    });
-    forEachBit(victim.gpuSharers, [&](unsigned gpu) {
-        if (gpu != hg)
-            sendInv(h, gpuHomeFor(static_cast<GpuId>(gpu), sector), sector,
-                    job);
-    });
 }
 
 // -------------------------------------------------------- acquire/release
@@ -820,6 +810,9 @@ HwProtocol::writeBackLine(GpmId src, Addr line, Version v, bool record)
     f.v = v;
     f.recordWriter = record;
     f.tracked = false;
+    // A dirty victim was coherence-ordered by its original local store,
+    // not by this flush's arrival at the home: never clobber newer data.
+    f.serialized = false;
     f.sysDone = [this, src]() { ctx_.gpm(src).wbLanded(); };
 
     if (hier_) {
@@ -1028,15 +1021,8 @@ HwProtocol::installEvictionHooks()
 void
 HwProtocol::handleDowngrade(GpmId h, GpmId from, Addr line)
 {
-    DirEntry *e = ctx_.gpm(h).dir()->find(line);
-    if (!e)
-        return;
-    if (!hier_)
-        e->dropGpm(from);
-    else if (ctx_.cfg.gpuOf(from) == ctx_.cfg.gpuOf(h))
-        e->dropGpm(ctx_.cfg.localGpmOf(from));
-    // GPU-level sharer bits are left alone: one GPM's eviction says
-    // nothing about the rest of its GPU.
+    applyDirEventAt(dirTableFor(h, line), h, from, line,
+                    verify::DirEvent::Downgrade, nullptr);
 }
 
 void

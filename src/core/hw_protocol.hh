@@ -29,6 +29,8 @@
 #include <cstdint>
 
 #include "core/protocol.hh"
+#include "core/sharer_ops.hh"
+#include "verify/spec.hh"
 
 namespace hmg
 {
@@ -94,6 +96,8 @@ class HwProtocol : public CoherenceModel
         bool gpuCleared = false; //!< GPU-level tracker already released
         bool recordWriter = true; //!< writer caches the line (not atomics)
         bool tracked = true;     //!< counts against the ReleaseTracker
+        bool serialized = true;  //!< ordered by home arrival; false for
+                                 //!< write-back flushes of older data
     };
 
     void storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h);
@@ -124,33 +128,37 @@ class HwProtocol : public CoherenceModel
      */
     void markerRoundRelayed(GpmId r, DoneCb done);
 
-    // --- directory maintenance ---
+    // --- directory maintenance (table-driven; see src/verify/spec.hh) ---
+
+    /** Topology view handed to the shared sharer-routing helpers. */
+    SharerTopology topo() const
+    {
+        return {ctx_.cfg.numGpus, ctx_.cfg.gpmsPerGpu};
+    }
+
+    /** The transition table governing home `h` for `line`'s sector. */
+    const verify::TransitionTable &dirTableFor(GpmId h, Addr line) const;
 
     /**
-     * Record `via` as a sharer at home `h` (GPM-level when `via` sits on
-     * h's GPU, GPU-level otherwise; flat GPM-level in NHCC mode).
-     * Allocates a directory entry, sending eviction invalidations for a
-     * displaced victim.
+     * Apply the unique Table I row for (entry state at `h`, `ev`,
+     * writer-tracked guard of `via`): emit the row's invalidations
+     * (charged to `job`) and commit the directory update. All
+     * directory maintenance — sharer recording, store/atomic
+     * invalidation fans, HMG re-fans, downgrades — funnels through
+     * here, so the rows hmgcheck verifies are the rows executed.
      */
-    void recordSharer(GpmId h, GpmId via, Addr line);
+    const verify::Transition *applyDirEventAt(
+        const verify::TransitionTable &t, GpmId h, GpmId via, Addr line,
+        verify::DirEvent ev, const InvJobPtr &job);
 
-    /**
-     * Invalidate every sharer of `line`'s sector at home `h` except the
-     * writer reached through `via`; `job` aggregates Fig. 9/10 stats.
-     * When `gpu_level_only` the GPU-sharer bits are left untouched
-     * (used at a GPU home, whose entries have no GPU sharers anyway).
-     */
-    void invalidateSharers(GpmId h, GpmId via, Addr line,
-                           const InvJobPtr &job);
+    /** Table I "Replace Dir Entry" on a displaced (detached) victim. */
+    void replaceVictim(GpmId h, const DirEntry &victim);
 
     /** Send one invalidation and process it at the destination. */
     void sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job);
 
     /** Invalidation arriving at `at` (may re-fan at a GPU home). */
     void handleInv(GpmId at, Addr sector, InvJobPtr job);
-
-    /** Fan eviction invalidations for a displaced directory entry. */
-    void evictEntry(GpmId h, const DirEntry &victim);
 
     /** Optional clean-eviction downgrade (Section IV-B, off by
      *  default; exact only at 1-line directory granularity). */

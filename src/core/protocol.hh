@@ -46,6 +46,8 @@ struct MemAccess
     Scope scope = Scope::None;
 };
 
+class CoherenceChecker;
+
 /** Everything a protocol engine needs to reach the rest of the system. */
 struct SystemContext
 {
@@ -57,6 +59,10 @@ struct SystemContext
     MemoryState &mem;
     ReleaseTracker &tracker;
     std::vector<std::unique_ptr<GpmNode>> &gpms;
+
+    /** Set while a CoherenceChecker wraps the model (`--check`): the
+     *  hardware protocols feed it their invalidation lifecycle. */
+    CoherenceChecker *checker = nullptr;
 
     GpmNode &gpm(GpmId id) { return *gpms.at(id); }
 };

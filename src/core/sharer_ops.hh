@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Pure sharer-set routing logic shared by the live hardware protocols
+ * (core/hw_protocol.cc) and the exhaustive model checker (src/verify/).
+ *
+ * Table I's directory transitions boil down to three deterministic
+ * decisions, all functions of the home node, the acting node ("via")
+ * and the entry's two sharer bitmasks:
+ *
+ *   - which bit records a new sharer (recordSharerBits);
+ *   - which nodes receive invalidations when a store hits a Valid
+ *     entry or an entry is replaced (forEachInvTarget);
+ *   - which nodes receive the HMG-only re-fanned invalidations when a
+ *     GPU home processes an invalidation (forEachGpmSharer).
+ *
+ * Keeping them here, side-effect free and parameterized only on the
+ * topology, means the model checker steps *the same* routing code the
+ * simulator executes — a transition verified exhaustively in the model
+ * is the transition the timing simulation performs.
+ */
+
+#ifndef HMG_CORE_SHARER_OPS_HH
+#define HMG_CORE_SHARER_OPS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/** Iterate the set bits of `mask`, calling fn(bit_index). */
+template <typename Fn>
+inline void
+forEachBit(std::uint32_t mask, Fn &&fn)
+{
+    while (mask) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+        mask &= mask - 1;
+        fn(bit);
+    }
+}
+
+/**
+ * Minimal topology view the routing decisions need. The simulator
+ * adapts SystemConfig to this; the model checker its MckConfig.
+ */
+struct SharerTopology
+{
+    std::uint32_t numGpus;
+    std::uint32_t gpmsPerGpu;
+
+    GpuId gpuOf(GpmId gpm) const { return gpm / gpmsPerGpu; }
+    std::uint32_t localGpmOf(GpmId gpm) const { return gpm % gpmsPerGpu; }
+    GpmId gpmId(GpuId gpu, std::uint32_t local) const
+    {
+        return gpu * gpmsPerGpu + local;
+    }
+};
+
+/**
+ * Record node `via` as a sharer in home `h`'s entry bits: flat (NHCC)
+ * entries track every GPM directly; hierarchical (HMG) entries track
+ * same-GPU sharers by local GPM index and remote sharers by GPU id
+ * (Section V-A).
+ */
+inline void
+recordSharerBits(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
+                 std::uint32_t &gpm_bits, std::uint32_t &gpu_bits)
+{
+    if (!hier)
+        gpm_bits |= 1u << via;
+    else if (topo.gpuOf(via) == topo.gpuOf(h))
+        gpm_bits |= 1u << topo.localGpmOf(via);
+    else
+        gpu_bits |= 1u << topo.gpuOf(via);
+}
+
+/**
+ * Forget node `via`'s tracked copy after a clean-eviction downgrade.
+ * GPU-level bits are left alone in the hierarchical encoding: one GPM's
+ * eviction says nothing about the rest of its GPU.
+ */
+inline void
+dropSharerBits(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
+               std::uint32_t &gpm_bits, std::uint32_t &gpu_bits)
+{
+    (void)gpu_bits;
+    if (!hier)
+        gpm_bits &= ~(1u << via);
+    else if (topo.gpuOf(via) == topo.gpuOf(h))
+        gpm_bits &= ~(1u << topo.localGpmOf(via));
+}
+
+/**
+ * Enumerate the GPMs a home `h` must invalidate when its entry's
+ * sharers go stale (a store on behalf of `via`, or a replacement with
+ * `via` = kInvalidGpm). GPM-level bits address sharing L2s directly;
+ * GPU-level bits address the sharing GPU's home node `gpuHomeOf(gpu)`,
+ * which re-fans (Table I, HMG). The writer's own domain and the home
+ * itself are excluded — their copies are fresh or authoritative.
+ */
+template <typename GpuHomeFn, typename EmitFn>
+inline void
+forEachInvTarget(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
+                 std::uint32_t gpm_bits, std::uint32_t gpu_bits,
+                 GpuHomeFn &&gpu_home_of, EmitFn &&emit)
+{
+    if (!hier) {
+        forEachBit(gpm_bits, [&](unsigned flat) {
+            GpmId dst = static_cast<GpmId>(flat);
+            if (dst != via && dst != h)
+                emit(dst);
+        });
+        return;
+    }
+    const GpuId hg = topo.gpuOf(h);
+    forEachBit(gpm_bits, [&](unsigned local) {
+        GpmId dst = topo.gpmId(hg, local);
+        if (dst != via && dst != h)
+            emit(dst);
+    });
+    const GpuId via_gpu = via == kInvalidGpm ? ~GpuId{0} : topo.gpuOf(via);
+    forEachBit(gpu_bits, [&](unsigned gpu) {
+        if (gpu == via_gpu || gpu == hg)
+            return;
+        emit(gpu_home_of(static_cast<GpuId>(gpu)));
+    });
+}
+
+/**
+ * Enumerate the GPM sharers a GPU home `gh` re-fans an incoming
+ * invalidation to (the HMG-only transition of Table I).
+ */
+template <typename EmitFn>
+inline void
+forEachGpmSharer(const SharerTopology &topo, GpmId gh,
+                 std::uint32_t gpm_bits, EmitFn &&emit)
+{
+    const GpuId g = topo.gpuOf(gh);
+    forEachBit(gpm_bits, [&](unsigned local) {
+        GpmId dst = topo.gpmId(g, local);
+        if (dst != gh)
+            emit(dst);
+    });
+}
+
+} // namespace hmg
+
+#endif // HMG_CORE_SHARER_OPS_HH

@@ -274,7 +274,8 @@ SwProtocol::storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h)
         return;
     }
     if (mayCacheAt(gh, f.acc.lineAddr))
-        ctx_.gpm(gh).l2().store(f.acc.lineAddr, f.v);
+        ctx_.gpm(gh).l2().store(f.acc.lineAddr, f.v,
+                                /*mark_dirty=*/false, /*serialized=*/true);
     ctx_.tracker.reachedGpuLevel(f.acc.sm);
     f.gpuCleared = true;
     const Addr line = f.acc.lineAddr;
@@ -291,7 +292,8 @@ void
 SwProtocol::storeAtSysHome(StoreFlow f, GpmId h)
 {
     GpmNode &home = ctx_.gpm(h);
-    home.l2().store(f.acc.lineAddr, f.v);
+    home.l2().store(f.acc.lineAddr, f.v, /*mark_dirty=*/false,
+                    /*serialized=*/true);
     ctx_.mem.write(f.acc.lineAddr, f.v);
     home.dram().write(ctx_.cfg.cacheLineBytes);
     if (!f.gpuCleared)
@@ -399,8 +401,10 @@ void
 SwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
                           Version old_v, LoadDoneCb done, DoneCb sys_done)
 {
+    // The RMW serializes at `target`: its copy takes the arrival order.
     if (target == h || mayCacheAt(target, acc.lineAddr))
-        ctx_.gpm(target).l2().store(acc.lineAddr, v);
+        ctx_.gpm(target).l2().store(acc.lineAddr, v, /*mark_dirty=*/false,
+                                    /*serialized=*/true);
 
     if (target == acc.gpm) {
         done(old_v);

@@ -121,6 +121,8 @@ class GpmNode
     Cache l2_;
     Dram dram_;
     std::unique_ptr<Directory> dir_;
+    // det-ok: MSHRs are probed/erased by line address; the waiter list
+    // itself is an ordered vector, so wakeup order is deterministic.
     std::unordered_map<Addr, std::vector<MissCb>> mshr_;
     std::uint64_t mshr_merges_ = 0;
     std::uint64_t pending_invs_ = 0;

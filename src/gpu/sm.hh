@@ -144,6 +144,8 @@ class Sm
         Version version = 0;
         std::uint32_t refs = 0;
     };
+    // det-ok: the store buffer is coalesced/drained per line address,
+    // never iterated, so hash order cannot leak into timing.
     std::unordered_map<Addr, SbEntry> store_buffer_;
 
     std::uint64_t ops_executed_ = 0;

@@ -1,5 +1,7 @@
 #include "gpu/system.hh"
 
+#include "core/checker.hh"
+
 namespace hmg
 {
 
@@ -26,6 +28,9 @@ System::System(const SystemConfig &cfg)
         engine_, cfg_, *net_, pages_, *amap_, mem_, tracker_, gpms_});
 
     model_ = makeCoherenceModel(*ctx_);
+    if (cfg_.checkCoherence)
+        model_ = std::make_unique<CoherenceChecker>(*ctx_,
+                                                    std::move(model_));
 
     for (SmId s = 0; s < cfg_.totalSms(); ++s)
         sms_.push_back(std::make_unique<Sm>(*ctx_, *model_, s));

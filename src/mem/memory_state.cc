@@ -11,10 +11,10 @@ MemoryState::read(Addr line_addr) const
 }
 
 void
-MemoryState::write(Addr line_addr, Version version)
+MemoryState::write(Addr line_addr, Version version, bool serialized)
 {
     auto [it, inserted] = lines_.emplace(line_addr, version);
-    if (!inserted && it->second < version)
+    if (!inserted && (serialized || it->second < version))
         it->second = version;
 }
 

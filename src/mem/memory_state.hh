@@ -33,13 +33,23 @@ class MemoryState
     Version read(Addr line_addr) const;
 
     /**
-     * Record that `version` reached DRAM at `line_addr`. Versions are
-     * monotonic per line: an older in-flight write must not clobber a
-     * newer one that already landed (write-throughs from a single L2 are
-     * FIFO, but two different L2s may race to the home — the home's
-     * arrival order defines the winner, which this models).
+     * Record that `version` reached DRAM at `line_addr`.
+     *
+     * `serialized` (the default) is for write-throughs and atomics
+     * landing at the system home: arrival order there *is* the
+     * coherence order, so the incoming version wins unconditionally
+     * even when its id is numerically smaller than the resident one
+     * (two L2s racing to the home may land out of issue order). This
+     * mirrors the `serialized` mode of Cache::store so the home L2 and
+     * DRAM never diverge.
+     *
+     * Pass `serialized = false` for write-back flushes: a dirty victim
+     * was coherence-ordered when it was written locally, not when its
+     * flush arrives, so a late flush must not clobber a newer write
+     * that already landed (e.g. the racing store whose invalidation
+     * dislodged the dirty copy).
      */
-    void write(Addr line_addr, Version version);
+    void write(Addr line_addr, Version version, bool serialized = true);
 
     std::uint64_t linesWritten() const { return lines_.size(); }
     Version latestVersion() const { return next_version_; }
@@ -47,6 +57,7 @@ class MemoryState
     void clear() { lines_.clear(); next_version_ = 0; }
 
   private:
+    // det-ok: read/written by line address only, never iterated.
     std::unordered_map<Addr, Version> lines_;
     Version next_version_ = 0;
 };

@@ -54,6 +54,8 @@ class PageTable
 
     const SystemConfig &cfg_;
     unsigned page_shift_;
+    // det-ok: probed by page number; the only iteration (pagesOn) is an
+    // order-insensitive count.
     std::unordered_map<std::uint64_t, GpmId> home_;
 };
 

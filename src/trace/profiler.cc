@@ -17,6 +17,8 @@ analyzeInterGpuLocality(const Trace &t, const SystemConfig &cfg)
 
     // Pass 1: emulate first-touch page placement in program order, and
     // collect the set of GPMs accessing every line.
+    // det-ok: both maps are filled and probed in trace program order and
+    // never iterated, so hash order cannot affect placement.
     std::unordered_map<std::uint64_t, GpmId> page_home;
     std::unordered_map<std::uint64_t, std::uint32_t> line_gpms;
 

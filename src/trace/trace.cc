@@ -17,7 +17,7 @@ Trace::memOps() const
 std::uint64_t
 Trace::footprintBytes(std::uint32_t line_bytes) const
 {
-    std::unordered_set<Addr> lines;
+    std::unordered_set<Addr> lines; // det-ok: only size() is consumed
     for (const auto &k : kernels)
         for (const auto &cta : k.ctas)
             for (const auto &w : cta.warps)

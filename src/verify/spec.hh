@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The declarative protocol specification: Table I of the paper as data.
+ *
+ * Every directory/line state transition of the two hardware protocols
+ * (NHCC, Section IV; HMG, Section V) is one row of a per-role
+ * TransitionTable:
+ *
+ *     (line state, incoming event, guard)
+ *         -> (next state, directory update, emitted messages)
+ *
+ * The simulator (core/hw_protocol.cc) dispatches its directory
+ * maintenance through these rows via verify::applyDirEvent (apply.hh),
+ * and the exhaustive model checker (verify/model.cc, tools/hmgcheck)
+ * steps the *same* rows — so a transition proven safe in the model is
+ * the transition the timing simulation performs, and a row edit shows
+ * up in both or neither.
+ *
+ * Two fields exist purely to be asserted over: `needsAck` and
+ * `transientNext` encode the paper's central simplification claims —
+ * "the proposed caching protocols do not require transient states" and
+ * "no invalidation acknowledgment messages" (Sections IV-B, V-C).
+ * checkTable() statically proves every row keeps both false, alongside
+ * determinism (no two rows match the same state/event/guard) and
+ * completeness (every reachable state/event pair has a row).
+ */
+
+#ifndef HMG_VERIFY_SPEC_HH
+#define HMG_VERIFY_SPEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hmg::verify
+{
+
+/** Stable directory-entry states (Table I). Valid == entry present. */
+enum class DirState : std::uint8_t
+{
+    Invalid,
+    Valid,
+};
+
+/** Protocol events that reach a directory. */
+enum class DirEvent : std::uint8_t
+{
+    LoadMiss,   //!< a remote requester's load is being answered here
+    Store,      //!< a write-through (or atomic result) lands here
+    Replace,    //!< this entry is displaced by a directory allocation
+    InvRecv,    //!< an invalidation for this sector arrives at this node
+    Downgrade,  //!< a clean eviction prunes one sharer (optional msg)
+    NumEvents,
+};
+
+/**
+ * Row guard. Stores distinguish whether the acting writer keeps a
+ * tracked copy: a regular write-through does (the writer's L2 holds the
+ * fresh line), while atomics invalidate even the requester's copy and
+ * untracked write-backs travel by update-only messages.
+ */
+enum class Guard : std::uint8_t
+{
+    Always,
+    WriterTracked,    //!< via is a remote node that retains the line
+    WriterUntracked,  //!< via is the home itself, or no node is recorded
+};
+
+/** Directory update performed by a row. */
+enum class DirUpdate : std::uint8_t
+{
+    None,
+    AddSharer,      //!< record `via` (allocating the entry if absent)
+    SetSoleSharer,  //!< clear all sharers, then record `via`
+    DropSharer,     //!< clear `via`'s bit (downgrade)
+    Clear,          //!< clear all sharers
+};
+
+/** Message emissions of a row (enumerated over the pre-update bits). */
+enum class EmitMsg : std::uint8_t
+{
+    None,
+    DataResp,    //!< the load flow ships the line back (no dir traffic)
+    InvOthers,   //!< invalidate every sharer outside the writer's domain
+    InvAll,      //!< invalidate every sharer (replacement)
+    RefanGpm,    //!< HMG-only: re-fan the invalidation to GPM sharers
+};
+
+/** Which directory a table describes. */
+enum class Role : std::uint8_t
+{
+    FlatHome,  //!< NHCC's single home (flat GPM sharer bits)
+    GpuHome,   //!< HMG per-GPU home (local GPM bits only)
+    SysHome,   //!< HMG system home (GPM bits + GPU bits)
+    NumRoles,
+};
+
+/** One declarative transition row. */
+struct Transition
+{
+    DirState state;
+    DirEvent event;
+    Guard guard;
+    DirState next;
+    DirUpdate update;
+    EmitMsg emit;
+    /** Would this row need an invalidation acknowledgment? Table I
+     *  never does; checkTable() proves it stays that way. */
+    bool needsAck;
+    /** Would this row enter a transient (non-stable) state? */
+    bool transientNext;
+    /** Table I row name / paper reference. */
+    const char *note;
+};
+
+/** A per-role table plus identification. */
+struct TransitionTable
+{
+    Role role;
+    const char *name;
+    const Transition *rows;
+    std::size_t numRows;
+};
+
+const char *toString(DirState s);
+const char *toString(DirEvent e);
+const char *toString(Guard g);
+const char *toString(DirUpdate u);
+const char *toString(EmitMsg e);
+const char *toString(Role r);
+
+/** The table governing directories of `role`. */
+const TransitionTable &tableFor(Role role);
+
+/** All tables (for static checking / dumping). */
+const TransitionTable *allTables(std::size_t &count);
+
+/** Does guard `g` accept a writer-tracked flag of `tracked`? */
+constexpr bool
+guardHolds(Guard g, bool tracked)
+{
+    return g == Guard::Always || (g == Guard::WriterTracked) == tracked;
+}
+
+/**
+ * The unique row of `t` matching (state, event, tracked-writer), or
+ * nullptr. Uniqueness and coverage are enforced by checkTable().
+ */
+const Transition *findTransition(const TransitionTable &t, DirState s,
+                                 DirEvent e, bool tracked);
+
+/**
+ * Statically verify one table: every row is ack-free and
+ * transient-free; no two rows overlap; every (state, event) pair the
+ * role can receive is covered. @return human-readable problems (empty
+ * when the table is sound).
+ */
+std::vector<std::string> checkTable(const TransitionTable &t);
+
+// ------------------------------------------------------------------
+// Message-class dependency graph (deadlock freedom, invariant 4).
+//
+// The transport (src/noc/) applies credit backpressure per hop but
+// parks injections in an *unbounded* NIC backlog
+// (SystemConfig::nocInjectionBacklogLimit only throttles SM issue), so
+// a handler never blocks consuming its message. Deadlock freedom then
+// reduces to: the "handling class X may synchronously emit class Y"
+// graph over hop-level message classes is acyclic. The classes below
+// split MsgType by hierarchy position (requester -> GPU home -> system
+// home), because e.g. a ReadReq forwarded gh->h is a *different*
+// resource class than the requester's ReadReq.
+// ------------------------------------------------------------------
+
+/** One hop-level message class. */
+struct MsgClass
+{
+    const char *name;
+    /** Handlers consume unconditionally (enqueue to the unbounded NIC
+     *  backlog, never wait for downstream credit). All true; asserted. */
+    bool nonBlockingHandler;
+};
+
+/** Directed edge: handling `from` may emit `to` in the same event. */
+struct MsgDep
+{
+    std::uint8_t from;
+    std::uint8_t to;
+    const char *why;
+};
+
+const MsgClass *msgClasses(std::size_t &count);
+const MsgDep *msgDeps(std::size_t &count);
+
+/**
+ * Verify the message-class graph: every handler is non-blocking and
+ * the dependency graph is acyclic (reported with the cycle if not).
+ */
+std::vector<std::string> checkMsgClassGraph();
+
+} // namespace hmg::verify
+
+#endif // HMG_VERIFY_SPEC_HH

@@ -1,0 +1,417 @@
+#include "verify/spec.hh"
+
+#include <cstdio>
+
+namespace hmg::verify
+{
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// Table I as data. Row order is documentation order; lookup is by
+// (state, event, guard) and checkTable() proves the match is unique.
+// ------------------------------------------------------------------
+
+// Rows shared by every home role. The sharer-bit *encoding* (flat GPM
+// bits vs. local-GPM + GPU bits) is the role's business, delegated to
+// sharer_ops.hh at apply time; the transitions themselves are the same
+// two-stable-state automaton of Table I.
+#define HMG_COMMON_HOME_ROWS                                              \
+    {DirState::Valid, DirEvent::LoadMiss, Guard::Always,                  \
+     DirState::Valid, DirUpdate::AddSharer, EmitMsg::DataResp,            \
+     false, false, "Read: add the requester to the sharer set"},          \
+    {DirState::Invalid, DirEvent::LoadMiss, Guard::Always,                \
+     DirState::Valid, DirUpdate::AddSharer, EmitMsg::DataResp,            \
+     false, false, "Read miss: allocate an entry, record the requester"}, \
+    {DirState::Valid, DirEvent::Store, Guard::WriterTracked,              \
+     DirState::Valid, DirUpdate::SetSoleSharer, EmitMsg::InvOthers,       \
+     false, false,                                                        \
+     "Store: invalidate stale sharers in the background; the writer "     \
+     "becomes the sole sharer (no acks collected — Section IV-B)"},       \
+    {DirState::Valid, DirEvent::Store, Guard::WriterUntracked,            \
+     DirState::Invalid, DirUpdate::Clear, EmitMsg::InvOthers,             \
+     false, false,                                                        \
+     "Store by the home / atomic / update-only write-back: invalidate "   \
+     "every sharer, entry returns to Invalid"},                           \
+    {DirState::Invalid, DirEvent::Store, Guard::WriterTracked,            \
+     DirState::Valid, DirUpdate::AddSharer, EmitMsg::None,                \
+     false, false, "Store miss: track the writer's fresh copy"},          \
+    {DirState::Invalid, DirEvent::Store, Guard::WriterUntracked,          \
+     DirState::Invalid, DirUpdate::None, EmitMsg::None,                   \
+     false, false, "Store miss, untracked writer: nothing to track"},     \
+    {DirState::Valid, DirEvent::Replace, Guard::Always,                   \
+     DirState::Invalid, DirUpdate::Clear, EmitMsg::InvAll,                \
+     false, false,                                                        \
+     "Replace dir entry: invalidate every sharer of the victim"},         \
+    {DirState::Valid, DirEvent::Downgrade, Guard::Always,                 \
+     DirState::Valid, DirUpdate::DropSharer, EmitMsg::None,               \
+     false, false,                                                        \
+     "Clean-eviction downgrade: prune one sharer (Section IV-B)"},        \
+    {DirState::Invalid, DirEvent::Downgrade, Guard::Always,               \
+     DirState::Invalid, DirUpdate::None, EmitMsg::None,                   \
+     false, false, "Downgrade for an untracked sector: stale, ignore"}
+
+constexpr Transition kFlatHomeRows[] = {
+    HMG_COMMON_HOME_ROWS,
+};
+
+constexpr Transition kSysHomeRows[] = {
+    HMG_COMMON_HOME_ROWS,
+};
+
+constexpr Transition kGpuHomeRows[] = {
+    HMG_COMMON_HOME_ROWS,
+    // The single transition HMG adds over NHCC (Table I, last row): a
+    // GPU home receiving a system-level invalidation re-fans it to the
+    // GPM sharers it tracks, then drops its entry. Still no transient
+    // state and still no acknowledgment — the release marker rounds
+    // drain the re-fanned wave (Section V-C).
+    {DirState::Valid, DirEvent::InvRecv, Guard::Always,
+     DirState::Invalid, DirUpdate::Clear, EmitMsg::RefanGpm,
+     false, false,
+     "HMG-only: GPU home re-fans the invalidation to its GPM sharers"},
+    {DirState::Invalid, DirEvent::InvRecv, Guard::Always,
+     DirState::Invalid, DirUpdate::None, EmitMsg::None,
+     false, false, "Invalidation with no tracked local sharers: drop"},
+};
+
+#undef HMG_COMMON_HOME_ROWS
+
+constexpr TransitionTable kTables[] = {
+    {Role::FlatHome, "nhcc-home", kFlatHomeRows,
+     sizeof(kFlatHomeRows) / sizeof(kFlatHomeRows[0])},
+    {Role::GpuHome, "hmg-gpu-home", kGpuHomeRows,
+     sizeof(kGpuHomeRows) / sizeof(kGpuHomeRows[0])},
+    {Role::SysHome, "hmg-sys-home", kSysHomeRows,
+     sizeof(kSysHomeRows) / sizeof(kSysHomeRows[0])},
+};
+
+/** Which events a directory of `role` can actually receive. */
+bool
+receivable(Role role, DirState s, DirEvent e)
+{
+    switch (e) {
+      case DirEvent::LoadMiss:
+      case DirEvent::Store:
+      case DirEvent::Downgrade:
+        return true;
+      case DirEvent::Replace:
+        // Replacement is only ever applied to a displaced valid victim.
+        return s == DirState::Valid;
+      case DirEvent::InvRecv:
+        // Only a GPU home owns re-fan state; elsewhere an arriving
+        // invalidation is pure cache-side work.
+        return role == Role::GpuHome;
+      case DirEvent::NumEvents:
+        break;
+    }
+    return false;
+}
+
+std::string
+rowName(const TransitionTable &t, const Transition &r)
+{
+    std::string s = t.name;
+    s += '[';
+    s += toString(r.state);
+    s += ',';
+    s += toString(r.event);
+    s += ',';
+    s += toString(r.guard);
+    s += ']';
+    return s;
+}
+
+} // namespace
+
+const char *
+toString(DirState s)
+{
+    return s == DirState::Valid ? "Valid" : "Invalid";
+}
+
+const char *
+toString(DirEvent e)
+{
+    switch (e) {
+      case DirEvent::LoadMiss:  return "LoadMiss";
+      case DirEvent::Store:     return "Store";
+      case DirEvent::Replace:   return "Replace";
+      case DirEvent::InvRecv:   return "InvRecv";
+      case DirEvent::Downgrade: return "Downgrade";
+      case DirEvent::NumEvents: break;
+    }
+    return "?";
+}
+
+const char *
+toString(Guard g)
+{
+    switch (g) {
+      case Guard::Always:          return "Always";
+      case Guard::WriterTracked:   return "WriterTracked";
+      case Guard::WriterUntracked: return "WriterUntracked";
+    }
+    return "?";
+}
+
+const char *
+toString(DirUpdate u)
+{
+    switch (u) {
+      case DirUpdate::None:          return "None";
+      case DirUpdate::AddSharer:     return "AddSharer";
+      case DirUpdate::SetSoleSharer: return "SetSoleSharer";
+      case DirUpdate::DropSharer:    return "DropSharer";
+      case DirUpdate::Clear:         return "Clear";
+    }
+    return "?";
+}
+
+const char *
+toString(EmitMsg e)
+{
+    switch (e) {
+      case EmitMsg::None:      return "None";
+      case EmitMsg::DataResp:  return "DataResp";
+      case EmitMsg::InvOthers: return "InvOthers";
+      case EmitMsg::InvAll:    return "InvAll";
+      case EmitMsg::RefanGpm:  return "RefanGpm";
+    }
+    return "?";
+}
+
+const char *
+toString(Role r)
+{
+    switch (r) {
+      case Role::FlatHome: return "FlatHome";
+      case Role::GpuHome:  return "GpuHome";
+      case Role::SysHome:  return "SysHome";
+      case Role::NumRoles: break;
+    }
+    return "?";
+}
+
+const TransitionTable &
+tableFor(Role role)
+{
+    return kTables[static_cast<std::size_t>(role)];
+}
+
+const TransitionTable *
+allTables(std::size_t &count)
+{
+    count = sizeof(kTables) / sizeof(kTables[0]);
+    return kTables;
+}
+
+const Transition *
+findTransition(const TransitionTable &t, DirState s, DirEvent e,
+               bool tracked)
+{
+    for (std::size_t i = 0; i < t.numRows; ++i) {
+        const Transition &r = t.rows[i];
+        if (r.state == s && r.event == e && guardHolds(r.guard, tracked))
+            return &r;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+checkTable(const TransitionTable &t)
+{
+    std::vector<std::string> problems;
+    auto complain = [&](const std::string &what) {
+        problems.push_back(std::string(t.name) + ": " + what);
+    };
+
+    for (std::size_t i = 0; i < t.numRows; ++i) {
+        const Transition &r = t.rows[i];
+        // Invariant family 1: the paper's simplification claims.
+        if (r.needsAck)
+            complain(rowName(t, r) + " requires an invalidation ack "
+                     "(Sections IV-B/V-C forbid acks)");
+        if (r.transientNext)
+            complain(rowName(t, r) + " enters a transient state (the "
+                     "protocols have only Valid/Invalid)");
+        // Internal consistency of the row encoding.
+        if ((r.update == DirUpdate::AddSharer ||
+             r.update == DirUpdate::SetSoleSharer) &&
+            r.next != DirState::Valid)
+            complain(rowName(t, r) + " records a sharer yet leaves the "
+                     "entry Invalid");
+        if (r.update == DirUpdate::DropSharer &&
+            r.state != DirState::Valid)
+            complain(rowName(t, r) + " drops a sharer from an absent "
+                     "entry");
+        if (r.emit == EmitMsg::InvAll && r.event != DirEvent::Replace)
+            complain(rowName(t, r) + " blanket-invalidates outside a "
+                     "replacement");
+        if (r.emit == EmitMsg::RefanGpm && t.role != Role::GpuHome)
+            complain(rowName(t, r) + " re-fans at a non-GPU-home role");
+        if (r.event == DirEvent::Store && r.guard == Guard::Always)
+            complain(rowName(t, r) + " ignores the writer-tracking "
+                     "guard stores require");
+    }
+
+    // Determinism + completeness over the receivable event space.
+    for (DirState s : {DirState::Invalid, DirState::Valid}) {
+        for (std::size_t e = 0;
+             e < static_cast<std::size_t>(DirEvent::NumEvents); ++e) {
+            const auto ev = static_cast<DirEvent>(e);
+            for (bool tracked : {false, true}) {
+                std::size_t matches = 0;
+                for (std::size_t i = 0; i < t.numRows; ++i) {
+                    const Transition &r = t.rows[i];
+                    if (r.state == s && r.event == ev &&
+                        guardHolds(r.guard, tracked))
+                        ++matches;
+                }
+                char buf[160];
+                if (matches > 1) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "ambiguous: %zu rows match (%s, %s, "
+                                  "tracked=%d)",
+                                  matches, toString(s), toString(ev),
+                                  tracked ? 1 : 0);
+                    complain(buf);
+                }
+                if (matches == 0 && receivable(t.role, s, ev)) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "incomplete: no row for (%s, %s, "
+                                  "tracked=%d)",
+                                  toString(s), toString(ev),
+                                  tracked ? 1 : 0);
+                    complain(buf);
+                }
+            }
+        }
+    }
+    return problems;
+}
+
+// ------------------------------------------------------------------
+// Message-class dependency graph.
+// ------------------------------------------------------------------
+
+namespace
+{
+
+enum MsgClassId : std::uint8_t
+{
+    kReadReqReq,     // requester -> first home (gh under HMG, else h)
+    kReadReqFwd,     // GPU home -> system home
+    kReadRespSys,    // system home -> GPU home
+    kReadRespHome,   // serving home -> requester
+    kWriteThroughReq,// writer -> first home
+    kWriteThroughFwd,// GPU home -> system home
+    kInvFan,         // home -> sharer L2 / remote GPU home
+    kInvRefan,       // GPU home -> its GPM sharers
+    kAtomicReq,      // requester -> scope home
+    kAtomicResp,     // scope home -> requester
+    kRelMarkerFan,   // releaser -> every targeted L2
+    kRelMarkerRelay, // relay GPM -> its GPU's other GPMs
+    kRelAck,         // marker target -> releaser / relay
+    kDowngrade,      // evictor -> home
+    kNumMsgClasses
+};
+
+constexpr MsgClass kMsgClasses[] = {
+    {"ReadReq.req", true},    {"ReadReq.fwd", true},
+    {"ReadResp.sys", true},   {"ReadResp.home", true},
+    {"WriteThrough.req", true}, {"WriteThrough.fwd", true},
+    {"Inv.fan", true},        {"Inv.refan", true},
+    {"AtomicReq", true},      {"AtomicResp", true},
+    {"RelMarker.fan", true},  {"RelMarker.relay", true},
+    {"RelAck", true},         {"Downgrade", true},
+};
+static_assert(sizeof(kMsgClasses) / sizeof(kMsgClasses[0]) ==
+              kNumMsgClasses);
+
+constexpr MsgDep kMsgDeps[] = {
+    {kReadReqReq, kReadReqFwd, "GPU-home miss consults the system home"},
+    {kReadReqReq, kReadRespHome, "hit at the first home"},
+    {kReadReqReq, kInvFan, "directory replacement on sharer allocate"},
+    {kReadReqFwd, kReadRespSys, "system home answers"},
+    {kReadReqFwd, kInvFan, "directory replacement on sharer allocate"},
+    {kReadRespSys, kReadRespHome, "GPU home relays the line down"},
+    {kReadRespSys, kAtomicResp, "GPU-home atomic performs after fetch"},
+    {kReadRespSys, kWriteThroughFwd, "atomic result writes through"},
+    {kReadRespSys, kInvFan, "atomic invalidates local sharers"},
+    {kWriteThroughReq, kInvFan, "store invalidates stale sharers"},
+    {kWriteThroughReq, kWriteThroughFwd, "GPU home forwards to system"},
+    {kWriteThroughFwd, kInvFan, "system home invalidates stale sharers"},
+    {kInvFan, kInvRefan, "HMG GPU home re-fans to its GPM sharers"},
+    {kAtomicReq, kReadReqFwd, "GPU home fetches the line first"},
+    {kAtomicReq, kAtomicResp, "pre-op value returns"},
+    {kAtomicReq, kWriteThroughFwd, "atomic result writes through"},
+    {kAtomicReq, kInvFan, "atomic invalidates sharers"},
+    {kRelMarkerFan, kRelAck, "target acks after its inv ledger drains"},
+    {kRelMarkerFan, kRelMarkerRelay, "relay fans within its GPU"},
+    {kRelMarkerRelay, kRelAck, "relayed target acks"},
+};
+
+} // namespace
+
+const MsgClass *
+msgClasses(std::size_t &count)
+{
+    count = kNumMsgClasses;
+    return kMsgClasses;
+}
+
+const MsgDep *
+msgDeps(std::size_t &count)
+{
+    count = sizeof(kMsgDeps) / sizeof(kMsgDeps[0]);
+    return kMsgDeps;
+}
+
+std::vector<std::string>
+checkMsgClassGraph()
+{
+    std::vector<std::string> problems;
+    for (std::size_t i = 0; i < kNumMsgClasses; ++i)
+        if (!kMsgClasses[i].nonBlockingHandler)
+            problems.push_back(std::string(kMsgClasses[i].name) +
+                               ": handler may block on consumption; "
+                               "guaranteed consumption is required for "
+                               "the acyclicity argument to hold");
+
+    // Cycle detection by iterative DFS coloring.
+    enum { White, Grey, Black };
+    int color[kNumMsgClasses] = {};
+    std::vector<std::uint8_t> stack;
+    for (std::uint8_t root = 0; root < kNumMsgClasses; ++root) {
+        if (color[root] != White)
+            continue;
+        stack.assign(1, root);
+        while (!stack.empty()) {
+            std::uint8_t n = stack.back();
+            if (color[n] == White) {
+                color[n] = Grey;
+                for (const MsgDep &d : kMsgDeps) {
+                    if (d.from != n)
+                        continue;
+                    if (color[d.to] == Grey) {
+                        problems.push_back(
+                            std::string("message-class cycle: ") +
+                            kMsgClasses[d.from].name + " -> " +
+                            kMsgClasses[d.to].name + " (" + d.why +
+                            ") closes a dependency loop");
+                    } else if (color[d.to] == White) {
+                        stack.push_back(d.to);
+                    }
+                }
+            } else {
+                color[n] = Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return problems;
+}
+
+} // namespace hmg::verify

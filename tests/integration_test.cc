@@ -69,6 +69,28 @@ TEST_P(ProtocolIntegration, CacheStatConservation)
               res.stats.get("sm_total.l1.loads"));
 }
 
+TEST_P(ProtocolIntegration, RealWorkloadUnderCoherenceChecker)
+{
+    if (GetParam() == Protocol::Ideal)
+        GTEST_SKIP() << "the idealized model is deliberately incoherent";
+    // A reduced machine so the checker's per-access verification stays
+    // cheap; every load/store/fence of a real trace is validated
+    // against the version oracle (the `--check` path of hmgsim).
+    SystemConfig cfg;
+    cfg.numGpus = 2;
+    cfg.gpmsPerGpu = 2;
+    cfg.smsPerGpu = 4;
+    cfg.l2BytesPerGpu = 256 * 1024;
+    cfg.dirEntriesPerGpm = 256;
+    cfg.protocol = GetParam();
+    cfg.checkCoherence = true;
+    auto t = wl::make("bfs", 0.05);
+    Simulator sim(cfg);
+    auto res = sim.run(t); // the checker hmg_panic()s on any violation
+    EXPECT_EQ(res.memOps, t.memOps());
+    EXPECT_GT(res.stats.get("checker.checks"), 0.0);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolIntegration,
                          ::testing::ValuesIn(kAll),
                          [](const ::testing::TestParamInfo<Protocol> &i) {

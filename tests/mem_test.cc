@@ -100,7 +100,7 @@ TEST(AddressMap, SystemAndGpuHomes)
     EXPECT_EQ(am.gpuHome(3, 0x40), 14u);
 }
 
-TEST(MemoryState, VersionsMonotonicPerLine)
+TEST(MemoryState, SerializedWritesOrderByArrival)
 {
     MemoryState m;
     EXPECT_EQ(m.read(0x100), 0u);
@@ -108,10 +108,27 @@ TEST(MemoryState, VersionsMonotonicPerLine)
     Version v2 = m.allocateVersion();
     EXPECT_LT(v1, v2);
     m.write(0x100, v2);
-    // An older in-flight write must not clobber the newer one.
+    // Arrival order at the home is the coherence order: a write-through
+    // landing later wins even with a numerically smaller version id
+    // (two L2s racing to the home may land out of issue order).
     m.write(0x100, v1);
-    EXPECT_EQ(m.read(0x100), v2);
+    EXPECT_EQ(m.read(0x100), v1);
     EXPECT_EQ(m.linesWritten(), 1u);
+}
+
+TEST(MemoryState, WriteBackFlushNeverClobbersNewerData)
+{
+    MemoryState m;
+    Version v1 = m.allocateVersion();
+    Version v2 = m.allocateVersion();
+    m.write(0x100, v2);
+    // A flushed dirty victim was ordered by its original local store,
+    // not by the flush's arrival: it must not roll memory back.
+    m.write(0x100, v1, /*serialized=*/false);
+    EXPECT_EQ(m.read(0x100), v2);
+    // But it does install when memory is genuinely older.
+    m.write(0x200, v1, /*serialized=*/false);
+    EXPECT_EQ(m.read(0x200), v1);
 }
 
 TEST(Dram, BandwidthAndLatency)

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The CI wall: lint + determinism lint + tier-1 tests under the default,
+# ASan and UBSan presets, plus an exhaustive hmgcheck run per protocol.
+#
+# Everything here is hermetic — no network, no installed extras beyond
+# cmake/g++ (clang-tidy is picked up when present, skipped when not).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== lint (clang-tidy) ==="
+tools/run_lint.sh
+
+echo "=== lint (determinism) ==="
+tools/lint_determinism.sh
+
+for preset in default asan ubsan; do
+    echo "=== preset: $preset (configure/build/tier-1 ctest) ==="
+    cmake --preset "$preset" >/dev/null
+    cmake --build --preset "$preset" -j "$(nproc)" >/dev/null
+    ctest --preset "${preset/default/tier1}"
+done
+
+echo "=== hmgcheck: exhaustive state-space exploration ==="
+BUILD_BIN=build/tools/hmgcheck
+"$BUILD_BIN" --protocol nhcc
+"$BUILD_BIN" --protocol hmg
+
+echo "ci: PASS"

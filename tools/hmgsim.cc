@@ -86,6 +86,7 @@ usage()
         "  --placement P           first-touch|round-robin\n"
         "  --hier-release          hierarchical release marker fan-out\n"
         "  --downgrade             clean-eviction sharer downgrades\n"
+        "  --check                 run the runtime coherence checker\n"
         "  --locality              also run the Fig. 3 locality analysis\n"
         "  --stats                 dump every statistic\n"
         "  --csv                   machine-readable stat dump\n");
@@ -137,6 +138,8 @@ parse(int argc, char **argv)
             o.cfg.hierarchicalReleaseFanout = true;
         else if (a == "--downgrade")
             o.cfg.sharerDowngrade = true;
+        else if (a == "--check")
+            o.cfg.checkCoherence = true;
         else if (a == "--save-trace")
             o.save_trace = need(i);
         else if (a == "--trace")

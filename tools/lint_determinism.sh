@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulator must produce bit-identical results for
+# a given (config, seed), or the sweep runner's figure caches and the
+# hmgcheck counterexample traces stop being reproducible.
+#
+# Two rule families:
+#  1. Every std::unordered_{map,set} declaration must carry a
+#     `det-ok:` justification (same line or within the 4 lines above)
+#     explaining why hash order cannot leak into simulated behaviour —
+#     typically "probed by key, never iterated".
+#  2. Wall-clock and ambient entropy sources are banned outright in
+#     src/: std::rand, random_device, time(nullptr), chrono ::now.
+#     Randomized workloads must draw from the seeded std::mt19937 in
+#     the workload config.
+#
+# Runs as a tier-1 ctest (`determinism_lint`) and from tools/ci.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- rule 1: unordered containers need a det-ok justification ---------
+while IFS=: read -r file line _; do
+    start=$((line > 4 ? line - 4 : 1))
+    if ! sed -n "${start},${line}p" "$file" | grep -q 'det-ok'; then
+        echo "determinism: $file:$line: std::unordered container without a 'det-ok:' justification" >&2
+        fail=1
+    fi
+done < <(grep -rn 'std::unordered_\(map\|set\)<' src/ --include='*.hh' --include='*.cc' || true)
+
+# --- rule 2: no ambient entropy or wall-clock in the model ------------
+if grep -rn 'std::rand\b\|random_device\|time(nullptr)\|::now()' \
+        src/ --include='*.hh' --include='*.cc' | grep -v 'det-ok'; then
+    echo "determinism: ambient entropy / wall-clock source in src/ (seeded mt19937 only)" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "determinism lint: FAIL" >&2
+    exit 1
+fi
+echo "determinism lint: clean"

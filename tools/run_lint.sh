@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the simulator sources using the repo's .clang-tidy.
+#
+# Degrades gracefully: toolchains without clang-tidy (the reference
+# container ships only g++) get a skip, not a failure, so `tools/ci.sh`
+# can call this unconditionally. Pass extra args through to clang-tidy,
+# e.g. `tools/run_lint.sh --fix`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_lint: $TIDY not found; skipping lint (install clang-tidy to enable)" >&2
+    exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -S . -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# Lint every first-party translation unit; tests are linted too so the
+# wall covers the checker/litmus harnesses.
+mapfile -t FILES < <(find src tools tests -name '*.cc' ! -path '*/third_party/*' | sort)
+
+echo "run_lint: ${#FILES[@]} files under $TIDY"
+"$TIDY" -p "$BUILD_DIR" --quiet "$@" "${FILES[@]}"
+echo "run_lint: clean"
