@@ -17,7 +17,14 @@
  *     runs this binary, so a determinism regression (or a rotted perf
  *     harness) fails CI.
  *
- * Flags: --events N, --jobs N, --sweep-scale X, --out FILE.
+ *  3. wall-clock of one large Fig. 8 cell run serially, under the
+ *     deterministic PDES merge (with a bit-identity check) and under the
+ *     threaded conservative time-window mode, with the sync-overhead
+ *     counters from the run's own pdes.* statistics.
+ *
+ * Flags: --events N, --jobs N, --sweep-scale X, --pdes-scale X,
+ * --kernel-only (event-kernel throughput only, for tools/perf_smoke.sh),
+ * --out FILE.
  */
 
 #include <chrono>
@@ -29,8 +36,10 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "gpu/simulator.hh"
 #include "sim/engine.hh"
 #include "sim/sweep.hh"
+#include "trace/workloads.hh"
 
 namespace
 {
@@ -210,6 +219,74 @@ measureSweep(double scale, unsigned jobs)
     return t;
 }
 
+/**
+ * Conservative-PDES timing: ONE large Fig. 8 cell (the default 4-GPU x
+ * 4-GPM machine at full scale) run three ways — serial, `--lp-jobs 4
+ * --deterministic` (merge overhead + a bit-identity check), and
+ * `--lp-jobs 4` time-window (the threaded mode) — with the sync-overhead
+ * counters (null messages, window stalls, lookahead utilization) pulled
+ * from the run's own pdes.* statistics.
+ */
+struct PdesTiming
+{
+    std::string workload;
+    double scale = 1.0;
+    unsigned lps = 4;
+    double serial_seconds = 0;
+    double det_seconds = 0;
+    double tw_seconds = 0;
+    bool det_identical = false;
+    hmg::Tick serial_cycles = 0;
+    hmg::Tick tw_cycles = 0;
+    double windows = 0;
+    double boundary_msgs = 0;
+    double null_msgs = 0;
+    double window_stalls = 0;
+    double cross_lp_posts = 0;
+    double lookahead_util = 0;
+};
+
+PdesTiming
+measurePdes(const std::string &workload, double scale, unsigned lps)
+{
+    PdesTiming t;
+    t.workload = workload;
+    t.scale = scale;
+    t.lps = lps;
+    const auto trace = hmg::trace::workloads::make(workload, scale);
+
+    hmg::SystemConfig cfg;
+    cfg.protocol = hmg::Protocol::Hmg;
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto serial = hmg::Simulator(cfg).run(trace);
+    t.serial_seconds = secondsSince(t0);
+    t.serial_cycles = serial.cycles;
+
+    hmg::SystemConfig dcfg = cfg;
+    dcfg.lpJobs = lps;
+    dcfg.lpDeterministic = true;
+    t0 = std::chrono::steady_clock::now();
+    const auto det = hmg::Simulator(dcfg).run(trace);
+    t.det_seconds = secondsSince(t0);
+    t.det_identical = det.cycles == serial.cycles &&
+                      det.stats.all() == serial.stats.all();
+
+    hmg::SystemConfig wcfg = cfg;
+    wcfg.lpJobs = lps;
+    t0 = std::chrono::steady_clock::now();
+    const auto tw = hmg::Simulator(wcfg).run(trace);
+    t.tw_seconds = secondsSince(t0);
+    t.tw_cycles = tw.cycles;
+    t.windows = tw.stats.get("pdes.windows");
+    t.boundary_msgs = tw.stats.get("pdes.boundary_msgs");
+    t.null_msgs = tw.stats.get("pdes.null_msgs");
+    t.window_stalls = tw.stats.get("pdes.lp_stall_windows");
+    t.cross_lp_posts = tw.stats.get("pdes.cross_lp_posts");
+    t.lookahead_util = tw.stats.get("pdes.lookahead_util");
+    return t;
+}
+
 } // namespace
 
 int
@@ -217,12 +294,18 @@ main(int argc, char **argv)
 {
     std::uint64_t events = 2'000'000;
     double sweep_scale = 0.25;
+    double pdes_scale = 1.0;
+    bool kernel_only = false;
     std::string out_path = "BENCH_engine.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc)
             events = std::strtoull(argv[++i], nullptr, 10);
         else if (std::strcmp(argv[i], "--sweep-scale") == 0 && i + 1 < argc)
             sweep_scale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--pdes-scale") == 0 && i + 1 < argc)
+            pdes_scale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--kernel-only") == 0)
+            kernel_only = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out_path = argv[++i];
         // --jobs is picked up by parseJobsFlag below.
@@ -235,6 +318,12 @@ main(int argc, char **argv)
     using Wheel = hmg::Engine;
     const double wheel_small =
         eventsPerSec<Wheel, Pump<Wheel, 1>>(events);
+    if (kernel_only) {
+        // Machine-greppable line for tools/perf_smoke.sh: throughput of
+        // the wheel alone, no sweep/PDES runs, no JSON written.
+        std::printf("wheel_events_per_sec %.0f\n", wheel_small);
+        return 0;
+    }
     const double seed_small =
         eventsPerSec<SeedPqEngine, Pump<SeedPqEngine, 1>>(events);
     const double wheel_fat =
@@ -259,6 +348,20 @@ main(int argc, char **argv)
                 sw.serial_seconds / sw.parallel_seconds,
                 sw.bit_identical ? "yes" : "NO");
 
+    const PdesTiming pd = measurePdes("bfs", pdes_scale, 4);
+    std::printf("pdes, %s at scale %.2f, %u LPs (host cores: %u):\n",
+                pd.workload.c_str(), pd.scale, pd.lps,
+                std::thread::hardware_concurrency());
+    std::printf("  serial %.2fs | det-merge %.2fs (bit-identical: %s) | "
+                "time-window %.2fs | speedup %.2fx\n",
+                pd.serial_seconds, pd.det_seconds,
+                pd.det_identical ? "yes" : "NO", pd.tw_seconds,
+                pd.serial_seconds / pd.tw_seconds);
+    std::printf("  %.0f windows | %.0f boundary msgs | %.0f null msgs | "
+                "%.0f stall windows | lookahead util %.2f\n",
+                pd.windows, pd.boundary_msgs, pd.null_msgs,
+                pd.window_stalls, pd.lookahead_util);
+
     if (std::FILE *f = std::fopen(out_path.c_str(), "w")) {
         std::fprintf(f,
                      "{\n"
@@ -279,6 +382,25 @@ main(int argc, char **argv)
                      "    \"parallel_seconds\": %.3f,\n"
                      "    \"speedup\": %.3f,\n"
                      "    \"results_bit_identical\": %s\n"
+                     "  },\n"
+                     "  \"pdes\": {\n"
+                     "    \"workload\": \"%s\",\n"
+                     "    \"scale\": %.3f,\n"
+                     "    \"lps\": %u,\n"
+                     "    \"host_cores\": %u,\n"
+                     "    \"serial_seconds\": %.3f,\n"
+                     "    \"det_merge_seconds\": %.3f,\n"
+                     "    \"det_merge_bit_identical\": %s,\n"
+                     "    \"time_window_seconds\": %.3f,\n"
+                     "    \"speedup\": %.3f,\n"
+                     "    \"serial_cycles\": %llu,\n"
+                     "    \"time_window_cycles\": %llu,\n"
+                     "    \"windows\": %.0f,\n"
+                     "    \"boundary_msgs\": %.0f,\n"
+                     "    \"null_msgs\": %.0f,\n"
+                     "    \"window_stalls\": %.0f,\n"
+                     "    \"cross_lp_posts\": %.0f,\n"
+                     "    \"lookahead_util\": %.3f\n"
                      "  }\n"
                      "}\n",
                      static_cast<unsigned long long>(events), wheel_small,
@@ -286,7 +408,17 @@ main(int argc, char **argv)
                      seed_fat, wheel_fat / seed_fat, sw.cells, sweep_scale,
                      sw.jobs, sw.serial_seconds, sw.parallel_seconds,
                      sw.serial_seconds / sw.parallel_seconds,
-                     sw.bit_identical ? "true" : "false");
+                     sw.bit_identical ? "true" : "false",
+                     pd.workload.c_str(), pd.scale, pd.lps,
+                     std::thread::hardware_concurrency(),
+                     pd.serial_seconds, pd.det_seconds,
+                     pd.det_identical ? "true" : "false", pd.tw_seconds,
+                     pd.serial_seconds / pd.tw_seconds,
+                     static_cast<unsigned long long>(pd.serial_cycles),
+                     static_cast<unsigned long long>(pd.tw_cycles),
+                     pd.windows, pd.boundary_msgs, pd.null_msgs,
+                     pd.window_stalls, pd.cross_lp_posts,
+                     pd.lookahead_util);
         std::fclose(f);
         std::printf("wrote %s\n", out_path.c_str());
     } else {
@@ -295,6 +427,7 @@ main(int argc, char **argv)
     }
 
     // Parallel results diverging from serial is a correctness bug, not a
-    // perf shortfall — fail loudly so bench_smoke catches it in CI.
-    return sw.bit_identical ? 0 : 1;
+    // perf shortfall — fail loudly so bench_smoke catches it in CI. The
+    // same rule covers the deterministic-merge PDES mode.
+    return (sw.bit_identical && pd.det_identical) ? 0 : 1;
 }

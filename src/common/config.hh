@@ -157,6 +157,23 @@ struct SystemConfig
      */
     bool checkCoherence = false;
 
+    // ---- parallel (PDES) execution of one simulation ----
+    /**
+     * Logical processes (`--lp-jobs N`): the simulation is partitioned
+     * at GPU granularity into up to N LPs, each with its own event
+     * wheel, synchronized conservatively at the inter-GPU links (whose
+     * latency is the lookahead; sim/lp.hh). 1 = the classic serial
+     * engine. Clamped to the GPU count.
+     */
+    std::uint32_t lpJobs = 1;
+    /**
+     * With lpJobs > 1 (`--deterministic`): run the per-LP wheels
+     * single-threaded under a (tick, insertion-order) merge that is
+     * bit-identical to the serial engine — the differential-testing
+     * mode. Off: threaded time windows (delay-only relaxations).
+     */
+    bool lpDeterministic = false;
+
     // ---- derived helpers ----
     std::uint32_t totalGpms() const { return numGpus * gpmsPerGpu; }
     std::uint32_t totalSms() const { return numGpus * smsPerGpu; }

@@ -51,7 +51,7 @@ CoherenceChecker::logTx(const char *kind, const MemAccess &acc, Version v)
     char buf[128];
     std::snprintf(buf, sizeof(buf),
                   "[%llu] %-9s sm%-3u gpm%-2u line %#llx %s v%llu",
-                  static_cast<unsigned long long>(ctx_.engine.now()), kind,
+                  static_cast<unsigned long long>(ctx_.engine().now()), kind,
                   acc.sm, acc.gpm,
                   static_cast<unsigned long long>(acc.lineAddr),
                   toString(acc.scope), static_cast<unsigned long long>(v));
@@ -85,7 +85,7 @@ CoherenceChecker::violation(const char *fmt, ...)
 
     std::fflush(stdout);
     std::fprintf(stderr, "=== coherence violation at tick %llu ===\n%s\n",
-                 static_cast<unsigned long long>(ctx_.engine.now()), msg);
+                 static_cast<unsigned long long>(ctx_.engine().now()), msg);
     dumpTxRing(stderr);
     hmg_panic("coherence violation: %s", msg);
 }
@@ -252,6 +252,7 @@ CoherenceChecker::foldBoundary()
 void
 CoherenceChecker::noteInvSent(Addr sector)
 {
+    MaybeLock lock(ctx_.lps);
     ++invs_by_sector_[sector];
     ++invs_in_flight_;
 }
@@ -259,6 +260,7 @@ CoherenceChecker::noteInvSent(Addr sector)
 void
 CoherenceChecker::noteInvDelivered(Addr sector)
 {
+    MaybeLock lock(ctx_.lps);
     auto it = invs_by_sector_.find(sector);
     if (it == invs_by_sector_.end() || invs_in_flight_ == 0)
         hmg_panic("invalidation ledger underflow on sector %#llx",
@@ -357,6 +359,14 @@ CoherenceChecker::verifyObserved(const MemAccess &acc, const char *op,
 void
 CoherenceChecker::checkStructural(Addr line)
 {
+    // Peeks every GPM's L2 and directory. In a relaxed TimeWindow run
+    // those live on other LPs mid-window: their state is legitimately
+    // up to one window behind (delay-only relaxation), so the snapshot
+    // would report false transients. The per-access ordering checks
+    // (verifyObserved) still run; only the global structural scan is
+    // confined to the deterministic engines.
+    if (ctx_.lps.concurrent())
+        return;
     if (!ctx_.pages.isPlaced(line))
         return;
     ++checks_;
@@ -432,6 +442,11 @@ CoherenceChecker::checkCopyCovered(GpmId g, const CacheLine &copy)
 void
 CoherenceChecker::checkQuiescent()
 {
+    // Same cross-LP snapshot problem as checkStructural: the boundary
+    // is model-quiescent, but other LP threads are still inside their
+    // window, so their tag arrays cannot be scanned safely.
+    if (ctx_.lps.concurrent())
+        return;
     ++boundary_scans_;
     for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g) {
         ctx_.gpm(g).l2().tags().forEachValid([&](const CacheLine &cl) {
@@ -465,23 +480,41 @@ CoherenceChecker::load(const MemAccess &acc, LoadDoneCb done)
 {
     // Snapshot the sync obligations at issue time: an acquire completing
     // while this load is in flight must not retroactively strengthen it.
-    const SmState &sm = sms_.at(acc.sm);
-    const Version sys_floor =
-        floorOf(released_sys_, acc.lineAddr, sm.ackedSys);
-    // System-scope loads are served at the system home, which a
-    // GPU-scope release never promises to have reached: only narrower
-    // scopes inherit the per-GPU floor (matching-scope pairing).
-    const Version gpu_floor =
-        acc.scope >= Scope::Sys
-            ? 0
-            : floorOf(released_gpu_[ctx_.cfg.gpuOf(acc.gpm)], acc.lineAddr,
-                      sm.ackedGpu);
-    const bool inv_at_issue = invInFlightOn(acc.lineAddr);
+    Version sys_floor = 0, gpu_floor = 0;
+    bool inv_at_issue;
+    {
+        MaybeLock lock(ctx_.lps);
+        const SmState &sm = sms_.at(acc.sm);
+        // Floors are claimable only on the deterministic engines. In a
+        // relaxed TimeWindow run the epoch counters are bumped by folds
+        // on other LPs in wall-clock order, so an acquire can observe
+        // an epoch whose release completes *later* in simulated time —
+        // a floor the protocol never promised. Claim nothing there;
+        // version/line integrity is still verified, and the litmus
+        // suite checks the ordering outcomes end to end.
+        if (!ctx_.lps.concurrent()) {
+            sys_floor = floorOf(released_sys_, acc.lineAddr, sm.ackedSys);
+            // System-scope loads are served at the system home, which a
+            // GPU-scope release never promises to have reached: only
+            // narrower scopes inherit the per-GPU floor (matching-scope
+            // pairing).
+            gpu_floor =
+                acc.scope >= Scope::Sys
+                    ? 0
+                    : floorOf(released_gpu_[ctx_.cfg.gpuOf(acc.gpm)],
+                              acc.lineAddr, sm.ackedGpu);
+        }
+        inv_at_issue = invInFlightOn(acc.lineAddr);
+    }
     inner_->load(acc, [this, acc, sys_floor, gpu_floor, inv_at_issue,
                        done = std::move(done)](Version v) mutable {
-        logTx("ld", acc, v);
-        verifyObserved(acc, "load", v, sys_floor, gpu_floor, inv_at_issue);
-        checkStructural(acc.lineAddr);
+        {
+            MaybeLock lock(ctx_.lps);
+            logTx("ld", acc, v);
+            verifyObserved(acc, "load", v, sys_floor, gpu_floor,
+                           inv_at_issue);
+            checkStructural(acc.lineAddr);
+        }
         done(v);
     });
 }
@@ -490,21 +523,29 @@ void
 CoherenceChecker::store(const MemAccess &acc, Version v, DoneCb accepted,
                         DoneCb sys_done)
 {
-    logTx("st", acc, v);
-    recordWrite(acc, v);
     const Addr key = wtKey(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr);
-    ++writes_in_flight_[key];
+    {
+        MaybeLock lock(ctx_.lps);
+        logTx("st", acc, v);
+        recordWrite(acc, v);
+        ++writes_in_flight_[key];
+    }
     inner_->store(acc, v, std::move(accepted),
                   [this, acc, v, key,
                    sys_done = std::move(sys_done)]() mutable {
-        auto it = writes_in_flight_.find(key);
-        if (it != writes_in_flight_.end() && --it->second == 0)
-            writes_in_flight_.erase(it);
-        // This callback runs in the same event that applies the write
-        // at the system home, so ranks record exact arrival order.
-        recordArrival(acc.lineAddr, v);
-        logTx("st.sys", acc, v);
-        checkStructural(acc.lineAddr);
+        {
+            MaybeLock lock(ctx_.lps);
+            auto it = writes_in_flight_.find(key);
+            if (it != writes_in_flight_.end() && --it->second == 0)
+                writes_in_flight_.erase(it);
+            // This callback runs in the event that applies the write at
+            // the system home (deterministic engines) or is posted back
+            // from it within a window (relaxed), so ranks record the
+            // home arrival order up to a one-window skew.
+            recordArrival(acc.lineAddr, v);
+            logTx("st.sys", acc, v);
+            checkStructural(acc.lineAddr);
+        }
         if (sys_done)
             sys_done();
     });
@@ -514,33 +555,46 @@ void
 CoherenceChecker::atomic(const MemAccess &acc, Version v, LoadDoneCb done,
                          DoneCb sys_done)
 {
-    logTx("atom", acc, v);
-    recordWrite(acc, v);
-    ++atomics_in_flight_[acc.lineAddr];
-    const SmState &sm = sms_.at(acc.sm);
-    const Version sys_floor =
-        floorOf(released_sys_, acc.lineAddr, sm.ackedSys);
-    const Version gpu_floor =
-        acc.scope >= Scope::Sys
-            ? 0
-            : floorOf(released_gpu_[ctx_.cfg.gpuOf(acc.gpm)], acc.lineAddr,
-                      sm.ackedGpu);
-    const bool inv_at_issue = invInFlightOn(acc.lineAddr);
+    Version sys_floor = 0, gpu_floor = 0;
+    bool inv_at_issue;
+    {
+        MaybeLock lock(ctx_.lps);
+        logTx("atom", acc, v);
+        recordWrite(acc, v);
+        ++atomics_in_flight_[acc.lineAddr];
+        const SmState &sm = sms_.at(acc.sm);
+        // Same relaxed-mode floor rule as load() above.
+        if (!ctx_.lps.concurrent()) {
+            sys_floor = floorOf(released_sys_, acc.lineAddr, sm.ackedSys);
+            gpu_floor =
+                acc.scope >= Scope::Sys
+                    ? 0
+                    : floorOf(released_gpu_[ctx_.cfg.gpuOf(acc.gpm)],
+                              acc.lineAddr, sm.ackedGpu);
+        }
+        inv_at_issue = invInFlightOn(acc.lineAddr);
+    }
     inner_->atomic(
         acc, v,
         [this, acc, sys_floor, gpu_floor, inv_at_issue,
          done = std::move(done)](Version pre) mutable {
-            logTx("atom.resp", acc, pre);
-            verifyObserved(acc, "atomic", pre, sys_floor, gpu_floor,
-                           inv_at_issue);
+            {
+                MaybeLock lock(ctx_.lps);
+                logTx("atom.resp", acc, pre);
+                verifyObserved(acc, "atomic", pre, sys_floor, gpu_floor,
+                               inv_at_issue);
+            }
             done(pre);
         },
         [this, acc, v, sys_done = std::move(sys_done)]() mutable {
-            auto it = atomics_in_flight_.find(acc.lineAddr);
-            if (it != atomics_in_flight_.end() && --it->second == 0)
-                atomics_in_flight_.erase(it);
-            recordArrival(acc.lineAddr, v);
-            checkStructural(acc.lineAddr);
+            {
+                MaybeLock lock(ctx_.lps);
+                auto it = atomics_in_flight_.find(acc.lineAddr);
+                if (it != atomics_in_flight_.end() && --it->second == 0)
+                    atomics_in_flight_.erase(it);
+                recordArrival(acc.lineAddr, v);
+                checkStructural(acc.lineAddr);
+            }
             if (sys_done)
                 sys_done();
         });
@@ -549,20 +603,27 @@ CoherenceChecker::atomic(const MemAccess &acc, Version v, LoadDoneCb done,
 void
 CoherenceChecker::acquire(const MemAccess &acc, DoneCb done)
 {
-    logTx("acq", acc, 0);
+    {
+        MaybeLock lock(ctx_.lps);
+        logTx("acq", acc, 0);
+    }
     inner_->acquire(acc, [this, acc, done = std::move(done)]() mutable {
-        SmState &sm = sms_.at(acc.sm);
-        const GpuId g = ctx_.cfg.gpuOf(acc.gpm);
-        if (acc.scope >= Scope::Sys) {
-            // A system acquire subsumes a GPU acquire: it invalidates
-            // at least as much, and GPU-released data is at the GPU
-            // home on the load path of every narrower-scope access.
-            sm.ackedSys = sys_epoch_;
-            sm.ackedGpu = std::max(sm.ackedGpu, gpu_epoch_[g]);
-        } else if (acc.scope == Scope::Gpu) {
-            sm.ackedGpu = std::max(sm.ackedGpu, gpu_epoch_[g]);
+        {
+            MaybeLock lock(ctx_.lps);
+            SmState &sm = sms_.at(acc.sm);
+            const GpuId g = ctx_.cfg.gpuOf(acc.gpm);
+            if (acc.scope >= Scope::Sys) {
+                // A system acquire subsumes a GPU acquire: it
+                // invalidates at least as much, and GPU-released data
+                // is at the GPU home on the load path of every
+                // narrower-scope access.
+                sm.ackedSys = sys_epoch_;
+                sm.ackedGpu = std::max(sm.ackedGpu, gpu_epoch_[g]);
+            } else if (acc.scope == Scope::Gpu) {
+                sm.ackedGpu = std::max(sm.ackedGpu, gpu_epoch_[g]);
+            }
+            ++acquires_synced_;
         }
-        ++acquires_synced_;
         done();
     });
 }
@@ -570,12 +631,19 @@ CoherenceChecker::acquire(const MemAccess &acc, DoneCb done)
 void
 CoherenceChecker::release(const MemAccess &acc, DoneCb done)
 {
-    logTx("rel", acc, 0);
-    const std::uint64_t up_to = sms_.at(acc.sm).logged;
+    std::uint64_t up_to;
+    {
+        MaybeLock lock(ctx_.lps);
+        logTx("rel", acc, 0);
+        up_to = sms_.at(acc.sm).logged;
+    }
     inner_->release(acc,
                     [this, acc, up_to, done = std::move(done)]() mutable {
-        logTx("rel.done", acc, 0);
-        foldRelease(acc, up_to);
+        {
+            MaybeLock lock(ctx_.lps);
+            logTx("rel.done", acc, 0);
+            foldRelease(acc, up_to);
+        }
         done();
     });
 }
@@ -590,8 +658,11 @@ void
 CoherenceChecker::drainForBoundary(DoneCb done)
 {
     inner_->drainForBoundary([this, done = std::move(done)]() mutable {
-        foldBoundary();
-        checkQuiescent();
+        {
+            MaybeLock lock(ctx_.lps);
+            foldBoundary();
+            checkQuiescent();
+        }
         done();
     });
 }

@@ -36,7 +36,7 @@ HwProtocol::load(const MemAccess &acc, LoadDoneCb done)
     const GpmId gh = gpuHomeFor(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr);
 
     // Stage 1: the requester's local L2.
-    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+    ctx_.engine().schedule(tagLat(), [this, acc, gh, h,
                                    done = std::move(done)]() mutable {
         if (acc.gpm == h) {
             // Local L2 is the system home; serve authoritatively.
@@ -53,7 +53,7 @@ HwProtocol::load(const MemAccess &acc, LoadDoneCb done)
             auto res = local.l2().load(acc.lineAddr);
             if (res.hit) {
                 ++loads_local_hit_;
-                ctx_.engine.schedule(dataLat(),
+                ctx_.engine().schedule(dataLat(),
                                      [done = std::move(done),
                                       v = res.version]() mutable {
                     done(v);
@@ -135,7 +135,7 @@ HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
                          }});
     };
 
-    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+    ctx_.engine().schedule(tagLat(), [this, acc, gh, h,
                                    respond = std::move(respond)]() mutable {
         GpmNode &home = ctx_.gpm(gh);
         const bool mergeable = loadMayHit(acc.scope, CacheRole::GpuHome);
@@ -143,7 +143,7 @@ HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
             auto res = home.l2().load(acc.lineAddr);
             if (res.hit) {
                 ++loads_gpu_home_hit_;
-                ctx_.engine.schedule(dataLat(),
+                ctx_.engine().schedule(dataLat(),
                                      [respond = std::move(respond),
                                       v = res.version]() mutable {
                     respond(v);
@@ -208,13 +208,13 @@ HwProtocol::loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
             inner(v);
         };
     }
-    ctx_.engine.schedule(tagLat(), [this, acc, h,
+    ctx_.engine().schedule(tagLat(), [this, acc, h,
                                    respond = std::move(respond)]() mutable {
         GpmNode &home = ctx_.gpm(h);
         auto res = home.l2().load(acc.lineAddr);
         if (res.hit) {
             ++loads_sys_home_hit_;
-            ctx_.engine.schedule(dataLat(),
+            ctx_.engine().schedule(dataLat(),
                                  [respond = std::move(respond),
                                   v = res.version]() mutable {
                 respond(v);
@@ -226,7 +226,7 @@ HwProtocol::loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
             return;
         ++loads_dram_;
         Tick ready = home.dram().read(ctx_.cfg.cacheLineBytes);
-        ctx_.engine.scheduleAt(ready, [this, acc, h]() {
+        ctx_.engine().scheduleAt(ready, [this, acc, h]() {
             Version v = ctx_.mem.read(acc.lineAddr);
             GpmNode &home = ctx_.gpm(h);
             home.l2().fill(acc.lineAddr, v);
@@ -249,7 +249,7 @@ HwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
         // Write-back mode: the store completes in the local L2 as dirty
         // data; it reaches the home when a release, kernel boundary,
         // eviction or invalidation flushes it.
-        ctx_.engine.schedule(tagLat(), [this, acc, v,
+        ctx_.engine().schedule(tagLat(), [this, acc, v,
                                         accepted = std::move(accepted),
                                         sys_done =
                                             std::move(sys_done)]() mutable {
@@ -266,7 +266,7 @@ HwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
 
     StoreFlow f{acc, v, std::move(sys_done), false, true, true};
 
-    ctx_.engine.schedule(tagLat(), [this, f = std::move(f), gh, h,
+    ctx_.engine().schedule(tagLat(), [this, f = std::move(f), gh, h,
                                    accepted =
                                        std::move(accepted)]() mutable {
         // Write-through: update (and allocate in) the local L2.
@@ -356,13 +356,23 @@ HwProtocol::storeAtSysHome(StoreFlow f, GpmId via, GpmId h)
                     verify::DirEvent::Store,
                     makeInvJob(/*from_store=*/true));
 
-    if (f.tracked) {
-        if (!f.gpuCleared)
-            ctx_.tracker.reachedGpuLevel(f.acc.sm);
-        ctx_.tracker.reachedSysLevel(f.acc.sm);
+    // Tracker state and the sys-done continuation belong to the
+    // requester's SM; when the system home lives in another LP, hand
+    // them back to the owning LP (immediate call otherwise).
+    if (f.tracked || f.sysDone) {
+        ctx_.lps.post(ctx_.lps.lpOfGpm(f.acc.gpm),
+                      [this, tracked = f.tracked,
+                       gpu_cleared = f.gpuCleared, sm = f.acc.sm,
+                       sys_done = std::move(f.sysDone)]() mutable {
+                          if (tracked) {
+                              if (!gpu_cleared)
+                                  ctx_.tracker.reachedGpuLevel(sm);
+                              ctx_.tracker.reachedSysLevel(sm);
+                          }
+                          if (sys_done)
+                              sys_done();
+                      });
     }
-    if (f.sysDone)
-        f.sysDone();
 }
 
 // --------------------------------------------------------------- atomics
@@ -401,7 +411,7 @@ void
 HwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
                          LoadDoneCb done, DoneCb sys_done)
 {
-    ctx_.engine.schedule(tagLat(), [this, acc, target, h, v,
+    ctx_.engine().schedule(tagLat(), [this, acc, target, h, v,
                                    done = std::move(done),
                                    sys_done = std::move(sys_done)]() mutable {
         GpmNode &node = ctx_.gpm(target);
@@ -414,7 +424,7 @@ HwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
         if (target == h) {
             // Home misses go to local DRAM.
             Tick ready = node.dram().read(ctx_.cfg.cacheLineBytes);
-            ctx_.engine.scheduleAt(ready, [this, acc, target, h, v,
+            ctx_.engine().scheduleAt(ready, [this, acc, target, h, v,
                                            done = std::move(done),
                                            sys_done =
                                                std::move(sys_done)]() mutable {
@@ -498,11 +508,16 @@ HwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
     if (target == h) {
         ctx_.mem.write(acc.lineAddr, v);
         node.dram().write(ctx_.cfg.cacheLineBytes);
-        ctx_.tracker.reachedGpuLevel(acc.sm);
-        ctx_.tracker.reachedSysLevel(acc.sm);
-        // recordSharer: the performing node is the home itself.
-        if (f.sysDone)
-            f.sysDone();
+        // recordSharer: the performing node is the home itself. Tracker
+        // and sys-done run in the requester's LP (see storeAtSysHome).
+        ctx_.lps.post(ctx_.lps.lpOfGpm(acc.gpm),
+                      [this, sm = acc.sm,
+                       sys_done = std::move(f.sysDone)]() mutable {
+                          ctx_.tracker.reachedGpuLevel(sm);
+                          ctx_.tracker.reachedSysLevel(sm);
+                          if (sys_done)
+                              sys_done();
+                      });
         return;
     }
     ctx_.tracker.reachedGpuLevel(acc.sm);
@@ -615,7 +630,11 @@ void
 HwProtocol::sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job)
 {
     ++inv_msgs_;
-    ++job->pending;
+    {
+        // A GPU-home re-fan grows a job another LP may be finishing.
+        MaybeLock lock(ctx_.lps);
+        ++job->pending;
+    }
     // The sender's in-flight-invalidation ledger gates release-marker
     // acknowledgment (GpmNode::waitInvDrained); the landing is counted
     // before handleInv so a re-fanned invalidation issued there can
@@ -630,7 +649,13 @@ HwProtocol::sendInv(GpmId from, GpmId to, Addr sector, InvJobPtr job)
                      .type = MsgType::Inv,
                      .addr = sector,
                      .onArrival = [this, from, to, sector, job]() {
-                         ctx_.gpm(from).invLanded();
+                         // The sender's ledger belongs to `from`'s LP;
+                         // a delayed decrement only lengthens marker
+                         // waits (delay-only relaxation).
+                         ctx_.lps.post(ctx_.lps.lpOfGpm(from),
+                                       [this, from]() {
+                                           ctx_.gpm(from).invLanded();
+                                       });
                          handleInv(to, sector, job);
                          if (ctx_.checker)
                              ctx_.checker->noteInvDelivered(sector);
@@ -678,7 +703,7 @@ HwProtocol::acquire(const MemAccess &acc, DoneCb done)
     // Hardware L2 coherence: acquires only invalidate the L1 (done by
     // the SM front-end). A cycle of fence bookkeeping.
     (void)acc;
-    ctx_.engine.schedule(1, std::move(done));
+    ctx_.engine().schedule(1, std::move(done));
 }
 
 void
@@ -687,7 +712,7 @@ HwProtocol::release(const MemAccess &acc, DoneCb done)
     ++releases_;
     if (acc.scope <= Scope::Cta) {
         // Intra-SM visibility is immediate through the shared L1.
-        ctx_.engine.schedule(1, std::move(done));
+        ctx_.engine().schedule(1, std::move(done));
         return;
     }
 
@@ -770,21 +795,28 @@ HwProtocol::drainForBoundary(DoneCb done)
     }
     // Order matters: only once every SM's posted stores have landed in
     // their L2s (tracker drained) is the dirty set final; then flush it
-    // and wait for the write-back ledgers to empty.
+    // and wait for the write-back ledgers to empty. Each GPM's flush
+    // touches its own L2, so it runs in the GPM's owning LP; the join
+    // counter lives on LP 0 and every decrement is posted back there.
+    // (A self-referential callback chain would leak: a std::function
+    // capturing its own shared_ptr is a reference cycle — hence the
+    // shared counter join.)
     ctx_.tracker.waitAllDrained([this, done = std::move(done)]() mutable {
-        for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g)
-            flushDirty(g);
-        // Counter join across every GPM's write-back ledger (a
-        // self-referential callback chain would leak: a std::function
-        // capturing its own shared_ptr is a reference cycle).
         auto pending =
             std::make_shared<std::uint32_t>(ctx_.cfg.totalGpms());
         auto done_p = std::make_shared<DoneCb>(std::move(done));
-        for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g)
-            ctx_.gpm(g).waitWbDrained([pending, done_p]() {
-                if (--*pending == 0)
-                    (*done_p)();
+        for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g) {
+            ctx_.lps.post(ctx_.lps.lpOfGpm(g),
+                          [this, g, pending, done_p]() {
+                flushDirty(g);
+                ctx_.gpm(g).waitWbDrained([this, pending, done_p]() {
+                    ctx_.lps.post(0, [pending, done_p]() {
+                        if (--*pending == 0)
+                            (*done_p)();
+                    });
+                });
             });
+        }
     });
 }
 
@@ -1030,15 +1062,18 @@ HwProtocol::reportStats(StatRecorder &r) const
 {
     CoherenceModel::reportStats(r);
     r.record("protocol.loads_local_hit",
-             static_cast<double>(loads_local_hit_));
+             static_cast<double>(loads_local_hit_.total()));
     r.record("protocol.loads_gpu_home_hit",
-             static_cast<double>(loads_gpu_home_hit_));
+             static_cast<double>(loads_gpu_home_hit_.total()));
     r.record("protocol.loads_sys_home_hit",
-             static_cast<double>(loads_sys_home_hit_));
-    r.record("protocol.loads_dram", static_cast<double>(loads_dram_));
-    r.record("protocol.releases", static_cast<double>(releases_));
-    r.record("protocol.rel_markers", static_cast<double>(rel_markers_));
-    r.record("protocol.downgrades", static_cast<double>(downgrades_));
+             static_cast<double>(loads_sys_home_hit_.total()));
+    r.record("protocol.loads_dram",
+             static_cast<double>(loads_dram_.total()));
+    r.record("protocol.releases", static_cast<double>(releases_.total()));
+    r.record("protocol.rel_markers",
+             static_cast<double>(rel_markers_.total()));
+    r.record("protocol.downgrades",
+             static_cast<double>(downgrades_.total()));
 }
 
 } // namespace hmg

@@ -58,10 +58,18 @@ class HwProtocol : public CoherenceModel
     bool hierarchical() const { return hier_; }
 
     // Per-level load-service counters (where loads found their data).
-    std::uint64_t loadsLocalHit() const { return loads_local_hit_; }
-    std::uint64_t loadsGpuHomeHit() const { return loads_gpu_home_hit_; }
-    std::uint64_t loadsSysHomeHit() const { return loads_sys_home_hit_; }
-    std::uint64_t loadsDram() const { return loads_dram_; }
+    std::uint64_t loadsLocalHit() const { return loads_local_hit_.total(); }
+    std::uint64_t
+    loadsGpuHomeHit() const
+    {
+        return loads_gpu_home_hit_.total();
+    }
+    std::uint64_t
+    loadsSysHomeHit() const
+    {
+        return loads_sys_home_hit_.total();
+    }
+    std::uint64_t loadsDram() const { return loads_dram_.total(); }
 
   private:
     // --- routing helpers ---
@@ -183,13 +191,14 @@ class HwProtocol : public CoherenceModel
 
     bool hier_;
 
-    std::uint64_t loads_local_hit_ = 0;
-    std::uint64_t loads_gpu_home_hit_ = 0;
-    std::uint64_t loads_sys_home_hit_ = 0;
-    std::uint64_t loads_dram_ = 0;
-    std::uint64_t releases_ = 0;
-    std::uint64_t rel_markers_ = 0;
-    std::uint64_t downgrades_ = 0;
+    // LP-sharded: these count on whichever LP serves the access.
+    LpCounter loads_local_hit_;
+    LpCounter loads_gpu_home_hit_;
+    LpCounter loads_sys_home_hit_;
+    LpCounter loads_dram_;
+    LpCounter releases_;
+    LpCounter rel_markers_;
+    LpCounter downgrades_;
 };
 
 } // namespace hmg

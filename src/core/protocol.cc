@@ -12,6 +12,9 @@ void
 CoherenceModel::finishInvMsg(const InvJobPtr &job,
                              std::uint64_t lines_dropped)
 {
+    // One job's messages may land in several LPs within a window; the
+    // join counter and the sampled statistic are the shared state.
+    MaybeLock lock(ctx_.lps);
     hmg_assert(job->pending > 0);
     job->lines += lines_dropped;
     if (--job->pending == 0 && job->stat)
@@ -27,7 +30,7 @@ CoherenceModel::reportStats(StatRecorder &r) const
     r.record("protocol.evict_inv_events",
              static_cast<double>(evict_inv_.count()));
     r.record("protocol.evict_inv_lines", evict_inv_.sum());
-    r.record("protocol.inv_msgs", static_cast<double>(inv_msgs_));
+    r.record("protocol.inv_msgs", static_cast<double>(inv_msgs_.total()));
 }
 
 std::unique_ptr<CoherenceModel>

@@ -33,6 +33,7 @@
 #include "noc/network.hh"
 #include "sim/callback.hh"
 #include "sim/engine.hh"
+#include "sim/lp.hh"
 
 namespace hmg
 {
@@ -51,7 +52,7 @@ class CoherenceChecker;
 /** Everything a protocol engine needs to reach the rest of the system. */
 struct SystemContext
 {
-    Engine &engine;
+    LpDomain &lps;
     const SystemConfig &cfg;
     Network &net;
     PageTable &pages;
@@ -65,6 +66,23 @@ struct SystemContext
     CoherenceChecker *checker = nullptr;
 
     GpmNode &gpm(GpmId id) { return *gpms.at(id); }
+
+    /**
+     * The engine of the logical process running this code. Inside a run
+     * loop that is the LP-local engine (serial runs have exactly one);
+     * during setup and barriers it falls back to LP 0. Protocol code
+     * schedules continuations here — by construction they concern state
+     * owned by the current LP, or are routed via lps.post() first.
+     */
+    Engine &engine() const
+    {
+        Engine *e = Engine::current();
+        return e ? *e : lps.engine(0);
+    }
+
+    /** The engine owning GPM `g`'s state (for construction-time
+     *  bindings of per-GPM machinery). */
+    Engine &engineOf(GpmId g) const { return lps.engineOfGpm(g); }
 };
 
 /**
@@ -163,7 +181,7 @@ class CoherenceModel
     const MeanStat &storeInvStat() const { return store_inv_; }
     /** Lines invalidated per directory eviction (Fig. 10). */
     const MeanStat &evictInvStat() const { return evict_inv_; }
-    std::uint64_t invMessagesSent() const { return inv_msgs_; }
+    std::uint64_t invMessagesSent() const { return inv_msgs_.total(); }
 
   protected:
     /**
@@ -193,9 +211,11 @@ class CoherenceModel
     void finishInvMsg(const InvJobPtr &job, std::uint64_t lines_dropped);
 
     SystemContext &ctx_;
+    /** Guarded by lps.modelMutex() in concurrent runs: InvJobs fan
+     *  across LPs and the last message may land on any of them. */
     MeanStat store_inv_;
     MeanStat evict_inv_;
-    std::uint64_t inv_msgs_ = 0;
+    LpCounter inv_msgs_; ///< LP-sharded (counted at the sending home)
 };
 
 /** Instantiate the model selected by `ctx.cfg.protocol`. */

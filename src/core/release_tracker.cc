@@ -7,8 +7,18 @@
 namespace hmg
 {
 
-ReleaseTracker::ReleaseTracker(std::uint32_t num_sms) : sms_(num_sms)
+ReleaseTracker::ReleaseTracker(LpDomain &lps, std::uint32_t num_sms)
+    : lps_(lps), sms_(num_sms)
 {
+}
+
+std::uint64_t
+ReleaseTracker::totalPendingSys() const
+{
+    std::uint64_t sum = 0;
+    for (const LpPending &p : lp_pending_)
+        sum += p.v.load(std::memory_order_relaxed);
+    return sum;
 }
 
 void
@@ -17,7 +27,8 @@ ReleaseTracker::issued(SmId sm)
     PerSm &s = sms_.at(sm);
     ++s.pendingGpu;
     ++s.pendingSys;
-    ++total_pending_sys_;
+    lp_pending_[LpDomain::currentLp()].v.fetch_add(
+        1, std::memory_order_relaxed);
 }
 
 void
@@ -34,13 +45,20 @@ ReleaseTracker::reachedSysLevel(SmId sm)
 {
     PerSm &s = sms_.at(sm);
     hmg_assert(s.pendingSys > 0);
-    hmg_assert(total_pending_sys_ > 0);
     --s.pendingSys;
-    --total_pending_sys_;
+    auto &slab = lp_pending_[LpDomain::currentLp()].v;
+    const std::uint64_t before =
+        slab.fetch_sub(1, std::memory_order_relaxed);
+    hmg_assert(before > 0);
     if (s.pendingSys == 0)
         drainSysWaiters(s);
-    if (total_pending_sys_ == 0)
-        drainGlobalWaiters();
+    if (before == 1) {
+        // This LP just drained. Global waiters only exist during kernel
+        // boundaries, when no SM issues new writes — the total is
+        // monotonically decreasing, so a posted recheck that reads zero
+        // reads a stable zero.
+        lps_.post(0, [this]() { recheckGlobalDrained(); });
+    }
 }
 
 void
@@ -66,7 +84,8 @@ ReleaseTracker::waitSysLevel(SmId sm, Callback cb)
 void
 ReleaseTracker::waitAllDrained(Callback cb)
 {
-    if (total_pending_sys_ == 0)
+    hmg_assert(LpDomain::currentLp() == 0);
+    if (totalPendingSys() == 0)
         cb();
     else
         global_waiters_.push_back(std::move(cb));
@@ -91,8 +110,10 @@ ReleaseTracker::drainSysWaiters(PerSm &s)
 }
 
 void
-ReleaseTracker::drainGlobalWaiters()
+ReleaseTracker::recheckGlobalDrained()
 {
+    if (global_waiters_.empty() || totalPendingSys() != 0)
+        return;
     auto waiters = std::move(global_waiters_);
     global_waiters_.clear();
     for (auto &cb : waiters)

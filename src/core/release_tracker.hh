@@ -22,11 +22,13 @@
 #ifndef HMG_CORE_RELEASE_TRACKER_HH
 #define HMG_CORE_RELEASE_TRACKER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/types.hh"
 #include "sim/callback.hh"
+#include "sim/lp.hh"
 
 namespace hmg
 {
@@ -43,7 +45,7 @@ class ReleaseTracker
      */
     using Callback = SmallCallback<136, void()>;
 
-    explicit ReleaseTracker(std::uint32_t num_sms);
+    ReleaseTracker(LpDomain &lps, std::uint32_t num_sms);
 
     /** A store/atomic left SM `sm` (pending at both levels). */
     void issued(SmId sm);
@@ -65,9 +67,17 @@ class ReleaseTracker
 
     std::uint64_t pendingGpu(SmId sm) const { return sms_[sm].pendingGpu; }
     std::uint64_t pendingSys(SmId sm) const { return sms_[sm].pendingSys; }
-    std::uint64_t totalPendingSys() const { return total_pending_sys_; }
+    std::uint64_t totalPendingSys() const;
 
   private:
+    /**
+     * LP-affinity: every entry point for SM `sm` runs on the LP owning
+     * its GPM (the protocols post home-side completions back), so PerSm
+     * needs no synchronization. Only the global pending count is shared:
+     * one single-writer padded slab per LP, read cross-LP solely by the
+     * LP-0 recheck that a zero-crossing posts (the window barrier orders
+     * those reads after the writes).
+     */
     struct PerSm
     {
         std::uint64_t pendingGpu = 0;
@@ -76,12 +86,21 @@ class ReleaseTracker
         std::vector<Callback> sysWaiters;
     };
 
+    struct alignas(64) LpPending
+    {
+        // det-ok: single-writer relaxed counter (see class comment).
+        std::atomic<std::uint64_t> v{0};
+    };
+
     void drainGpuWaiters(PerSm &s);
     void drainSysWaiters(PerSm &s);
-    void drainGlobalWaiters();
+    /** LP-0 only: fire global waiters if the machine is drained. */
+    void recheckGlobalDrained();
 
+    LpDomain &lps_;
     std::vector<PerSm> sms_;
-    std::uint64_t total_pending_sys_ = 0;
+    LpPending lp_pending_[LpCounter::kMaxLps];
+    /** LP-0 only (waitAllDrained callers run there). */
     std::vector<Callback> global_waiters_;
 };
 

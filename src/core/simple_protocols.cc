@@ -19,14 +19,14 @@ void
 IdealModel::acquire(const MemAccess &acc, DoneCb done)
 {
     (void)acc;
-    ctx_.engine.schedule(1, std::move(done));
+    ctx_.engine().schedule(1, std::move(done));
 }
 
 void
 IdealModel::release(const MemAccess &acc, DoneCb done)
 {
     (void)acc;
-    ctx_.engine.schedule(1, std::move(done));
+    ctx_.engine().schedule(1, std::move(done));
 }
 
 } // namespace hmg

@@ -39,7 +39,7 @@ SwProtocol::load(const MemAccess &acc, LoadDoneCb done)
         hier_ ? ctx_.amap.gpuHome(ctx_.cfg.gpuOf(acc.gpm), acc.lineAddr)
               : h;
 
-    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+    ctx_.engine().schedule(tagLat(), [this, acc, gh, h,
                                    done = std::move(done)]() mutable {
         if (acc.gpm == h) {
             loadAtSysHome(acc, h, std::move(done));
@@ -56,7 +56,7 @@ SwProtocol::load(const MemAccess &acc, LoadDoneCb done)
             auto res = local.l2().load(acc.lineAddr);
             if (res.hit) {
                 ++loads_local_hit_;
-                ctx_.engine.schedule(dataLat(),
+                ctx_.engine().schedule(dataLat(),
                                      [done = std::move(done),
                                       v = res.version]() mutable {
                     done(v);
@@ -130,7 +130,7 @@ SwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
                          }});
     };
 
-    ctx_.engine.schedule(tagLat(), [this, acc, gh, h,
+    ctx_.engine().schedule(tagLat(), [this, acc, gh, h,
                                    respond = std::move(respond)]() mutable {
         GpmNode &home = ctx_.gpm(gh);
         const bool mergeable = loadMayHit(acc.scope, CacheRole::GpuHome) &&
@@ -139,7 +139,7 @@ SwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
             auto res = home.l2().load(acc.lineAddr);
             if (res.hit) {
                 ++loads_gpu_home_hit_;
-                ctx_.engine.schedule(dataLat(),
+                ctx_.engine().schedule(dataLat(),
                                      [respond = std::move(respond),
                                       v = res.version]() mutable {
                     respond(v);
@@ -186,13 +186,13 @@ SwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
 void
 SwProtocol::loadAtSysHome(MemAccess acc, GpmId h, LoadDoneCb respond)
 {
-    ctx_.engine.schedule(tagLat(), [this, acc, h,
+    ctx_.engine().schedule(tagLat(), [this, acc, h,
                                    respond = std::move(respond)]() mutable {
         GpmNode &home = ctx_.gpm(h);
         auto res = home.l2().load(acc.lineAddr);
         if (res.hit) {
             ++loads_sys_home_hit_;
-            ctx_.engine.schedule(dataLat(),
+            ctx_.engine().schedule(dataLat(),
                                  [respond = std::move(respond),
                                   v = res.version]() mutable {
                 respond(v);
@@ -203,7 +203,7 @@ SwProtocol::loadAtSysHome(MemAccess acc, GpmId h, LoadDoneCb respond)
             return;
         ++loads_dram_;
         Tick ready = home.dram().read(ctx_.cfg.cacheLineBytes);
-        ctx_.engine.scheduleAt(ready, [this, acc, h]() {
+        ctx_.engine().scheduleAt(ready, [this, acc, h]() {
             Version v = ctx_.mem.read(acc.lineAddr);
             GpmNode &home = ctx_.gpm(h);
             home.l2().fill(acc.lineAddr, v);
@@ -226,7 +226,7 @@ SwProtocol::store(const MemAccess &acc, Version v, DoneCb accepted,
 
     StoreFlow f{acc, v, std::move(sys_done), false};
 
-    ctx_.engine.schedule(tagLat(), [this, f = std::move(f), gh, h,
+    ctx_.engine().schedule(tagLat(), [this, f = std::move(f), gh, h,
                                    accepted =
                                        std::move(accepted)]() mutable {
         if (mayCacheAt(f.acc.gpm, f.acc.lineAddr))
@@ -296,11 +296,17 @@ SwProtocol::storeAtSysHome(StoreFlow f, GpmId h)
                     /*serialized=*/true);
     ctx_.mem.write(f.acc.lineAddr, f.v);
     home.dram().write(ctx_.cfg.cacheLineBytes);
-    if (!f.gpuCleared)
-        ctx_.tracker.reachedGpuLevel(f.acc.sm);
-    ctx_.tracker.reachedSysLevel(f.acc.sm);
-    if (f.sysDone)
-        f.sysDone();
+    // Tracker state and the sys-done continuation belong to the
+    // requester's SM; hand them back to its LP (immediate when local).
+    ctx_.lps.post(ctx_.lps.lpOfGpm(f.acc.gpm),
+                  [this, gpu_cleared = f.gpuCleared, sm = f.acc.sm,
+                   sys_done = std::move(f.sysDone)]() mutable {
+                      if (!gpu_cleared)
+                          ctx_.tracker.reachedGpuLevel(sm);
+                      ctx_.tracker.reachedSysLevel(sm);
+                      if (sys_done)
+                          sys_done();
+                  });
 }
 
 // --------------------------------------------------------------- atomics
@@ -338,7 +344,7 @@ void
 SwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
                          LoadDoneCb done, DoneCb sys_done)
 {
-    ctx_.engine.schedule(tagLat(), [this, acc, target, h, v,
+    ctx_.engine().schedule(tagLat(), [this, acc, target, h, v,
                                    done = std::move(done),
                                    sys_done = std::move(sys_done)]() mutable {
         GpmNode &node = ctx_.gpm(target);
@@ -350,7 +356,7 @@ SwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
         }
         if (target == h) {
             Tick ready = node.dram().read(ctx_.cfg.cacheLineBytes);
-            ctx_.engine.scheduleAt(ready, [this, acc, target, h, v,
+            ctx_.engine().scheduleAt(ready, [this, acc, target, h, v,
                                            done = std::move(done),
                                            sys_done =
                                                std::move(sys_done)]() mutable {
@@ -423,10 +429,16 @@ SwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
     if (target == h) {
         ctx_.mem.write(acc.lineAddr, v);
         ctx_.gpm(h).dram().write(ctx_.cfg.cacheLineBytes);
-        ctx_.tracker.reachedGpuLevel(acc.sm);
-        ctx_.tracker.reachedSysLevel(acc.sm);
-        if (f.sysDone)
-            f.sysDone();
+        // Tracker and sys-done run in the requester's LP (see
+        // storeAtSysHome).
+        ctx_.lps.post(ctx_.lps.lpOfGpm(acc.gpm),
+                      [this, sm = acc.sm,
+                       sys_done = std::move(f.sysDone)]() mutable {
+                          ctx_.tracker.reachedGpuLevel(sm);
+                          ctx_.tracker.reachedSysLevel(sm);
+                          if (sys_done)
+                              sys_done();
+                      });
         return;
     }
     ctx_.tracker.reachedGpuLevel(acc.sm);
@@ -446,7 +458,7 @@ void
 SwProtocol::acquire(const MemAccess &acc, DoneCb done)
 {
     if (acc.scope <= Scope::Cta) {
-        ctx_.engine.schedule(1, std::move(done));
+        ctx_.engine().schedule(1, std::move(done));
         return;
     }
     // Bulk-invalidate the caches between this SM and the scope home.
@@ -459,14 +471,14 @@ SwProtocol::acquire(const MemAccess &acc, DoneCb done)
                 acquire_l2_invs_ += ctx_.gpm(d).l2().invalidateAll();
         }
     }
-    ctx_.engine.schedule(tagLat(), std::move(done));
+    ctx_.engine().schedule(tagLat(), std::move(done));
 }
 
 void
 SwProtocol::release(const MemAccess &acc, DoneCb done)
 {
     if (acc.scope <= Scope::Cta) {
-        ctx_.engine.schedule(1, std::move(done));
+        ctx_.engine().schedule(1, std::move(done));
         return;
     }
     if (hier_ && acc.scope == Scope::Gpu)
@@ -480,8 +492,14 @@ SwProtocol::kernelBoundary()
 {
     // Every SM performs an implicit system-scope acquire at a dependent
     // kernel launch, so every L2 in the machine loses its contents.
-    for (auto &node : ctx_.gpms)
-        kernel_boundary_invs_ += node->l2().invalidateAll();
+    // Each L2 is invalidated in its owning LP (kernel boundaries are
+    // quiescent points, so the posts run before any new work).
+    for (auto &node : ctx_.gpms) {
+        GpmNode *n = node.get();
+        ctx_.lps.post(ctx_.lps.lpOfGpm(n->id()), [this, n]() {
+            kernel_boundary_invs_ += n->l2().invalidateAll();
+        });
+    }
 }
 
 void
@@ -489,16 +507,17 @@ SwProtocol::reportStats(StatRecorder &r) const
 {
     CoherenceModel::reportStats(r);
     r.record("protocol.loads_local_hit",
-             static_cast<double>(loads_local_hit_));
+             static_cast<double>(loads_local_hit_.total()));
     r.record("protocol.loads_gpu_home_hit",
-             static_cast<double>(loads_gpu_home_hit_));
+             static_cast<double>(loads_gpu_home_hit_.total()));
     r.record("protocol.loads_sys_home_hit",
-             static_cast<double>(loads_sys_home_hit_));
-    r.record("protocol.loads_dram", static_cast<double>(loads_dram_));
+             static_cast<double>(loads_sys_home_hit_.total()));
+    r.record("protocol.loads_dram",
+             static_cast<double>(loads_dram_.total()));
     r.record("protocol.acquire_l2_inv_lines",
-             static_cast<double>(acquire_l2_invs_));
+             static_cast<double>(acquire_l2_invs_.total()));
     r.record("protocol.kernel_boundary_inv_lines",
-             static_cast<double>(kernel_boundary_invs_));
+             static_cast<double>(kernel_boundary_invs_.total()));
 }
 
 } // namespace hmg

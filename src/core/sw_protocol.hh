@@ -103,12 +103,13 @@ class SwProtocol : public CoherenceModel
     bool hier_;
     bool cache_remote_;
 
-    std::uint64_t acquire_l2_invs_ = 0;
-    std::uint64_t kernel_boundary_invs_ = 0;
-    std::uint64_t loads_local_hit_ = 0;
-    std::uint64_t loads_gpu_home_hit_ = 0;
-    std::uint64_t loads_sys_home_hit_ = 0;
-    std::uint64_t loads_dram_ = 0;
+    // LP-sharded: these count on whichever LP serves the access.
+    LpCounter acquire_l2_invs_;
+    LpCounter kernel_boundary_invs_;
+    LpCounter loads_local_hit_;
+    LpCounter loads_gpu_home_hit_;
+    LpCounter loads_sys_home_hit_;
+    LpCounter loads_dram_;
 };
 
 } // namespace hmg

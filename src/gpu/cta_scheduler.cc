@@ -46,13 +46,22 @@ CtaScheduler::startKernel(std::size_t idx)
     ++kernels_launched_;
 
     const std::uint64_t n = kernel.ctas.size();
-    ctas_remaining_ = n;
-    for (std::uint64_t i = 0; i < n; ++i) {
-        GpmId gpm = ctaGpm(i, n, ctx_.cfg.totalGpms());
-        gpm_queues_[gpm].push_back(&kernel.ctas[i]);
+    ctas_remaining_.store(n, std::memory_order_relaxed);
+    // Fill and feed each GPM's queue in its owning LP: runCta schedules
+    // warp events on that LP's engine, which only its thread may touch.
+    std::vector<std::vector<const trace::Cta *>> batches(
+        ctx_.cfg.totalGpms());
+    for (std::uint64_t i = 0; i < n; ++i)
+        batches[ctaGpm(i, n, ctx_.cfg.totalGpms())].push_back(
+            &kernel.ctas[i]);
+    for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g) {
+        ctx_.lps.post(ctx_.lps.lpOfGpm(g),
+                      [this, g, batch = std::move(batches[g])]() {
+                          for (const trace::Cta *cta : batch)
+                              gpm_queues_[g].push_back(cta);
+                          feedGpm(g);
+                      });
     }
-    for (GpmId g = 0; g < ctx_.cfg.totalGpms(); ++g)
-        feedGpm(g);
 }
 
 void
@@ -83,10 +92,13 @@ CtaScheduler::feedGpm(GpmId gpm)
 void
 CtaScheduler::ctaFinished(GpmId gpm)
 {
-    hmg_assert(ctas_remaining_ > 0);
-    --ctas_remaining_;
-    if (ctas_remaining_ == 0) {
-        kernelFinished();
+    const std::uint64_t before =
+        ctas_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    hmg_assert(before > 0);
+    if (before == 1) {
+        // Kernel-boundary sequencing runs in LP 0 (immediate in serial
+        // and deterministic-merge runs).
+        ctx_.lps.post(0, [this]() { kernelFinished(); });
         return;
     }
     if (!gpm_queues_[gpm].empty())
@@ -107,13 +119,18 @@ CtaScheduler::kernelFinished()
             done();
             return;
         }
-        // Implicit start-of-kernel system acquire.
+        // Implicit start-of-kernel system acquire. Each L1 is
+        // invalidated in its owning LP; the posts drain before the next
+        // kernel's CTA batches (mail rows are FIFO per LP pair).
         if (model_.invalidatesL1OnAcquire()) {
-            for (auto &sm : sms_)
-                sm->invalidateL1();
+            for (auto &sm : sms_) {
+                Sm *s = sm.get();
+                ctx_.lps.post(ctx_.lps.lpOfGpm(s->gpm()),
+                              [s]() { s->invalidateL1(); });
+            }
         }
         model_.kernelBoundary();
-        ctx_.engine.schedule(ctx_.cfg.kernelLaunchLatency,
+        ctx_.engine().schedule(ctx_.cfg.kernelLaunchLatency,
                              [this]() { startKernel(kernel_idx_); });
     });
 }

@@ -19,6 +19,7 @@
 #ifndef HMG_GPU_CTA_SCHEDULER_HH
 #define HMG_GPU_CTA_SCHEDULER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -64,7 +65,10 @@ class CtaScheduler
     const trace::Trace *trace_ = nullptr;
     std::function<void()> on_done_;
     std::size_t kernel_idx_ = 0;
-    std::uint64_t ctas_remaining_ = 0;
+    /** CTAs of the running kernel not yet retired. Atomic because each
+     *  CTA retires on its GPM's LP thread (det-ok: the count is a pure
+     *  join — the order of decrements is not observable). */
+    std::atomic<std::uint64_t> ctas_remaining_{0};
     std::uint64_t kernels_launched_ = 0;
 
     /** Per-GPM queue of CTAs still to be placed on an SM. */

@@ -21,14 +21,14 @@ Simulator::run(const trace::Trace &trace)
 
     bool finished = false;
     system_->scheduler().run(trace, [&finished]() { finished = true; });
-    system_->engine().run();
+    const Tick end = system_->lps().run();
 
     if (!finished)
         hmg_panic("simulation deadlocked: event queue drained with the "
                   "trace '%s' unfinished", trace.name.c_str());
 
     SimResult res;
-    res.cycles = system_->engine().now();
+    res.cycles = end;
     res.seconds = static_cast<double>(res.cycles) /
                   (system_->cfg().gpuFrequencyGhz * 1e9);
     res.memOps = trace.memOps();

@@ -14,7 +14,8 @@ Sm::Sm(SystemContext &ctx, CoherenceModel &model, SmId id)
       gpm_(ctx.cfg.gpmOfSm(id)),
       l1_(ctx.cfg.l1Bytes, ctx.cfg.l1Ways, ctx.cfg.cacheLineBytes,
           /*write_allocate=*/false),
-      issue_port_(ctx.engine, static_cast<double>(ctx.cfg.smIssueWidth),
+      issue_port_(ctx.engineOf(gpm_),
+                  static_cast<double>(ctx.cfg.smIssueWidth),
                   /*latency=*/0)
 {
 }
@@ -72,9 +73,9 @@ Sm::warpStep(const WarpPtr &w)
     }
     const trace::MemOp &op = w->warp->ops[w->pc];
     // Abstract compute before the op, then the shared issue port.
-    Tick after_compute = ctx_.engine.now() + op.delay;
+    Tick after_compute = ctx_.engine().now() + op.delay;
     Tick issued = issue_port_.sendAt(after_compute, 1);
-    ctx_.engine.scheduleAt(issued, [this, w, &op]() { execute(w, op); });
+    ctx_.engine().scheduleAt(issued, [this, w, &op]() { execute(w, op); });
 }
 
 void
@@ -151,7 +152,7 @@ Sm::doLoad(const WarpPtr &w, const trace::MemOp &op)
             if (sb)
                 ++sb_forwards_;
             // Near-hit: the warp continues after the L1 access time.
-            ctx_.engine.schedule(ctx_.cfg.l1HitLatency,
+            ctx_.engine().schedule(ctx_.cfg.l1HitLatency,
                                  [this, w]() { advance(w); });
             return;
         }
@@ -161,7 +162,7 @@ Sm::doLoad(const WarpPtr &w, const trace::MemOp &op)
         // Acquire-loads behave like the classic blocking load: the warp
         // waits for the value, performs the acquire, then continues.
         withSlot([this, w, acc, &op]() {
-            ctx_.engine.schedule(ctx_.cfg.l1HitLatency,
+            ctx_.engine().schedule(ctx_.cfg.l1HitLatency,
                                  [this, w, acc, &op]() {
                 model_.load(acc, [this, w, acc, &op](Version v) {
                     if (model_.mayCacheInL1(gpm_, acc.lineAddr))
@@ -179,7 +180,7 @@ Sm::doLoad(const WarpPtr &w, const trace::MemOp &op)
     // the in-flight limit or at the next synchronizing op.
     ++w->inflight;
     withSlot([this, w, acc]() {
-        ctx_.engine.schedule(ctx_.cfg.l1HitLatency, [this, w, acc]() {
+        ctx_.engine().schedule(ctx_.cfg.l1HitLatency, [this, w, acc]() {
             model_.load(acc, [this, w, acc](Version v) {
                 if (model_.mayCacheInL1(gpm_, acc.lineAddr))
                     l1_.fill(acc.lineAddr, v);
@@ -188,7 +189,7 @@ Sm::doLoad(const WarpPtr &w, const trace::MemOp &op)
             });
         });
     });
-    ctx_.engine.schedule(1, [this, w]() { advance(w); });
+    ctx_.engine().schedule(1, [this, w]() { advance(w); });
 }
 
 void
@@ -229,7 +230,7 @@ Sm::doStore(const WarpPtr &w, const trace::MemOp &op)
                     releaseSlot();
                 });
                 // The warp retires the posted store after a small cost.
-                ctx_.engine.schedule(ctx_.cfg.storeIssueCost,
+                ctx_.engine().schedule(ctx_.cfg.storeIssueCost,
                                      [this, w]() { advance(w); });
             });
         });

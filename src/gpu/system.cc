@@ -6,17 +6,25 @@ namespace hmg
 {
 
 System::System(const SystemConfig &cfg)
-    : cfg_(cfg), pages_(cfg_), tracker_(cfg_.totalSms())
+    : cfg_(cfg), lps_(cfg_), pages_(cfg_),
+      tracker_(lps_, cfg_.totalSms())
 {
     cfg_.validate();
 
+    // Shared maps only need their shard locks when LP workers actually
+    // run concurrently; serial and deterministic runs stay lock-free.
+    if (lps_.concurrent()) {
+        mem_.setConcurrent(true);
+        pages_.setConcurrent(true);
+    }
+
     amap_ = std::make_unique<AddressMap>(cfg_, pages_);
-    net_ = std::make_unique<Network>(engine_, cfg_);
+    net_ = std::make_unique<Network>(lps_, cfg_);
 
     const bool with_dir = isHardwareProtocol(cfg_.protocol);
     for (GpmId g = 0; g < cfg_.totalGpms(); ++g)
-        gpms_.push_back(
-            std::make_unique<GpmNode>(engine_, cfg_, g, with_dir));
+        gpms_.push_back(std::make_unique<GpmNode>(lps_.engineOfGpm(g),
+                                                  cfg_, g, with_dir));
 
     // Every delivered message passes through the destination node's
     // ingress dispatch for per-class receive accounting.
@@ -25,7 +33,7 @@ System::System(const SystemConfig &cfg)
     });
 
     ctx_ = std::make_unique<SystemContext>(SystemContext{
-        engine_, cfg_, *net_, pages_, *amap_, mem_, tracker_, gpms_});
+        lps_, cfg_, *net_, pages_, *amap_, mem_, tracker_, gpms_});
 
     model_ = makeCoherenceModel(*ctx_);
     if (cfg_.checkCoherence)
@@ -53,7 +61,9 @@ System::reportStats(StatRecorder &r) const
     net_->reportStats(r, "noc");
     model_->reportStats(r);
     r.record("mem.pages_placed", static_cast<double>(pages_.pageCount()));
-    r.record("engine.events", static_cast<double>(engine_.eventsExecuted()));
+    r.record("engine.events",
+             static_cast<double>(lps_.eventsExecuted()));
+    lps_.reportStats(r, "pdes");
 }
 
 } // namespace hmg

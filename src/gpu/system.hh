@@ -22,6 +22,7 @@
 #include "mem/page_table.hh"
 #include "noc/network.hh"
 #include "sim/engine.hh"
+#include "sim/lp.hh"
 
 namespace hmg
 {
@@ -35,7 +36,11 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    Engine &engine() { return engine_; }
+    /** LP 0's engine — the only one in unpartitioned runs. Direct-drive
+     *  tests and tools that schedule into the system use it; partitioned
+     *  execution goes through lps().run(). */
+    Engine &engine() { return lps_.engine(0); }
+    LpDomain &lps() { return lps_; }
     const SystemConfig &cfg() const { return cfg_; }
     SystemContext &ctx() { return *ctx_; }
     CoherenceModel &model() { return *model_; }
@@ -58,7 +63,7 @@ class System
 
   private:
     SystemConfig cfg_;
-    Engine engine_;
+    LpDomain lps_;
     PageTable pages_;
     std::unique_ptr<AddressMap> amap_;
     MemoryState mem_;

@@ -6,16 +6,50 @@ namespace hmg
 Version
 MemoryState::read(Addr line_addr) const
 {
-    auto it = lines_.find(line_addr);
-    return it == lines_.end() ? Version{0} : it->second;
+    const Shard &s = shardOf(line_addr);
+    auto lookup = [&]() {
+        auto it = s.lines.find(line_addr);
+        return it == s.lines.end() ? Version{0} : it->second;
+    };
+    if (concurrent_) {
+        std::lock_guard<std::mutex> g(s.mu);
+        return lookup();
+    }
+    return lookup();
 }
 
 void
 MemoryState::write(Addr line_addr, Version version, bool serialized)
 {
-    auto [it, inserted] = lines_.emplace(line_addr, version);
-    if (!inserted && (serialized || it->second < version))
-        it->second = version;
+    Shard &s = shardOf(line_addr);
+    auto update = [&]() {
+        auto [it, inserted] = s.lines.emplace(line_addr, version);
+        if (!inserted && (serialized || it->second < version))
+            it->second = version;
+    };
+    if (concurrent_) {
+        std::lock_guard<std::mutex> g(s.mu);
+        update();
+    } else {
+        update();
+    }
+}
+
+std::uint64_t
+MemoryState::linesWritten() const
+{
+    std::uint64_t n = 0;
+    for (const Shard &s : shards_)
+        n += s.lines.size();
+    return n;
+}
+
+void
+MemoryState::clear()
+{
+    for (Shard &s : shards_)
+        s.lines.clear();
+    next_version_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace hmg

@@ -9,12 +9,21 @@
  * check observed versions against the scoped release/acquire ordering
  * the NVIDIA PTX model requires. This gives full-value-equivalent
  * checking at the cost of 8 bytes per line.
+ *
+ * Partitioned (PDES) runs touch this state from several LP threads: a
+ * store allocates its version on the issuing LP and the write lands on
+ * the home LP. Version allocation is a relaxed atomic counter, and the
+ * line map is split into address-hashed shards, each behind a mutex
+ * taken only when LP workers actually run concurrently — serial and
+ * deterministic-merge runs pay no synchronization.
  */
 
 #ifndef HMG_MEM_MEMORY_STATE_HH
 #define HMG_MEM_MEMORY_STATE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/types.hh"
@@ -26,8 +35,15 @@ namespace hmg
 class MemoryState
 {
   public:
+    /** Enable shard locking (TimeWindow runs; off by default). */
+    void setConcurrent(bool c) { concurrent_ = c; }
+
     /** Allocate a fresh, globally unique store version. */
-    Version allocateVersion() { return ++next_version_; }
+    Version
+    allocateVersion()
+    {
+        return next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     /** Latest version written to `line_addr` (0 = initial value). */
     Version read(Addr line_addr) const;
@@ -51,15 +67,39 @@ class MemoryState
      */
     void write(Addr line_addr, Version version, bool serialized = true);
 
-    std::uint64_t linesWritten() const { return lines_.size(); }
-    Version latestVersion() const { return next_version_; }
+    std::uint64_t linesWritten() const;
+    Version
+    latestVersion() const
+    {
+        return next_version_.load(std::memory_order_relaxed);
+    }
 
-    void clear() { lines_.clear(); next_version_ = 0; }
+    void clear();
 
   private:
-    // det-ok: read/written by line address only, never iterated.
-    std::unordered_map<Addr, Version> lines_;
-    Version next_version_ = 0;
+    static constexpr std::size_t kShards = 64;
+
+    struct Shard
+    {
+        // det-ok: taken only in concurrent (TimeWindow) runs; shard
+        // choice is a pure address hash, never timing-relevant.
+        mutable std::mutex mu;
+        // det-ok: read/written by line address only, never iterated.
+        std::unordered_map<Addr, Version> lines;
+    };
+
+    Shard &shardOf(Addr a) { return shards_[(a >> 7) % kShards]; }
+    const Shard &
+    shardOf(Addr a) const
+    {
+        return shards_[(a >> 7) % kShards];
+    }
+
+    Shard shards_[kShards];
+    bool concurrent_ = false;
+    // det-ok: relaxed monotone counter; serial runs see the exact
+    // sequence the old non-atomic increment produced.
+    std::atomic<Version> next_version_{0};
 };
 
 } // namespace hmg

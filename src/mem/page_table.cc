@@ -15,53 +15,96 @@ GpmId
 PageTable::touch(Addr addr, GpmId toucher)
 {
     hmg_assert(toucher < cfg_.totalGpms());
-    std::uint64_t page = pageNumber(addr);
-    auto it = home_.find(page);
-    if (it != home_.end())
-        return it->second;
+    const std::uint64_t page = pageNumber(addr);
+    Shard &s = shardOf(page);
 
-    GpmId home = kInvalidGpm;
-    switch (cfg_.pagePlacement) {
-      case PagePlacement::FirstTouch:
-        home = toucher;
-        break;
-      case PagePlacement::RoundRobin:
-        home = static_cast<GpmId>(page % cfg_.totalGpms());
-        break;
-      case PagePlacement::LocalOnly:
-        home = 0;
-        break;
+    auto place = [&]() -> GpmId {
+        auto it = s.home.find(page);
+        if (it != s.home.end())
+            return it->second;
+
+        GpmId home = kInvalidGpm;
+        switch (cfg_.pagePlacement) {
+          case PagePlacement::FirstTouch:
+            home = toucher;
+            break;
+          case PagePlacement::RoundRobin:
+            home = static_cast<GpmId>(page % cfg_.totalGpms());
+            break;
+          case PagePlacement::LocalOnly:
+            home = 0;
+            break;
+        }
+        s.home.emplace(page, home);
+        return home;
+    };
+
+    if (concurrent_) {
+        std::lock_guard<std::mutex> g(s.mu);
+        return place();
     }
-    home_.emplace(page, home);
-    return home;
+    return place();
 }
 
 GpmId
 PageTable::homeOf(Addr addr) const
 {
-    auto it = home_.find(pageNumber(addr));
-    if (it == home_.end())
-        hmg_panic("homeOf() on unplaced page %llx",
-                  static_cast<unsigned long long>(addr));
-    return it->second;
+    const std::uint64_t page = pageNumber(addr);
+    const Shard &s = shardOf(page);
+    auto lookup = [&]() -> GpmId {
+        auto it = s.home.find(page);
+        if (it == s.home.end())
+            hmg_panic("homeOf() on unplaced page %llx",
+                      static_cast<unsigned long long>(addr));
+        return it->second;
+    };
+    if (concurrent_) {
+        std::lock_guard<std::mutex> g(s.mu);
+        return lookup();
+    }
+    return lookup();
 }
 
 bool
 PageTable::isPlaced(Addr addr) const
 {
-    return home_.count(pageNumber(addr)) != 0;
+    const std::uint64_t page = pageNumber(addr);
+    const Shard &s = shardOf(page);
+    if (concurrent_) {
+        std::lock_guard<std::mutex> g(s.mu);
+        return s.home.count(page) != 0;
+    }
+    return s.home.count(page) != 0;
+}
+
+std::size_t
+PageTable::pageCount() const
+{
+    std::size_t n = 0;
+    for (const Shard &s : shards_)
+        n += s.home.size();
+    return n;
 }
 
 std::uint64_t
 PageTable::pagesOn(GpmId gpm) const
 {
     std::uint64_t n = 0;
-    for (const auto &[page, home] : home_) {
-        (void)page;
-        if (home == gpm)
-            ++n;
+    for (const Shard &s : shards_) {
+        for (const auto &[page, home] : s.home) {
+            (void)page;
+            if (home == gpm)
+                ++n;
+        }
     }
     return n;
+}
+
+void
+PageTable::clear()
+{
+    for (Shard &s : shards_)
+        s.home.clear();
 }
 
 } // namespace hmg

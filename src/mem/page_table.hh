@@ -8,12 +8,20 @@
  * MCM-GPU and NUMA-aware multi-GPU work (Section VI: "Our simulator
  * inherits the contiguous CTA scheduling and first-touch page placement
  * policies from prior work").
+ *
+ * In partitioned (PDES) runs any LP may touch any page, so the map is
+ * split into page-number-hashed shards, each behind a mutex taken only
+ * when LP workers actually run concurrently. First-touch placement in a
+ * relaxed TimeWindow run may resolve a cross-LP first-touch race either
+ * way; that is an accepted model variation (the deterministic modes are
+ * unaffected — they never lock).
  */
 
 #ifndef HMG_MEM_PAGE_TABLE_HH
 #define HMG_MEM_PAGE_TABLE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/config.hh"
@@ -27,6 +35,9 @@ class PageTable
 {
   public:
     explicit PageTable(const SystemConfig &cfg);
+
+    /** Enable shard locking (TimeWindow runs; off by default). */
+    void setConcurrent(bool c) { concurrent_ = c; }
 
     /**
      * Record an access to the page containing `addr` by GPM `toucher`,
@@ -42,21 +53,38 @@ class PageTable
     bool isPlaced(Addr addr) const;
 
     /** Number of placed pages. */
-    std::size_t pageCount() const { return home_.size(); }
+    std::size_t pageCount() const;
 
     /** Pages homed on each GPM (placement-skew diagnostics). */
     std::uint64_t pagesOn(GpmId gpm) const;
 
-    void clear() { home_.clear(); }
+    void clear();
 
   private:
+    static constexpr std::size_t kShards = 64;
+
+    struct Shard
+    {
+        // det-ok: taken only in concurrent (TimeWindow) runs; shard
+        // choice is a pure page-number hash, never timing-relevant.
+        mutable std::mutex mu;
+        // det-ok: probed by page number; the only iterations (pagesOn /
+        // pageCount) are order-insensitive counts.
+        std::unordered_map<std::uint64_t, GpmId> home;
+    };
+
     std::uint64_t pageNumber(Addr a) const { return a >> page_shift_; }
+    Shard &shardOf(std::uint64_t page) { return shards_[page % kShards]; }
+    const Shard &
+    shardOf(std::uint64_t page) const
+    {
+        return shards_[page % kShards];
+    }
 
     const SystemConfig &cfg_;
     unsigned page_shift_;
-    // det-ok: probed by page number; the only iteration (pagesOn) is an
-    // order-insensitive count.
-    std::unordered_map<std::uint64_t, GpmId> home_;
+    bool concurrent_ = false;
+    Shard shards_[kShards];
 };
 
 } // namespace hmg

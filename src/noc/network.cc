@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "noc/lp_channel.hh"
 
 namespace hmg
 {
@@ -11,6 +12,50 @@ namespace hmg
 Network::Network(Engine &engine, const SystemConfig &cfg)
     : engine_(engine), cfg_(cfg)
 {
+    init();
+}
+
+Network::Network(LpDomain &lps, const SystemConfig &cfg)
+    : engine_(lps.engine(0)), lps_(&lps), cfg_(cfg)
+{
+    init();
+    if (concurrent())
+        lps.setDrainHook(
+            [this](Tick wend) { return drainChannels(wend); });
+}
+
+Network::~Network() = default;
+
+Engine &
+Network::engOfGpm(GpmId g)
+{
+    return lps_ ? lps_->engineOfGpm(g) : engine_;
+}
+
+Engine &
+Network::engOfGpu(GpuId u)
+{
+    return lps_ ? lps_->engine(lpOfGpu(u)) : engine_;
+}
+
+std::uint32_t
+Network::lpOfGpu(GpuId u) const
+{
+    return lps_ ? lps_->lpOfGpm(cfg_.gpmId(u, 0)) : 0;
+}
+
+LpChannel *
+Network::channel(GpuId src, GpuId dst) const
+{
+    if (xlp_.empty())
+        return nullptr;
+    return xlp_[std::size_t{src} * cfg_.numGpus + dst].get();
+}
+
+void
+Network::init()
+{
+    const SystemConfig &cfg = cfg_;
     const double gpm_bpc = cfg.intraGpuPortBytesPerCycle();
     const double gpu_bpc = cfg.interGpuPortBytesPerCycle();
     const Tick intra_half = cfg.intraGpuHopLatency / 2;
@@ -38,24 +83,48 @@ Network::Network(Engine &engine, const SystemConfig &cfg)
 
     // A GPM's egress is fed only by its NIC queue (zero latency); its
     // ingress has one input per same-GPU sibling plus one for the
-    // inter-GPU switch (fed across the long switch->GPM hop).
+    // inter-GPU switch (fed across the long switch->GPM hop). Every
+    // port is bound to the engine of the LP that owns its GPM/GPU.
     for (std::uint32_t g = 0; g < cfg.totalGpms(); ++g) {
         gpm_egress_.push_back(std::make_unique<Port>(
-            engine, gpm_bpc, intra_half, /*num_inputs=*/1,
+            engOfGpm(g), gpm_bpc, intra_half, /*num_inputs=*/1,
             pool(gpm_bpc, 0)));
         gpm_ingress_.push_back(std::make_unique<Port>(
-            engine, gpm_bpc, intra_rest, locals + 1,
+            engOfGpm(g), gpm_bpc, intra_rest, locals + 1,
             pool(gpm_bpc, inter_rest)));
     }
     // A GPU's switch egress is fed by its local GPMs; its switch ingress
-    // by the other GPUs' egresses (slot = source GPU id).
+    // by the other GPUs' egresses (slot = source GPU id). In TimeWindow
+    // mode the switch-ingress pool is enlarged by the boundary
+    // channels' extra credit-return round trip — up to two windows
+    // (2 * lookahead = interGpuHopLatency) on top of the link flight —
+    // so a saturated cross-LP link still runs at full bandwidth.
+    const Tick xlp_slack = concurrent() ? 2 * lps_->lookahead() : 0;
     for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
         gpu_egress_.push_back(std::make_unique<Port>(
-            engine, gpu_bpc, inter_half, locals,
+            engOfGpu(u), gpu_bpc, inter_half, locals,
             pool(gpu_bpc, intra_half)));
         gpu_ingress_.push_back(std::make_unique<Port>(
-            engine, gpu_bpc, inter_rest, cfg.numGpus,
-            pool(gpu_bpc, inter_half)));
+            engOfGpu(u), gpu_bpc, inter_rest, cfg.numGpus,
+            pool(gpu_bpc, inter_half + xlp_slack)));
+    }
+
+    // Cross-LP boundary channels, one per directed GPU pair whose ends
+    // live in different LPs; each feeds the destination switch-ingress
+    // input the serial wiring would have used, with the same credit
+    // pool mirrored on the source side.
+    if (concurrent()) {
+        xlp_.resize(std::size_t{cfg.numGpus} * cfg.numGpus);
+        for (std::uint32_t su = 0; su < cfg.numGpus; ++su) {
+            for (std::uint32_t du = 0; du < cfg.numGpus; ++du) {
+                if (su == du || lpOfGpu(su) == lpOfGpu(du))
+                    continue;
+                xlp_[std::size_t{su} * cfg.numGpus + du] =
+                    std::make_unique<LpChannel>(
+                        *gpu_ingress_[du], su,
+                        gpu_ingress_[du]->capacityBytes());
+            }
+        }
     }
 
     // Routing. The input index a message occupies at each hop is a pure
@@ -84,8 +153,14 @@ Network::Network(Engine &engine, const SystemConfig &cfg)
     }
     for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
         gpu_egress_[u]->setRoute([this](const Message &m) -> Port::Route {
-            return {gpu_ingress_[cfg_.gpuOf(m.dst)].get(),
-                    cfg_.gpuOf(m.src)};
+            const GpuId du = cfg_.gpuOf(m.dst);
+            // Cross-LP switch hop: dispatch into the boundary channel
+            // (drained at the window barrier) instead of pushing into
+            // another LP's port. channel() is null in serial,
+            // deterministic-merge and same-LP cases.
+            if (LpChannel *ch = channel(cfg_.gpuOf(m.src), du))
+                return {nullptr, 0, ch};
+            return {gpu_ingress_[du].get(), cfg_.gpuOf(m.src)};
         });
         for (std::uint32_t l = 0; l < locals; ++l) {
             const GpmId src = cfg.gpmId(u, l);
@@ -97,8 +172,16 @@ Network::Network(Engine &engine, const SystemConfig &cfg)
             return {gpm_ingress_[m.dst].get(), cfg_.gpmsPerGpu};
         });
         for (std::uint32_t su = 0; su < cfg.numGpus; ++su) {
-            gpu_ingress_[u]->setUpstream(
-                su, [this, su]() { gpu_egress_[su]->pump(); });
+            if (LpChannel *ch = channel(su, u)) {
+                // Cross-LP credit return: note the pop; the channel
+                // carries the credit back to the source LP at the next
+                // barrier (delay-only vs the serial same-tick re-pump).
+                gpu_ingress_[u]->setUpstream(su,
+                                             [ch]() { ch->onDstPop(); });
+            } else {
+                gpu_ingress_[u]->setUpstream(
+                    su, [this, su]() { gpu_egress_[su]->pump(); });
+            }
         }
     }
 
@@ -112,6 +195,10 @@ Network::inject(Message m)
 {
     hmg_assert(m.src < cfg_.totalGpms() && m.dst < cfg_.totalGpms());
     hmg_assert(m.src != m.dst);
+    // Partitioned runs: only the LP that owns the source GPM may inject
+    // on its behalf (the NIC queue and egress port are LP-affine).
+    hmg_assert(!concurrent() ||
+               LpDomain::currentLp() == lps_->lpOfGpm(m.src));
 
     m.bytes = msgBytes(cfg_, m.type);
     const auto ti = static_cast<std::size_t>(m.type);
@@ -133,7 +220,7 @@ Network::feedNic(GpmId src)
 {
     auto &nic = nic_[src];
     Port &egress = *gpm_egress_[src];
-    const Tick now = engine_.now();
+    const Tick now = engOfGpm(src).now();
     while (!nic.empty() && egress.canAccept(0)) {
         Message m = std::move(nic.front());
         nic.pop_front();
@@ -174,16 +261,48 @@ Network::deliver(Message &&m, Tick arrival)
     ++delivered_;
     if (delivery_hook_)
         delivery_hook_(m, arrival);
-    if (m.onArrival)
-        engine_.scheduleAt(arrival, std::move(m.onArrival));
+    if (m.onArrival) {
+        // The final hop runs on the destination LP's engine; schedule
+        // there. Engine::current() is that engine inside a run loop and
+        // null during setup/drain, where engine_ (LP 0) is correct.
+        Engine *e = Engine::current();
+        (e ? *e : engine_).scheduleAt(arrival, std::move(m.onArrival));
+    }
+}
+
+LpDrainResult
+Network::drainChannels(Tick wend)
+{
+    LpDrainResult res;
+    for (std::uint32_t su = 0; su < cfg_.numGpus; ++su) {
+        for (std::uint32_t du = 0; du < cfg_.numGpus; ++du) {
+            LpChannel *ch = channel(su, du);
+            if (!ch)
+                continue;
+            auto [delivered, credits] = ch->drain();
+            res.delivered += delivered;
+            res.credits += credits;
+            if (delivered == 0)
+                ++res.nulls; // idle channel == a null message's worth
+                             // of "nothing before wend + lookahead"
+            if (credits > 0) {
+                // Returned credits may unblock heads parked at the
+                // source GPU's switch egress; re-arbitrate it at the
+                // window edge, on its own LP's engine.
+                Port *eg = gpu_egress_[su].get();
+                engOfGpu(su).scheduleAt(wend, [eg]() { eg->pump(); });
+            }
+        }
+    }
+    return res;
 }
 
 std::uint64_t
 Network::totalInterGpuBytes() const
 {
     std::uint64_t sum = 0;
-    for (auto b : inter_bytes_)
-        sum += b;
+    for (const auto &b : inter_bytes_)
+        sum += b.total();
     return sum;
 }
 
@@ -191,8 +310,8 @@ std::uint64_t
 Network::totalIntraGpuBytes() const
 {
     std::uint64_t sum = 0;
-    for (auto b : intra_bytes_)
-        sum += b;
+    for (const auto &b : intra_bytes_)
+        sum += b.total();
     return sum;
 }
 
@@ -224,20 +343,22 @@ Network::reportStats(StatRecorder &r, const std::string &prefix) const
 {
     for (std::size_t i = 0; i < kNumMsgTypes; ++i) {
         auto t = static_cast<MsgType>(i);
-        if (msg_count_[i] == 0)
+        if (msg_count_[i].total() == 0)
             continue;
         std::string base = prefix + "." + toString(t);
-        r.record(base + ".msgs", static_cast<double>(msg_count_[i]));
+        r.record(base + ".msgs",
+                 static_cast<double>(msg_count_[i].total()));
         r.record(base + ".intra_bytes",
-                 static_cast<double>(intra_bytes_[i]));
+                 static_cast<double>(intra_bytes_[i].total()));
         r.record(base + ".inter_bytes",
-                 static_cast<double>(inter_bytes_[i]));
+                 static_cast<double>(inter_bytes_[i].total()));
     }
     r.record(prefix + ".total_intra_bytes",
              static_cast<double>(totalIntraGpuBytes()));
     r.record(prefix + ".total_inter_bytes",
              static_cast<double>(totalInterGpuBytes()));
-    r.record(prefix + ".delivered", static_cast<double>(delivered_));
+    r.record(prefix + ".delivered",
+             static_cast<double>(delivered_.total()));
 
     for (std::uint32_t g = 0; g < cfg_.totalGpms(); ++g) {
         const std::string base =

@@ -47,15 +47,30 @@
 #include "noc/port.hh"
 #include "sim/callback.hh"
 #include "sim/engine.hh"
+#include "sim/lp.hh"
 
 namespace hmg
 {
+
+class LpChannel;
 
 /** The full system interconnect. */
 class Network
 {
   public:
+    /** Single-engine wiring (serial runs, transport unit tests). */
     Network(Engine &engine, const SystemConfig &cfg);
+
+    /**
+     * Partitioned wiring: every port is bound to the engine of the LP
+     * owning its GPM/GPU. In TimeWindow mode the inter-GPU links that
+     * cross LPs dispatch into LpChannels drained at the window barrier
+     * (the hook is registered here); deterministic-merge and one-LP
+     * plans keep the exact serial wiring.
+     */
+    Network(LpDomain &lps, const SystemConfig &cfg);
+
+    ~Network();
 
     /**
      * Queue a typed message for transport. `m.bytes` is derived from
@@ -110,25 +125,25 @@ class Network
     /** Bytes of messages of type `t` that crossed inter-GPU links. */
     std::uint64_t interGpuBytes(MsgType t) const
     {
-        return inter_bytes_[static_cast<std::size_t>(t)];
+        return inter_bytes_[static_cast<std::size_t>(t)].total();
     }
 
     /** Bytes of type `t` on intra-GPU crossbars. */
     std::uint64_t intraGpuBytes(MsgType t) const
     {
-        return intra_bytes_[static_cast<std::size_t>(t)];
+        return intra_bytes_[static_cast<std::size_t>(t)].total();
     }
 
     std::uint64_t messages(MsgType t) const
     {
-        return msg_count_[static_cast<std::size_t>(t)];
+        return msg_count_[static_cast<std::size_t>(t)].total();
     }
 
     std::uint64_t totalInterGpuBytes() const;
     std::uint64_t totalIntraGpuBytes() const;
 
     /** Messages fully delivered (arrival tick reached dispatch). */
-    std::uint64_t messagesDelivered() const { return delivered_; }
+    std::uint64_t messagesDelivered() const { return delivered_.total(); }
 
     // --- per-link observability (Fig. 12's oversubscription story) ---
 
@@ -145,6 +160,9 @@ class Network
     void reportStats(StatRecorder &r, const std::string &prefix) const;
 
   private:
+    /** Shared wiring for both constructors. */
+    void init();
+
     /** Move NIC messages into the egress port while credits last, then
      *  wake store-issue waiters the drained backlog unblocks. */
     void feedNic(GpmId src);
@@ -153,7 +171,18 @@ class Network
     /** Final-hop dispatch: account, observe, schedule the arrival. */
     void deliver(Message &&m, Tick arrival);
 
+    // --- per-LP engine resolution (all return engine_ when unpartitioned)
+    Engine &engOfGpm(GpmId g);
+    Engine &engOfGpu(GpuId u);
+    std::uint32_t lpOfGpu(GpuId u) const;
+    bool concurrent() const { return lps_ && lps_->concurrent(); }
+
+    /** Barrier hook: deliver channel outboxes, apply credits. */
+    LpDrainResult drainChannels(Tick wend);
+    LpChannel *channel(GpuId src, GpuId dst) const;
+
     Engine &engine_;
+    LpDomain *lps_ = nullptr;
     const SystemConfig &cfg_;
 
     // Ports are non-movable (they hold an Engine&), hence unique_ptr.
@@ -162,17 +191,26 @@ class Network
     std::vector<std::unique_ptr<Port>> gpu_egress_;
     std::vector<std::unique_ptr<Port>> gpu_ingress_;
 
-    /** Per-GPM injection queues (unbounded; see file comment). */
+    /** Cross-LP boundary queues, [srcGpu * numGpus + dstGpu]; null for
+     *  pairs inside one LP. TimeWindow mode only. */
+    std::vector<std::unique_ptr<LpChannel>> xlp_;
+
+    /** Per-GPM injection queues (unbounded; see file comment). Each is
+     *  touched only by its owning LP's thread. */
     std::vector<std::deque<Message>> nic_;
     std::vector<std::deque<InjectWaiter>> inject_waiters_;
-    std::vector<bool> draining_waiters_;
+    /** Not vector<bool>: per-GPM flags must not share packed bits when
+     *  neighbouring GPMs live on different LP threads. */
+    std::vector<std::uint8_t> draining_waiters_;
 
     DeliveryHook delivery_hook_;
 
-    std::uint64_t intra_bytes_[kNumMsgTypes] = {};
-    std::uint64_t inter_bytes_[kNumMsgTypes] = {};
-    std::uint64_t msg_count_[kNumMsgTypes] = {};
-    std::uint64_t delivered_ = 0;
+    // LP-sharded: injection accounting runs on the source LP, delivery
+    // accounting on the destination LP.
+    LpCounter intra_bytes_[kNumMsgTypes];
+    LpCounter inter_bytes_[kNumMsgTypes];
+    LpCounter msg_count_[kNumMsgTypes];
+    LpCounter delivered_;
 };
 
 } // namespace hmg

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "noc/lp_channel.hh"
 
 namespace hmg
 {
@@ -116,8 +117,14 @@ Port::pump()
                 continue;
             if (route_) {
                 Route r = route_(q.front().msg);
-                if (r.next && !r.next->canAccept(r.input))
+                if (r.xlp) {
+                    // Cross-LP hop: flow control against the boundary
+                    // channel's shadow credit pool.
+                    if (!r.xlp->canSend())
+                        continue;
+                } else if (r.next && !r.next->canAccept(r.input)) {
                     continue;
+                }
                 route = r;
             }
             pick = in;
@@ -152,7 +159,9 @@ Port::pump()
         // inside the downstream queue (or the event wheel, at the last
         // hop).
         const Tick arrival = wire_.serialize(now, t.msg.bytes) + latency_;
-        if (route.next)
+        if (route.xlp)
+            route.xlp->send(arrival, std::move(t.msg));
+        else if (route.next)
             route.next->push(route.input, arrival, std::move(t.msg));
         else
             deliver_(std::move(t.msg), arrival);

@@ -60,16 +60,20 @@
 namespace hmg
 {
 
+class LpChannel;
+
 /** One arbitrated, bandwidth-limited, bounded-queue forwarding hop. */
 class Port
 {
   public:
-    /** Where a dispatched message goes: the next hop's input queue, or
-     *  final delivery when `next` is null. */
+    /** Where a dispatched message goes: the next hop's input queue, a
+     *  cross-LP boundary channel (partitioned runs), or final delivery
+     *  when both are null. */
     struct Route
     {
         Port *next = nullptr;
         std::uint32_t input = 0;
+        LpChannel *xlp = nullptr;
     };
 
     using RouteFn = std::function<Route(const Message &)>;

@@ -8,12 +8,49 @@
 namespace hmg
 {
 
+// det-ok: per-thread current-engine pointer; each LP thread only ever
+// observes its own engine, so no cross-thread order can leak.
+thread_local Engine *Engine::tl_current = nullptr;
+
 Engine::Engine() : buckets_(kWheelSize) {}
+
+void
+Engine::spillWheelToOverflow()
+{
+    // Wheel ticks ([search_from_, wheel_limit_)) are disjoint from both
+    // the pre-existing overflow ticks (>= wheel_limit_) and the early
+    // boundary deliveries that triggered the spill (< the window), so
+    // appending bucket-by-bucket keeps every same-tick run of the
+    // overflow list in insertion order — the sweep that follows rebuilds
+    // (tick, insertion-order) exactly.
+    for (std::size_t w = 0; w < kBitmapWords; ++w) {
+        std::uint64_t bits = occupied_[w];
+        while (bits != 0) {
+            const std::size_t b =
+                (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            Bucket &bk = buckets_[b];
+            for (std::size_t i = bk.head; i < bk.events.size(); ++i)
+                overflow_.emplace_back(std::move(bk.events[i]));
+            bk.events.clear();
+            bk.head = 0;
+        }
+        occupied_[w] = 0;
+    }
+    wheel_count_ = 0;
+}
 
 std::ptrdiff_t
 Engine::findNextBucket()
 {
     for (;;) {
+        if (wheel_count_ > 0 && overflow_min_ < search_from_) {
+            // A boundary delivery landed below the entire resident
+            // window; push the wheel back into overflow and fall through
+            // to the sweep, which re-anchors the window at the early
+            // event. Only partitioned runs can reach this.
+            spillWheelToOverflow();
+        }
         if (wheel_count_ > 0) {
             // Every pending wheel event lies in [search_from_,
             // wheel_limit_), a window at most kWheelSize wide, so a
@@ -52,7 +89,7 @@ Engine::findNextBucket()
         std::size_t keep = 0;
         for (auto &ev : overflow_) {
             if (ev.when < wheel_limit_) {
-                insertWheel(ev.when, std::move(ev.cb));
+                insertWheel(ev.when, ev.seq, std::move(ev.cb));
             } else {
                 new_min = std::min(new_min, ev.when);
                 overflow_[keep++] = std::move(ev);
@@ -86,18 +123,36 @@ Engine::executeFront(std::ptrdiff_t b)
 }
 
 bool
+Engine::peekNext(Tick &when, std::uint64_t &seq)
+{
+    const std::ptrdiff_t b = findNextBucket();
+    if (b < 0)
+        return false;
+    const Bucket &bk = buckets_[static_cast<std::size_t>(b)];
+    const Event &ev = bk.events[bk.head];
+    when = ev.when;
+    seq = ev.seq;
+    return true;
+}
+
+bool
 Engine::runOne()
 {
     const std::ptrdiff_t b = findNextBucket();
     if (b < 0)
         return false;
+    Engine *const prev = tl_current;
+    tl_current = this;
     executeFront(b);
+    tl_current = prev;
     return true;
 }
 
 Tick
 Engine::run(Tick until)
 {
+    Engine *const prev = tl_current;
+    tl_current = this;
     // The window [search_from_, wheel_limit_) is never wider than
     // kWheelSize, so every event in a bucket shares one tick — a found
     // bucket can be drained whole without rescanning the bitmap. Events
@@ -128,6 +183,7 @@ Engine::run(Tick until)
         const auto bit = static_cast<std::size_t>(b);
         occupied_[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
     }
+    tl_current = prev;
     return now_;
 }
 

@@ -67,6 +67,56 @@ class Engine
     Tick now() const { return now_; }
 
     /**
+     * The engine currently executing events on this thread, or nullptr
+     * outside run()/runOne(). Partitioned (PDES) runs use this to route
+     * dynamically-scoped scheduling to the logical process that is
+     * executing, so code that says "schedule on the engine" keeps
+     * working unchanged with one engine per LP.
+     */
+    static Engine *current() { return tl_current; }
+
+    /**
+     * Redirect the insertion-order counter that stamps every scheduled
+     * event. The deterministic LP merge shares one counter across all
+     * per-LP engines so the global (tick, insertion-order) total order
+     * is exactly the order a single serial wheel would have produced.
+     * Pass nullptr to restore the engine's private counter.
+     */
+    void
+    setSeqSource(std::uint64_t *src)
+    {
+        seq_src_ = src ? src : &own_seq_;
+    }
+
+    /**
+     * Advance `now` to `t` without executing anything. The deterministic
+     * LP merge calls this on every engine before running the globally
+     * earliest event, so cross-engine schedules and ready-time
+     * comparisons observe the same clock a serial run would. `t` must
+     * not exceed the engine's earliest pending event.
+     */
+    void
+    syncNow(Tick t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    /**
+     * Tick and insertion-order stamp of the earliest pending event,
+     * without executing it. @return false when the queue is empty.
+     */
+    bool peekNext(Tick &when, std::uint64_t &seq);
+
+    /**
+     * When enabled, inserting from a thread that is currently executing
+     * a *different* engine panics. The relaxed PDES mode turns this on:
+     * cross-LP effects must travel through boundary channels or posted
+     * messages, never by direct scheduling into another LP's wheel.
+     */
+    void setAffinityChecking(bool on) { affine_ = on; }
+
+    /**
      * Schedule `f` to run `delay` cycles from now. Templated so the
      * callable is constructed directly in its bucket slot — a closure
      * reaches the queue with zero intermediate moves.
@@ -121,11 +171,14 @@ class Engine
         // caller's raw callable — no intermediate Callback moves.
         Event() = default;
         template <typename F>
-        Event(Tick w, F &&f) : when(w), cb(std::forward<F>(f))
+        Event(Tick w, std::uint64_t s, F &&f)
+            : when(w), seq(s), cb(std::forward<F>(f))
         {
         }
 
         Tick when = 0;
+        /** Insertion-order stamp; ties on `when` break by `seq`. */
+        std::uint64_t seq = 0;
         Callback cb;
     };
 
@@ -155,16 +208,28 @@ class Engine
         // the kTickMax sentinel; at 1.3 GHz that bound is ~450 years of
         // simulated time away.
         hmg_assert(when < kTickMax - kWheelSize);
+        // Cross-LP effects must not schedule directly into another LP's
+        // wheel while its worker thread may be running (see
+        // setAffinityChecking).
+        hmg_assert(!affine_ || tl_current == nullptr || tl_current == this);
         Event *slot;
-        if (when < wheel_limit_) {
+        if (when < wheel_limit_ && when >= wheel_limit_ - kWheelSize) {
             const std::size_t b = when & kWheelMask;
-            slot = &buckets_[b].events.emplace_back(when,
+            slot = &buckets_[b].events.emplace_back(when, (*seq_src_)++,
                                                     std::forward<F>(f));
             occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
             ++wheel_count_;
+            // An LP whose own schedule is sparse can have its scan
+            // cursor far ahead of merged time when a boundary delivery
+            // lands; pull the cursor back so the bitmap scan visits the
+            // new event. Serial runs never take this branch (inserts
+            // are always at or after the cursor).
+            if (when < search_from_)
+                search_from_ = when;
         } else {
             overflow_min_ = std::min(overflow_min_, when);
-            slot = &overflow_.emplace_back(when, std::forward<F>(f));
+            slot = &overflow_.emplace_back(when, (*seq_src_)++,
+                                           std::forward<F>(f));
         }
         hmg_assert(slot->cb);
         ++size_;
@@ -172,13 +237,21 @@ class Engine
 
     /** Re-home one already-queued event during an overflow sweep. */
     void
-    insertWheel(Tick when, Callback &&cb)
+    insertWheel(Tick when, std::uint64_t seq, Callback &&cb)
     {
         const std::size_t b = when & kWheelMask;
-        buckets_[b].events.emplace_back(when, std::move(cb));
+        buckets_[b].events.emplace_back(when, seq, std::move(cb));
         occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
         ++wheel_count_;
     }
+
+    /**
+     * Move every wheel event back to the overflow list, preserving
+     * per-bucket (per-tick) order. Taken only when a boundary delivery
+     * lands below the whole resident window (the LP idled far ahead);
+     * the next sweep re-anchors the window at the early event.
+     */
+    void spillWheelToOverflow();
 
     /**
      * Index of the bucket holding the earliest pending event, advancing
@@ -216,6 +289,15 @@ class Engine
     Tick now_ = 0;
     std::size_t size_ = 0;
     std::uint64_t executed_ = 0;
+
+    /** Private insertion-order counter (see setSeqSource). */
+    std::uint64_t own_seq_ = 0;
+    std::uint64_t *seq_src_ = &own_seq_;
+    bool affine_ = false;
+
+    // det-ok: thread-local pointer to the engine this thread is
+    // executing; single writer per thread, never shared across threads.
+    static thread_local Engine *tl_current;
 };
 
 } // namespace hmg

@@ -1,0 +1,365 @@
+#include "sim/lp.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hmg
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Bounded spin, then yield. Windows are microseconds apart when every
+ * LP has its own core, so a short spin wins there; on an oversubscribed
+ * host a pure spin would burn whole scheduler quanta per window, so
+ * after ~1k pauses the waiter hands its timeslice to whoever holds up
+ * the barrier.
+ */
+template <typename Pred>
+inline void
+spinUntil(Pred ready)
+{
+    for (int i = 0; i < 1024; ++i) {
+        if (ready())
+            return;
+        cpuRelax();
+    }
+    while (!ready())
+        std::this_thread::yield();
+}
+
+} // namespace
+
+const char *
+toString(LpMode m)
+{
+    switch (m) {
+    case LpMode::Serial:
+        return "serial";
+    case LpMode::DeterministicMerge:
+        return "deterministic-merge";
+    case LpMode::TimeWindow:
+        return "time-window";
+    }
+    return "?";
+}
+
+bool
+LpPlan::validateMap(const SystemConfig &cfg,
+                    const std::vector<std::uint32_t> &lp_of_gpm,
+                    std::uint32_t num_lps, Tick &lookahead_out,
+                    std::string &why)
+{
+    if (lp_of_gpm.size() != cfg.totalGpms()) {
+        why = "map covers " + std::to_string(lp_of_gpm.size()) +
+              " GPMs, topology has " + std::to_string(cfg.totalGpms());
+        return false;
+    }
+    for (std::size_t g = 0; g < lp_of_gpm.size(); ++g) {
+        if (lp_of_gpm[g] >= num_lps) {
+            why = "GPM " + std::to_string(g) + " mapped to LP " +
+                  std::to_string(lp_of_gpm[g]) + " of " +
+                  std::to_string(num_lps);
+            return false;
+        }
+    }
+    // Every cut edge must have positive lookahead. GPMs of one GPU are
+    // coupled synchronously (sibling-L2 scans on acquire, same-tick
+    // crossbar credit returns): a cut between them is a zero-lookahead
+    // edge and conservative windows of width zero cannot make progress.
+    Tick min_cut = kTickMax;
+    const auto total = static_cast<GpmId>(cfg.totalGpms());
+    for (GpmId a = 0; a < total; ++a) {
+        for (GpmId b = a + 1; b < total; ++b) {
+            if (lp_of_gpm[a] == lp_of_gpm[b])
+                continue;
+            if (cfg.gpuOf(a) == cfg.gpuOf(b)) {
+                why = "zero-lookahead intra-GPU edge: GPMs " +
+                      std::to_string(a) + " and " + std::to_string(b) +
+                      " share GPU " + std::to_string(cfg.gpuOf(a)) +
+                      " but are mapped to LPs " +
+                      std::to_string(lp_of_gpm[a]) + " and " +
+                      std::to_string(lp_of_gpm[b]);
+                return false;
+            }
+            // The only inter-GPU coupling is the switch link; its
+            // per-direction propagation is half the configured
+            // GPM-to-GPM inter-GPU hop latency.
+            min_cut = std::min<Tick>(min_cut, cfg.interGpuHopLatency / 2);
+        }
+    }
+    if (num_lps > 1 && (min_cut == 0 || min_cut == kTickMax)) {
+        why = min_cut == 0
+                  ? "inter-GPU hop latency " +
+                        std::to_string(cfg.interGpuHopLatency) +
+                        " yields zero lookahead"
+                  : "partition cuts no edges (every GPM in one LP)";
+        return false;
+    }
+    lookahead_out = min_cut == kTickMax ? 0 : min_cut;
+    return true;
+}
+
+LpPlan
+LpPlan::build(const SystemConfig &cfg)
+{
+    LpPlan p;
+    std::uint32_t jobs = cfg.lpJobs == 0 ? 1 : cfg.lpJobs;
+    jobs = std::min(jobs, cfg.numGpus);
+    jobs = std::min(jobs, LpCounter::kMaxLps);
+    p.numLps = jobs;
+    p.lpOfGpm.resize(cfg.totalGpms());
+    // Contiguous GPU blocks: LP of GPU u is floor(u * jobs / numGpus),
+    // never splitting a GPU's GPMs (see validateMap).
+    for (std::uint32_t g = 0; g < cfg.totalGpms(); ++g)
+        p.lpOfGpm[g] = cfg.gpuOf(g) * jobs / cfg.numGpus;
+    if (jobs <= 1) {
+        p.mode = LpMode::Serial;
+        return p;
+    }
+    std::string why;
+    if (!validateMap(cfg, p.lpOfGpm, jobs, p.lookahead, why))
+        hmg_fatal("cannot partition into %u LPs: %s", jobs, why.c_str());
+    p.mode = cfg.lpDeterministic ? LpMode::DeterministicMerge
+                                 : LpMode::TimeWindow;
+    return p;
+}
+
+LpDomain::LpDomain(const SystemConfig &cfg) : plan_(LpPlan::build(cfg))
+{
+    engines_.reserve(plan_.numLps);
+    for (std::uint32_t lp = 0; lp < plan_.numLps; ++lp) {
+        engines_.push_back(std::make_unique<Engine>());
+        // The deterministic merge shares one insertion-order counter so
+        // the cross-engine (tick, seq) order equals the order one serial
+        // wheel would have stamped.
+        if (plan_.mode == LpMode::DeterministicMerge)
+            engines_.back()->setSeqSource(&merge_seq_);
+    }
+    mail_.resize(std::size_t{plan_.numLps} * plan_.numLps);
+}
+
+LpDomain::~LpDomain()
+{
+    // run() joins its workers; this is the exceptional-exit backstop.
+    for (auto &t : workers_) {
+        if (t.joinable()) {
+            done_ = true;
+            generation_.fetch_add(1, std::memory_order_release);
+            t.join();
+        }
+    }
+}
+
+std::uint64_t
+LpDomain::eventsExecuted() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : engines_)
+        sum += e->eventsExecuted();
+    return sum;
+}
+
+Tick
+LpDomain::globalMinTick()
+{
+    Tick best = kTickMax;
+    for (auto &e : engines_) {
+        Tick t;
+        std::uint64_t s;
+        if (e->peekNext(t, s))
+            best = std::min(best, t);
+    }
+    return best;
+}
+
+void
+LpDomain::drainBoundaries(Tick wend)
+{
+    // Mailboxes first, channels second: at equal ticks a posted closure
+    // must run before a freshly delivered arrival (insertion order
+    // breaks the tie), preserving e.g. issue-before-land accounting.
+    const std::uint32_t n = numLps();
+    for (std::uint32_t s = 0; s < n; ++s) {
+        for (std::uint32_t d = 0; d < n; ++d) {
+            auto &row = mail_[std::size_t{s} * n + d];
+            if (row.empty())
+                continue;
+            posts_ += row.size();
+            Engine &eng = *engines_[d];
+            while (!row.empty()) {
+                eng.scheduleAt(wend, std::move(row.front()));
+                row.pop_front();
+            }
+        }
+    }
+    if (drain_hook_) {
+        const LpDrainResult res = drain_hook_(wend);
+        boundary_msgs_ += res.delivered;
+        credit_returns_ += res.credits;
+        null_msgs_ += res.nulls;
+    }
+}
+
+Tick
+LpDomain::runDeterministicMerge()
+{
+    // Always execute the globally minimal (tick, insertion-order) event
+    // — exactly the serial wheel's total order. Every engine's clock is
+    // pulled to the merge tick first, so ready-time comparisons and
+    // cross-engine schedules observe the clock a serial run would.
+    const std::uint32_t n = numLps();
+    for (;;) {
+        Engine *best = nullptr;
+        Tick bt = 0;
+        std::uint64_t bs = 0;
+        for (std::uint32_t lp = 0; lp < n; ++lp) {
+            Tick t;
+            std::uint64_t s;
+            if (!engines_[lp]->peekNext(t, s))
+                continue;
+            if (!best || t < bt || (t == bt && s < bs)) {
+                best = engines_[lp].get();
+                bt = t;
+                bs = s;
+            }
+        }
+        if (!best)
+            break;
+        for (std::uint32_t lp = 0; lp < n; ++lp)
+            engines_[lp]->syncNow(bt);
+        best->runOne();
+    }
+    Tick end = 0;
+    for (const auto &e : engines_)
+        end = std::max(end, e->now());
+    final_time_ = end;
+    return end;
+}
+
+Tick
+LpDomain::runTimeWindow()
+{
+    const std::uint32_t n = numLps();
+    const Tick lookahead = plan_.lookahead;
+    hmg_assert(lookahead > 0);
+    for (auto &e : engines_)
+        e->setAffinityChecking(true);
+
+    workers_.reserve(n - 1);
+    for (std::uint32_t lp = 1; lp < n; ++lp) {
+        workers_.emplace_back([this, lp]() {
+            detail::tl_current_lp = lp;
+            std::uint64_t gen = 0;
+            for (;;) {
+                spinUntil([&]() {
+                    return generation_.load(std::memory_order_acquire) !=
+                           gen;
+                });
+                gen = generation_.load(std::memory_order_acquire);
+                if (done_)
+                    break;
+                engines_[lp]->run(window_end_ - 1);
+                arrived_.fetch_add(1, std::memory_order_release);
+            }
+        });
+    }
+
+    std::vector<std::uint64_t> exec_before(n, 0);
+    // Posts made while assembling the run (e.g. the CTA batches the
+    // scheduler ships to remote LPs) are still parked in the mailboxes:
+    // deliver them at tick 0 so the first window sees their events.
+    drainBoundaries(0);
+    Tick wstart = globalMinTick();
+    while (wstart != kTickMax) {
+        const Tick wend = wstart + lookahead;
+        window_end_ = wend;
+        for (std::uint32_t lp = 0; lp < n; ++lp)
+            exec_before[lp] = engines_[lp]->eventsExecuted();
+        generation_.fetch_add(1, std::memory_order_release);
+        // The main thread doubles as LP 0's worker.
+        engines_[0]->run(wend - 1);
+        spinUntil([&]() {
+            return arrived_.load(std::memory_order_acquire) == n - 1;
+        });
+        arrived_.store(0, std::memory_order_relaxed);
+
+        // ---- exclusive barrier phase ----
+        ++windows_;
+        for (std::uint32_t lp = 0; lp < n; ++lp) {
+            if (engines_[lp]->eventsExecuted() == exec_before[lp])
+                ++stall_windows_;
+        }
+        drainBoundaries(wend);
+        wstart = globalMinTick();
+    }
+
+    done_ = true;
+    generation_.fetch_add(1, std::memory_order_release);
+    for (auto &t : workers_)
+        t.join();
+    workers_.clear();
+    for (auto &e : engines_)
+        e->setAffinityChecking(false);
+
+    Tick end = 0;
+    for (const auto &e : engines_)
+        end = std::max(end, e->now());
+    final_time_ = end;
+    return end;
+}
+
+Tick
+LpDomain::run()
+{
+    switch (plan_.mode) {
+    case LpMode::Serial:
+        final_time_ = engines_[0]->run();
+        return final_time_;
+    case LpMode::DeterministicMerge:
+        return runDeterministicMerge();
+    case LpMode::TimeWindow:
+        return runTimeWindow();
+    }
+    return 0;
+}
+
+void
+LpDomain::reportStats(StatRecorder &r, const std::string &prefix) const
+{
+    // TimeWindow only: serial and deterministic runs must produce
+    // bit-identical stat maps, which the differential tests compare.
+    if (plan_.mode != LpMode::TimeWindow)
+        return;
+    r.record(prefix + ".lps", static_cast<double>(numLps()));
+    r.record(prefix + ".lookahead", static_cast<double>(lookahead()));
+    r.record(prefix + ".windows", static_cast<double>(windows_));
+    r.record(prefix + ".boundary_msgs",
+             static_cast<double>(boundary_msgs_));
+    r.record(prefix + ".null_msgs", static_cast<double>(null_msgs_));
+    r.record(prefix + ".credit_returns",
+             static_cast<double>(credit_returns_));
+    r.record(prefix + ".cross_lp_posts", static_cast<double>(posts_));
+    r.record(prefix + ".lp_stall_windows",
+             static_cast<double>(stall_windows_));
+    if (windows_ > 0 && lookahead() > 0)
+        r.record(prefix + ".lookahead_util",
+                 static_cast<double>(final_time_) /
+                     (static_cast<double>(windows_) *
+                      static_cast<double>(lookahead())));
+}
+
+} // namespace hmg

@@ -71,7 +71,9 @@ class SweepRunner
      */
     std::vector<SimResult> run(const std::vector<SweepCell> &cells);
 
-    /** HMG_JOBS env override, else std::thread::hardware_concurrency(). */
+    /** det-ok: job count affects wall-clock only; cell results are
+     *  independent of it (each cell gets a fresh Simulator).
+     *  HMG_JOBS env override, else std::thread::hardware_concurrency(). */
     static unsigned defaultJobs();
 
   private:

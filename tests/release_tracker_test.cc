@@ -6,16 +6,27 @@
 
 #include <gtest/gtest.h>
 
+#include "common/config.hh"
 #include "core/release_tracker.hh"
+#include "sim/lp.hh"
 
 namespace hmg
 {
 namespace
 {
 
+/** A serial (single-LP) domain: posts are immediate, as before. */
+LpDomain &
+serialLps()
+{
+    static SystemConfig cfg;
+    static LpDomain lps(cfg);
+    return lps;
+}
+
 TEST(ReleaseTracker, ImmediateWhenIdle)
 {
-    ReleaseTracker t(4);
+    ReleaseTracker t(serialLps(), 4);
     int fired = 0;
     t.waitGpuLevel(0, [&]() { ++fired; });
     t.waitSysLevel(0, [&]() { ++fired; });
@@ -25,7 +36,7 @@ TEST(ReleaseTracker, ImmediateWhenIdle)
 
 TEST(ReleaseTracker, GpuLevelBeforeSysLevel)
 {
-    ReleaseTracker t(4);
+    ReleaseTracker t(serialLps(), 4);
     t.issued(1);
     int gpu = 0, sys = 0;
     t.waitGpuLevel(1, [&]() { ++gpu; });
@@ -40,7 +51,7 @@ TEST(ReleaseTracker, GpuLevelBeforeSysLevel)
 
 TEST(ReleaseTracker, CountsPerSm)
 {
-    ReleaseTracker t(4);
+    ReleaseTracker t(serialLps(), 4);
     t.issued(0);
     t.issued(0);
     t.issued(2);
@@ -60,7 +71,7 @@ TEST(ReleaseTracker, CountsPerSm)
 
 TEST(ReleaseTracker, GlobalDrainWaitsForEverySm)
 {
-    ReleaseTracker t(4);
+    ReleaseTracker t(serialLps(), 4);
     t.issued(0);
     t.issued(3);
     int fired = 0;
@@ -75,7 +86,7 @@ TEST(ReleaseTracker, GlobalDrainWaitsForEverySm)
 
 TEST(ReleaseTracker, MultipleWaitersAllFire)
 {
-    ReleaseTracker t(2);
+    ReleaseTracker t(serialLps(), 2);
     t.issued(0);
     int fired = 0;
     for (int i = 0; i < 5; ++i)
@@ -87,7 +98,7 @@ TEST(ReleaseTracker, MultipleWaitersAllFire)
 
 TEST(ReleaseTracker, WaiterRegisteredInsideCallbackWaitsForNext)
 {
-    ReleaseTracker t(2);
+    ReleaseTracker t(serialLps(), 2);
     t.issued(0);
     int outer = 0, inner = 0;
     t.waitSysLevel(0, [&]() {
@@ -108,7 +119,7 @@ TEST(ReleaseTracker, WaiterRegisteredInsideCallbackWaitsForNext)
 
 TEST(ReleaseTrackerDeath, UnderflowPanics)
 {
-    ReleaseTracker t(2);
+    ReleaseTracker t(serialLps(), 2);
     EXPECT_DEATH(t.reachedSysLevel(0), "assertion");
 }
 

@@ -21,6 +21,14 @@ for preset in default asan ubsan; do
     ctest --preset "${preset/default/tier1}"
 done
 
+# The PDES time-window mode is the only threaded code in the simulator;
+# TSan the differential/transport tests so a missed mailbox handoff or
+# shard lock shows up as a hard failure, not a once-a-month flake.
+echo "=== preset: tsan (PDES + transport tests under ThreadSanitizer) ==="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)" >/dev/null
+ctest --preset tsan
+
 echo "=== hmgcheck: exhaustive state-space exploration ==="
 BUILD_BIN=build/tools/hmgcheck
 "$BUILD_BIN" --protocol nhcc

@@ -78,6 +78,13 @@ usage()
         "  --seed N                trace RNG seed\n"
         "  --jobs N                parallel runs for --workload all\n"
         "                          (default: all cores, or HMG_JOBS)\n"
+        "  --lp-jobs N             partition ONE simulation into N\n"
+        "                          logical processes (one per GPU max)\n"
+        "                          synchronized by conservative time\n"
+        "                          windows over the inter-GPU lookahead\n"
+        "  --deterministic         with --lp-jobs: single-threaded\n"
+        "                          (tick, insertion-order) merge that is\n"
+        "                          bit-identical to the serial engine\n"
         "  --gpus N --gpms N       topology overrides\n"
         "  --l2-mb N               L2 capacity per GPU (MB)\n"
         "  --dir-entries N         directory entries per GPM\n"
@@ -116,7 +123,14 @@ parse(int argc, char **argv)
             if (v <= 0)
                 hmg_fatal("--jobs wants a positive integer");
             o.jobs = static_cast<unsigned>(v);
-        } else if (a == "--gpus")
+        } else if (a == "--lp-jobs") {
+            const int v = std::atoi(need(i));
+            if (v <= 0)
+                hmg_fatal("--lp-jobs wants a positive integer");
+            o.cfg.lpJobs = static_cast<std::uint32_t>(v);
+        } else if (a == "--deterministic")
+            o.cfg.lpDeterministic = true;
+        else if (a == "--gpus")
             o.cfg.numGpus = std::atoi(need(i));
         else if (a == "--gpms")
             o.cfg.gpmsPerGpu = std::atoi(need(i));

@@ -12,6 +12,13 @@
 #     src/: std::rand, random_device, time(nullptr), chrono ::now.
 #     Randomized workloads must draw from the seeded std::mt19937 in
 #     the workload config.
+#  3. Shared mutable state in the LP scheduler (src/sim/) — atomics,
+#     mutexes, condition variables, threads, thread_local — must carry
+#     a `det-ok:` justification explaining why it cannot perturb the
+#     deterministic modes (serial / --deterministic merge). The
+#     time-window mode is allowed bounded relaxations; the other two
+#     promise bit-identical results, so every synchronisation primitive
+#     needs an argument for why those paths never touch it.
 #
 # Runs as a tier-1 ctest (`determinism_lint`) and from tools/ci.sh.
 set -euo pipefail
@@ -28,6 +35,19 @@ while IFS=: read -r file line _; do
         fail=1
     fi
 done < <(grep -rn 'std::unordered_\(map\|set\)<' src/ --include='*.hh' --include='*.cc' || true)
+
+# --- rule 3: LP-scheduler shared mutable state needs det-ok -----------
+# std::recursive_mutex is spelled out: `std::mutex` is not a substring
+# of it, and the recursive model-mutex is exactly the kind of state this
+# rule exists to force a justification for.
+while IFS=: read -r file line _; do
+    start=$((line > 4 ? line - 4 : 1))
+    if ! sed -n "${start},${line}p" "$file" | grep -q 'det-ok'; then
+        echo "determinism: $file:$line: shared mutable state (atomic/mutex/thread) in src/sim without a 'det-ok:' justification" >&2
+        fail=1
+    fi
+done < <(grep -rn 'std::atomic\|std::mutex\|std::recursive_mutex\|std::condition_variable\|thread_local\|std::thread\b' \
+        src/sim/ --include='*.hh' --include='*.cc' || true)
 
 # --- rule 2: no ambient entropy or wall-clock in the model ------------
 if grep -rn 'std::rand\b\|random_device\|time(nullptr)\|::now()' \

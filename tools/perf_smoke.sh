@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Perf-regression smoke: re-measure the timing-wheel event-kernel
+# throughput and fail if it drops below 50% of the committed
+# BENCH_engine.json baseline.
+#
+# The 50% bar is deliberately loose — CI hosts vary and the measurement
+# is a best-of-three over one second — but it still catches the class of
+# regression that matters: an accidental O(n) scan in the hot schedule
+# path, a debug assert left on, a closure that started heap-allocating.
+#
+# Usage: perf_smoke.sh [path-to-bench_engine_microbench]
+# Runs as the `perf_smoke` ctest (default preset only, not tier1).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="${1:-build/bench/bench_engine_microbench}"
+BASELINE_JSON=BENCH_engine.json
+
+if [ ! -x "$BIN" ]; then
+    echo "perf_smoke: $BIN not built" >&2
+    exit 1
+fi
+
+baseline=$(grep -o '"wheel_events_per_sec": *[0-9]*' "$BASELINE_JSON" |
+    grep -o '[0-9]*$')
+if [ -z "$baseline" ]; then
+    echo "perf_smoke: no wheel_events_per_sec in $BASELINE_JSON" >&2
+    exit 1
+fi
+
+measured=$("$BIN" --kernel-only --events 1000000 |
+    awk '/^wheel_events_per_sec/ { print $2 }')
+if [ -z "$measured" ]; then
+    echo "perf_smoke: could not parse --kernel-only output" >&2
+    exit 1
+fi
+
+floor=$((baseline / 2))
+echo "perf_smoke: measured $measured ev/s, baseline $baseline ev/s," \
+    "floor $floor ev/s"
+if [ "${measured%.*}" -lt "$floor" ]; then
+    echo "perf_smoke: FAIL — event kernel below 50% of committed baseline" >&2
+    exit 1
+fi
+echo "perf_smoke: PASS"
