@@ -89,6 +89,27 @@ SystemConfig::validate() const
         hmg_fatal("transport queue parameters must be non-zero");
     if (l2WriteBack && !isHardwareProtocol(protocol))
         hmg_fatal("write-back L2s require a hardware coherence protocol");
+    if (fault.dropProb < 0 || fault.corruptProb < 0 ||
+        fault.delayProb < 0)
+        hmg_fatal("fault probabilities must be non-negative");
+    if (fault.dropProb + fault.corruptProb + fault.delayProb > 1.0)
+        hmg_fatal("fault probabilities must sum to <= 1 (got %g)",
+                  fault.dropProb + fault.corruptProb + fault.delayProb);
+    if (fault.delayProb > 0 && fault.delayCycles == 0)
+        hmg_fatal("fault delayCycles must be non-zero with delayProb > 0");
+    if (fault.active() && fault.retryTimeout == 0)
+        hmg_fatal("fault retryTimeout must be non-zero");
+    if (fault.backoffCap > 32)
+        hmg_fatal("fault backoffCap must be <= 32 (got %u)",
+                  fault.backoffCap);
+    for (const auto &f : fault.flaps) {
+        if (f.gpu >= numGpus)
+            hmg_fatal("fault flap names GPU %u of %u", f.gpu, numGpus);
+        if (f.upAt != 0 && f.upAt <= f.downAt)
+            hmg_fatal("fault flap window [%llu, %llu) is empty",
+                      static_cast<unsigned long long>(f.downAt),
+                      static_cast<unsigned long long>(f.upAt));
+    }
 }
 
 std::string

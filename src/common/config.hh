@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "fault/config.hh"
 
 namespace hmg
 {
@@ -156,6 +157,23 @@ struct SystemConfig
      * Verification only — protocol behavior and timing are unchanged.
      */
     bool checkCoherence = false;
+
+    // ---- fault injection & hang detection (DESIGN.md §11) ----
+    /**
+     * Deterministic fault schedule (`--fault-*`): per-link drop /
+     * corrupt / delay probabilities and link-flap windows, absorbed by
+     * the NVLink-style retry sublayer in noc/port.cc. Inert by default;
+     * see fault/config.hh.
+     */
+    FaultConfig fault;
+    /**
+     * No-progress window (cycles) after which the engine watchdog
+     * aborts the run with a structured diagnostic instead of hanging
+     * (`--watchdog N`). 0 = auto: armed with a generous default
+     * whenever fault injection is active, fully off otherwise (so
+     * fault-free runs stay bit-identical and watchdog-free).
+     */
+    Tick watchdogCycles = 0;
 
     // ---- parallel (PDES) execution of one simulation ----
     /**

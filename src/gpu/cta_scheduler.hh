@@ -52,6 +52,14 @@ class CtaScheduler
 
     std::uint64_t kernelsLaunched() const { return kernels_launched_; }
 
+    /** CTAs of the running kernel not yet retired (watchdog
+     *  diagnostics; det-ok: reporting only, never a simulated value). */
+    std::uint64_t
+    ctasRemaining() const
+    {
+        return ctas_remaining_.load(std::memory_order_relaxed);
+    }
+
   private:
     void startKernel(std::size_t idx);
     void feedGpm(GpmId gpm);

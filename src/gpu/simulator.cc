@@ -1,6 +1,9 @@
 #include "gpu/simulator.hh"
 
+#include <memory>
+
 #include "common/log.hh"
+#include "sim/watchdog.hh"
 
 namespace hmg
 {
@@ -21,11 +24,45 @@ Simulator::run(const trace::Trace &trace)
 
     bool finished = false;
     system_->scheduler().run(trace, [&finished]() { finished = true; });
-    const Tick end = system_->lps().run();
 
-    if (!finished)
+    // Arm the watchdog when fault injection is on (a flapped link can
+    // legitimately wedge the run) or when explicitly requested. Never
+    // armed otherwise: fault-free runs keep the exact pre-fault event
+    // loop, and a genuine deadlock there is a simulator bug (panic),
+    // not an operational condition.
+    const SystemConfig &cfg = system_->cfg();
+    const bool armed = cfg.watchdogCycles > 0 || cfg.fault.active();
+    std::unique_ptr<Watchdog> wd;
+    if (armed) {
+        wd = std::make_unique<Watchdog>(
+            cfg.watchdogCycles,
+            [this]() { return system_->progressCounter(); },
+            [this]() { return system_->diagnostic(); });
+        system_->lps().setWatchdog(wd.get());
+    }
+
+    Tick end = 0;
+    try {
+        end = system_->lps().run();
+    } catch (...) {
+        system_->lps().setWatchdog(nullptr);
+        throw;
+    }
+    system_->lps().setWatchdog(nullptr);
+
+    if (!finished) {
+        if (armed)
+            // Failed quiescence under fault injection: every queue
+            // drained (e.g. a message died with its flapped link) but
+            // the trace never completed. Same structured diagnostic as
+            // a watchdog trip, instead of an opaque panic.
+            throw SimHang("quiescence failure: event queues drained "
+                          "with trace '" +
+                              trace.name + "' unfinished",
+                          system_->diagnostic());
         hmg_panic("simulation deadlocked: event queue drained with the "
                   "trace '%s' unfinished", trace.name.c_str());
+    }
 
     SimResult res;
     res.cycles = end;

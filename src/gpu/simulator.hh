@@ -37,6 +37,17 @@ struct SimResult
     std::uint64_t memOps = 0; //!< trace memory operations executed
     StatRecorder stats;       //!< every component's counters
 
+    /**
+     * The cell hung (watchdog trip or failed quiescence) and was
+     * retried once without recovering; cycles/stats are invalid and
+     * `diagnostic` holds the captured state dump. Only SweepRunner
+     * produces degraded results — a single Simulator::run throws
+     * SimHang instead (sim/watchdog.hh).
+     */
+    bool degraded = false;
+    std::string degradedReason; //!< SimHang::what() of the final attempt
+    std::string diagnostic;     //!< structured watchdog dump
+
     /** GB/s consumed on inter-GPU links by messages of type `t`. */
     double
     gbps(double bytes) const

@@ -64,8 +64,19 @@ Sm::warpStep(const WarpPtr &w)
 {
     if (w->pc >= w->warp->ops.size()) {
         if (w->inflight > 0) {
-            // Retire only once every posted load has returned.
-            w->resume = [this, w]() { warpStep(w); };
+            // Retire only once every posted load has returned. The
+            // parked continuation lives *inside* the WarpCtx, so it
+            // must not own it: a strong self-capture is a cycle that
+            // leaks every warp abandoned by a SimHang unwind. While
+            // parked, inflight > 0 — each in-flight load's completion
+            // callback holds the strong reference that keeps the
+            // context alive, so the lock below cannot fail in a live
+            // simulation.
+            w->resume = [this, wp = std::weak_ptr<WarpCtx>(w)]() {
+                auto s = wp.lock();
+                hmg_assert(s);
+                warpStep(s);
+            };
             return;
         }
         finishWarp(w);
@@ -105,13 +116,24 @@ Sm::execute(const WarpPtr &w, const trace::MemOp &op)
         (op.type == MemOpType::Load && op.acq &&
          op.scope > Scope::Cta) ||
         (op.type == MemOpType::Store && op.rel && op.scope > Scope::Cta);
+    // Both park sites require inflight > 0, so the weak self-capture
+    // (cycle avoidance, see warpStep) is safe: outstanding load
+    // completions own the context until the warp is unparked.
     if (needs_drain && w->inflight > 0) {
-        w->resume = [this, w, &op]() { execute(w, op); };
+        w->resume = [this, wp = std::weak_ptr<WarpCtx>(w), &op]() {
+            auto s = wp.lock();
+            hmg_assert(s);
+            execute(s, op);
+        };
         return;
     }
     if (op.type == MemOpType::Load && !needs_drain &&
         w->inflight >= ctx_.cfg.warpMaxInflightLoads) {
-        w->resume = [this, w, &op]() { execute(w, op); };
+        w->resume = [this, wp = std::weak_ptr<WarpCtx>(w), &op]() {
+            auto s = wp.lock();
+            hmg_assert(s);
+            execute(s, op);
+        };
         return;
     }
 

@@ -1,5 +1,8 @@
 #include "gpu/system.hh"
 
+#include <algorithm>
+#include <string>
+
 #include "core/checker.hh"
 
 namespace hmg
@@ -44,6 +47,31 @@ System::System(const SystemConfig &cfg)
         sms_.push_back(std::make_unique<Sm>(*ctx_, *model_, s));
 
     scheduler_ = std::make_unique<CtaScheduler>(*ctx_, *model_, sms_);
+}
+
+std::uint64_t
+System::progressCounter() const
+{
+    std::uint64_t p = net_->messagesDelivered();
+    for (const auto &sm : sms_)
+        p += sm->opsExecuted();
+    return p;
+}
+
+std::string
+System::diagnostic() const
+{
+    Tick now = 0;
+    for (std::uint32_t lp = 0; lp < lps_.numLps(); ++lp)
+        now = std::max(now, lps_.engine(lp).now());
+    std::string out;
+    out += "  workload position: kernel " +
+           std::to_string(scheduler_->kernelsLaunched()) + " launched, " +
+           std::to_string(scheduler_->ctasRemaining()) +
+           " CTAs unretired\n";
+    lps_.dumpState(out);
+    net_->dumpDiagnostic(out, now);
+    return out;
 }
 
 void

@@ -61,6 +61,21 @@ class System
     /** Gather every component's statistics. */
     void reportStats(StatRecorder &r) const;
 
+    /**
+     * Monotone progress metric for the engine watchdog: delivered
+     * network messages + executed SM ops. Raw engine-event counts would
+     * hide a retry livelock (retries execute events forever while
+     * delivering nothing).
+     */
+    std::uint64_t progressCounter() const;
+
+    /**
+     * Structured hang diagnostic (DESIGN.md §11): kernel/CTA position,
+     * per-LP engine state and pending boundaries, NIC backlogs, stalled
+     * ports with credit state, and per-link fault/retry state.
+     */
+    std::string diagnostic() const;
+
   private:
     SystemConfig cfg_;
     LpDomain lps_;

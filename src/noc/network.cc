@@ -188,6 +188,24 @@ Network::init()
     nic_.resize(cfg.totalGpms());
     inject_waiters_.resize(cfg.totalGpms());
     draining_waiters_.resize(cfg.totalGpms(), false);
+
+    // Fault injection (DESIGN.md §11): attach one injector per link
+    // direction. The inter-GPU switch links are the interesting (and
+    // default) targets — they are the fabric the paper's NVLink story
+    // is about; cfg.fault.intraGpu extends injection to the crossbars.
+    if (cfg.fault.active()) {
+        faults_ = std::make_unique<FaultPlan>(cfg);
+        for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
+            gpu_egress_[u]->setFault(faults_->gpuEgress(u));
+            gpu_ingress_[u]->setFault(faults_->gpuIngress(u));
+        }
+        if (cfg.fault.intraGpu) {
+            for (std::uint32_t g = 0; g < cfg.totalGpms(); ++g) {
+                gpm_egress_[g]->setFault(faults_->gpmEgress(g));
+                gpm_ingress_[g]->setFault(faults_->gpmIngress(g));
+            }
+        }
+    }
 }
 
 void
@@ -374,6 +392,43 @@ Network::reportStats(StatRecorder &r, const std::string &prefix) const
     }
     r.record(prefix + ".inter_gpu.util_avg", interGpuUtilizationAvg());
     r.record(prefix + ".inter_gpu.util_peak", interGpuUtilizationPeak());
+
+    // Only when a plan is active: an inert FaultConfig must add zero
+    // stat keys so fault-free stat maps stay bit-identical to pre-fault
+    // baselines (tests/fault_test.cc).
+    if (faults_)
+        faults_->reportStats(r, prefix + ".fault");
+}
+
+void
+Network::dumpDiagnostic(std::string &out, Tick now) const
+{
+    std::uint64_t backlog = 0;
+    std::uint64_t waiters = 0;
+    for (std::uint32_t g = 0; g < cfg_.totalGpms(); ++g) {
+        backlog += nic_[g].size();
+        waiters += inject_waiters_[g].size();
+        if (!nic_[g].empty() || !inject_waiters_[g].empty())
+            out += "  nic gpm" + std::to_string(g) + ": " +
+                   std::to_string(nic_[g].size()) + " parked, " +
+                   std::to_string(inject_waiters_[g].size()) +
+                   " store-issue waiters\n";
+    }
+    out += "  delivered " + std::to_string(delivered_.total()) +
+           " messages; NIC backlog " + std::to_string(backlog) +
+           ", waiters " + std::to_string(waiters) + "\n";
+    for (std::uint32_t g = 0; g < cfg_.totalGpms(); ++g) {
+        const std::string base = "gpm" + std::to_string(g);
+        gpm_egress_[g]->dumpState(out, base + ".egress");
+        gpm_ingress_[g]->dumpState(out, base + ".ingress");
+    }
+    for (std::uint32_t u = 0; u < cfg_.numGpus; ++u) {
+        const std::string base = "gpu" + std::to_string(u);
+        gpu_egress_[u]->dumpState(out, base + ".egress");
+        gpu_ingress_[u]->dumpState(out, base + ".ingress");
+    }
+    if (faults_)
+        faults_->describe(out, now);
 }
 
 } // namespace hmg

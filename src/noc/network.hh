@@ -43,6 +43,7 @@
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "fault/plan.hh"
 #include "noc/message.hh"
 #include "noc/port.hh"
 #include "sim/callback.hh"
@@ -159,6 +160,16 @@ class Network
 
     void reportStats(StatRecorder &r, const std::string &prefix) const;
 
+    /** The fault plan, or null when cfg.fault is inert. */
+    const FaultPlan *faultPlan() const { return faults_.get(); }
+
+    /**
+     * Append the transport part of a watchdog diagnostic to `out`:
+     * NIC backlogs, store-issue waiters, every non-empty port with its
+     * credit state and blocked heads, and per-link fault/retry state.
+     */
+    void dumpDiagnostic(std::string &out, Tick now) const;
+
   private:
     /** Shared wiring for both constructors. */
     void init();
@@ -194,6 +205,10 @@ class Network
     /** Cross-LP boundary queues, [srcGpu * numGpus + dstGpu]; null for
      *  pairs inside one LP. TimeWindow mode only. */
     std::vector<std::unique_ptr<LpChannel>> xlp_;
+
+    /** Per-link fault injectors; built only when cfg.fault.active(), so
+     *  fault-free runs carry no injector state at all. */
+    std::unique_ptr<FaultPlan> faults_;
 
     /** Per-GPM injection queues (unbounded; see file comment). Each is
      *  touched only by its owning LP's thread. */

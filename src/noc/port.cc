@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "fault/plan.hh"
 #include "noc/lp_channel.hh"
 
 namespace hmg
@@ -39,6 +40,22 @@ Port::push(std::uint32_t input, Tick ready, Message &&m)
     }
     in.q.push_back(Transit{ready, std::move(m)});
     ++depth_;
+    schedulePump(ready);
+}
+
+void
+Port::requeueFront(std::uint32_t input, Tick ready, Message &&m)
+{
+    Input &in = inputs_[input];
+    // The head never left: it still holds its credits (no upstream
+    // notification either) and goes back in front of everything that
+    // queued behind it, so per-(src,dst) FIFO order survives the loss.
+    const std::uint32_t bytes = m.bytes;
+    in.q.push_front(Transit{ready, std::move(m)});
+    ++in.arrived;
+    in.arrived_bytes += bytes;
+    ++depth_;
+    hmg_assert(ready > engine_.now()); // retry ticks are always future
     schedulePump(ready);
 }
 
@@ -158,7 +175,18 @@ Port::pump()
         // tagged with its arrival tick; it waits out the flight time
         // inside the downstream queue (or the event wheel, at the last
         // hop).
-        const Tick arrival = wire_.serialize(now, t.msg.bytes) + latency_;
+        Tick arrival = wire_.serialize(now, t.msg.bytes) + latency_;
+        if (fault_ &&
+            fault_->onTransmit(t.msg.bytes, now, arrival) ==
+                FaultVerdict::Lost) {
+            // The wire time is spent but the transmission failed
+            // (drop/CRC/flap). Go-back-N: the message returns to the
+            // head of its input and re-arbitrates at the injector's
+            // backoff tick. Nothing downstream or upstream observes
+            // the attempt.
+            requeueFront(pick, fault_->retryAt(), std::move(t.msg));
+            continue;
+        }
         if (route.xlp)
             route.xlp->send(arrival, std::move(t.msg));
         else if (route.next)
@@ -178,6 +206,35 @@ Port::utilization() const
 {
     const Tick now = engine_.now();
     return now == 0 ? 0.0 : wire_.busyCycles() / static_cast<double>(now);
+}
+
+void
+Port::dumpState(std::string &out, const std::string &name) const
+{
+    if (depth_ == 0)
+        return;
+    const Tick now = engine_.now();
+    out += "  port " + name + ": " + std::to_string(depth_) +
+           " queued, wire free at " +
+           std::to_string(wire_.freeCycle()) + ", forwarded " +
+           std::to_string(msgs_) + "\n";
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        const Input &in = inputs_[i];
+        if (in.q.empty())
+            continue;
+        const Transit &head = in.q.front();
+        out += "    input " + std::to_string(i) + ": " +
+               std::to_string(in.q.size()) + " msgs, credits " +
+               std::to_string(in.arrived_bytes) + "/" +
+               std::to_string(capacity_) + "B, head " +
+               toString(head.msg.type) + " gpm" +
+               std::to_string(head.msg.src) + "->gpm" +
+               std::to_string(head.msg.dst) +
+               (head.ready > now
+                    ? " ready at " + std::to_string(head.ready)
+                    : " BLOCKED since " + std::to_string(head.ready)) +
+               "\n";
+    }
 }
 
 void

@@ -60,6 +60,7 @@
 namespace hmg
 {
 
+class LinkFault;
 class LpChannel;
 
 /** One arbitrated, bandwidth-limited, bounded-queue forwarding hop. */
@@ -95,6 +96,16 @@ class Port
 
     /** Final-hop delivery (set on ingress ports instead of a route). */
     void setDeliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+    /**
+     * Attach a fault injector to this port's output wire (fault/plan.hh;
+     * null and branch-free in fault-free runs). A Lost verdict keeps the
+     * dispatched message at the head of its input — credits stay held,
+     * per-(src,dst) FIFO is preserved — and re-arbitrates it at the
+     * injector's retry tick: the transport-level image of a link-layer
+     * replay buffer resending from the last acked sequence number.
+     */
+    void setFault(LinkFault *fault) { fault_ = fault; }
 
     /** Called whenever a slot of `input` frees, so the upstream stage
      *  can re-arbitrate a head it had to skip. */
@@ -142,6 +153,13 @@ class Port
 
     void reportStats(StatRecorder &r, const std::string &prefix) const;
 
+    /**
+     * Append a watchdog-diagnostic snapshot of this port — queued
+     * messages, credit occupancy, blocked heads — to `out`. Quiet,
+     * empty ports contribute nothing.
+     */
+    void dumpState(std::string &out, const std::string &name) const;
+
   private:
     /** A queued (possibly still in-flight) message. */
     struct Transit
@@ -162,6 +180,14 @@ class Port
 
     /** Advance every input's arrived count to the current tick. */
     void noteArrivals(Tick now);
+
+    /**
+     * Put a just-popped message back at the head of `input`, eligible
+     * again at the (future) tick `ready`. Used only by the fault retry
+     * path: the message never left this hop, so it keeps its credits
+     * and no upstream notification fires.
+     */
+    void requeueFront(std::uint32_t input, Tick ready, Message &&m);
 
     /**
      * Arrange for pump() to run at tick `at`, coalescing with an
@@ -198,6 +224,8 @@ class Port
 
     RouteFn route_;
     DeliverFn deliver_;
+    /** Fault injector on the output wire; null in fault-free runs. */
+    LinkFault *fault_ = nullptr;
 };
 
 } // namespace hmg

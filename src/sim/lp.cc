@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/watchdog.hh"
 
 namespace hmg
 {
@@ -215,6 +216,25 @@ LpDomain::drainBoundaries(Tick wend)
 }
 
 Tick
+LpDomain::runSerialWatched()
+{
+    // Same result as a plain engines_[0]->run(): run(until) executes
+    // every event with tick <= until in the identical order, so slicing
+    // at the poll interval only inserts watchdog checks between event
+    // batches — it is invisible to the simulation.
+    Engine &e = *engines_[0];
+    const Tick interval = watchdog_->pollInterval();
+    Tick when;
+    std::uint64_t seq;
+    while (e.peekNext(when, seq)) {
+        e.run(std::max(when, e.now() + interval));
+        watchdog_->poll(e.now());
+    }
+    final_time_ = e.now();
+    return final_time_;
+}
+
+Tick
 LpDomain::runDeterministicMerge()
 {
     // Always execute the globally minimal (tick, insertion-order) event
@@ -222,6 +242,7 @@ LpDomain::runDeterministicMerge()
     // pulled to the merge tick first, so ready-time comparisons and
     // cross-engine schedules observe the clock a serial run would.
     const std::uint32_t n = numLps();
+    std::uint64_t since_poll = 0;
     for (;;) {
         Engine *best = nullptr;
         Tick bt = 0;
@@ -242,6 +263,13 @@ LpDomain::runDeterministicMerge()
         for (std::uint32_t lp = 0; lp < n; ++lp)
             engines_[lp]->syncNow(bt);
         best->runOne();
+        // Event-count polling: cheap enough to sit in the merge loop,
+        // frequent enough that a retry storm (many events, no progress)
+        // is caught within the threshold.
+        if (watchdog_ && ++since_poll >= 1024) {
+            since_poll = 0;
+            watchdog_->poll(bt);
+        }
     }
     Tick end = 0;
     for (const auto &e : engines_)
@@ -283,28 +311,45 @@ LpDomain::runTimeWindow()
     // scheduler ships to remote LPs) are still parked in the mailboxes:
     // deliver them at tick 0 so the first window sees their events.
     drainBoundaries(0);
-    Tick wstart = globalMinTick();
-    while (wstart != kTickMax) {
-        const Tick wend = wstart + lookahead;
-        window_end_ = wend;
-        for (std::uint32_t lp = 0; lp < n; ++lp)
-            exec_before[lp] = engines_[lp]->eventsExecuted();
-        generation_.fetch_add(1, std::memory_order_release);
-        // The main thread doubles as LP 0's worker.
-        engines_[0]->run(wend - 1);
-        spinUntil([&]() {
-            return arrived_.load(std::memory_order_acquire) == n - 1;
-        });
-        arrived_.store(0, std::memory_order_relaxed);
+    try {
+        Tick wstart = globalMinTick();
+        while (wstart != kTickMax) {
+            const Tick wend = wstart + lookahead;
+            window_end_ = wend;
+            for (std::uint32_t lp = 0; lp < n; ++lp)
+                exec_before[lp] = engines_[lp]->eventsExecuted();
+            generation_.fetch_add(1, std::memory_order_release);
+            // The main thread doubles as LP 0's worker.
+            engines_[0]->run(wend - 1);
+            spinUntil([&]() {
+                return arrived_.load(std::memory_order_acquire) == n - 1;
+            });
+            arrived_.store(0, std::memory_order_relaxed);
 
-        // ---- exclusive barrier phase ----
-        ++windows_;
-        for (std::uint32_t lp = 0; lp < n; ++lp) {
-            if (engines_[lp]->eventsExecuted() == exec_before[lp])
-                ++stall_windows_;
+            // ---- exclusive barrier phase ----
+            ++windows_;
+            for (std::uint32_t lp = 0; lp < n; ++lp) {
+                if (engines_[lp]->eventsExecuted() == exec_before[lp])
+                    ++stall_windows_;
+            }
+            drainBoundaries(wend);
+            // Workers are parked at the barrier here, so the poll (and
+            // any diagnostic dump it triggers) reads quiescent state.
+            if (watchdog_)
+                watchdog_->poll(wend);
+            wstart = globalMinTick();
         }
-        drainBoundaries(wend);
-        wstart = globalMinTick();
+    } catch (...) {
+        // A tripped watchdog must not leave workers spinning: release
+        // them with done_ set, join, then rethrow the SimHang.
+        done_ = true;
+        generation_.fetch_add(1, std::memory_order_release);
+        for (auto &t : workers_)
+            t.join();
+        workers_.clear();
+        for (auto &e : engines_)
+            e->setAffinityChecking(false);
+        throw;
     }
 
     done_ = true;
@@ -327,6 +372,8 @@ LpDomain::run()
 {
     switch (plan_.mode) {
     case LpMode::Serial:
+        if (watchdog_)
+            return runSerialWatched();
         final_time_ = engines_[0]->run();
         return final_time_;
     case LpMode::DeterministicMerge:
@@ -335,6 +382,32 @@ LpDomain::run()
         return runTimeWindow();
     }
     return 0;
+}
+
+void
+LpDomain::dumpState(std::string &out) const
+{
+    out += "  lp domain: mode " + std::string(toString(plan_.mode)) +
+           ", " + std::to_string(numLps()) + " LPs, lookahead " +
+           std::to_string(lookahead()) + ", windows " +
+           std::to_string(windows_) + "\n";
+    for (std::uint32_t lp = 0; lp < numLps(); ++lp) {
+        const Engine &e = *engines_[lp];
+        out += "  lp" + std::to_string(lp) + ": tick " +
+               std::to_string(e.now()) + ", " +
+               std::to_string(e.pending()) + " pending events, " +
+               std::to_string(e.eventsExecuted()) + " executed\n";
+    }
+    const std::uint32_t n = numLps();
+    for (std::uint32_t s = 0; s < n; ++s)
+        for (std::uint32_t d = 0; d < n; ++d)
+            if (!mail_[std::size_t{s} * n + d].empty())
+                out += "  pending boundary posts lp" +
+                       std::to_string(s) + "->lp" + std::to_string(d) +
+                       ": " +
+                       std::to_string(
+                           mail_[std::size_t{s} * n + d].size()) +
+                       "\n";
 }
 
 void

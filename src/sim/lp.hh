@@ -59,6 +59,8 @@
 namespace hmg
 {
 
+class Watchdog;
+
 /** How a partitioned run executes. */
 enum class LpMode
 {
@@ -186,6 +188,7 @@ class LpDomain
     bool concurrent() const { return plan_.mode == LpMode::TimeWindow; }
 
     Engine &engine(std::uint32_t lp) { return *engines_[lp]; }
+    const Engine &engine(std::uint32_t lp) const { return *engines_[lp]; }
     std::uint32_t lpOfGpm(GpmId g) const { return plan_.lpOfGpm[g]; }
     Engine &engineOfGpm(GpmId g) { return *engines_[plan_.lpOfGpm[g]]; }
 
@@ -226,6 +229,21 @@ class LpDomain
      */
     Tick run();
 
+    /**
+     * Arm (or disarm, with null) the no-progress watchdog. Every run
+     * mode polls it from *outside* the event stream — sliced engine
+     * runs in serial mode, every ~1K merged events in deterministic
+     * merge, the barrier phase in time-window mode — so polling never
+     * perturbs event order or the final simulated time. A poll that
+     * trips throws SimHang out of run(); the time-window loop shuts its
+     * workers down first. Unset in fault-free runs (sim/watchdog.hh).
+     */
+    void setWatchdog(Watchdog *wd) { watchdog_ = wd; }
+
+    /** Append per-LP engine clocks, pending-event counts and pending
+     *  cross-LP mailbox depths to a watchdog diagnostic. */
+    void dumpState(std::string &out) const;
+
     /** Events executed across all LP engines. */
     std::uint64_t eventsExecuted() const;
 
@@ -244,6 +262,8 @@ class LpDomain
   private:
     Tick runTimeWindow();
     Tick runDeterministicMerge();
+    /** Serial loop sliced at the watchdog's poll interval. */
+    Tick runSerialWatched();
 
     /** Barrier phase: drain mailboxes then channels into [wend, ...). */
     void drainBoundaries(Tick wend);
@@ -263,6 +283,9 @@ class LpDomain
     std::vector<std::deque<Engine::Callback>> mail_;
 
     DrainHook drain_hook_;
+
+    /** Hang detector, polled by the run loops; null when unarmed. */
+    Watchdog *watchdog_ = nullptr;
 
     // det-ok: guarded shared state for checker/invalidation paths; the
     // lock serializes them, order inside a window is not simulated time.

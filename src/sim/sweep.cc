@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "sim/watchdog.hh"
 #include "trace/workloads.hh"
 
 namespace hmg
@@ -86,8 +87,30 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
         const SweepCell &c = cells[i];
         const auto trace =
             trace::workloads::make(c.workload, c.scale, c.seed);
-        Simulator sim(c.cfg);
-        results[i] = sim.run(trace);
+        // A hung/faulted cell is isolated: the SimHang never escapes to
+        // forEach (which would kill the whole sweep). The cell is
+        // retried once on a fresh Simulator — a transient host-side
+        // cause (and, later, checkpoint-restore) deserves one more
+        // shot — then reported as degraded with the watchdog
+        // diagnostic attached. Deterministic cells will hang twice;
+        // the retry is cheap relative to losing the sweep.
+        for (int attempt = 0;; ++attempt) {
+            try {
+                Simulator sim(c.cfg);
+                results[i] = sim.run(trace);
+                break;
+            } catch (const SimHang &h) {
+                if (attempt == 0) {
+                    warnImpl("sweep cell %zu (%s) hung: %s — retrying",
+                             i, c.workload.c_str(), h.what());
+                    continue;
+                }
+                results[i].degraded = true;
+                results[i].degradedReason = h.what();
+                results[i].diagnostic = h.diagnostic();
+                break;
+            }
+        }
     });
     return results;
 }

@@ -67,7 +67,11 @@ class SweepRunner
     /**
      * Simulate every cell (trace generation included) and return results
      * in cell order. Each cell gets a fresh Simulator; nothing is shared
-     * between cells, so results are independent of `jobs`.
+     * between cells, so results are independent of `jobs`. A cell that
+     * hangs under fault injection (SimHang) is isolated, retried once,
+     * and on a second hang returned with `degraded` set and the
+     * watchdog diagnostic attached — one wedged cell never kills the
+     * sweep (DESIGN.md §11).
      */
     std::vector<SimResult> run(const std::vector<SweepCell> &cells);
 

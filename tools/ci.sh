@@ -1,37 +1,69 @@
 #!/usr/bin/env bash
 # The CI wall: lint + determinism lint + tier-1 tests under the default,
-# ASan and UBSan presets, plus an exhaustive hmgcheck run per protocol.
+# ASan and UBSan presets, a sanitizer pass over the fault-injection
+# label, plus an exhaustive hmgcheck run per protocol.
 #
 # Everything here is hermetic — no network, no installed extras beyond
 # cmake/g++ (clang-tidy is picked up when present, skipped when not).
+#
+# Every stage runs under a hard timeout(1) budget: a stage that hangs —
+# a wedged simulation, a deadlocked sanitizer build, a runaway model
+# check — kills itself with exit 124 and a named culprit instead of
+# eating the CI runner until an operator notices (DESIGN.md §11 applies
+# the same philosophy inside the simulator).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# budget <seconds> <stage name> <command...>
+budget() {
+    local secs=$1 name=$2
+    shift 2
+    local rc=0
+    timeout --kill-after=30 "$secs" "$@" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        if [ "$rc" -eq 124 ] || [ "$rc" -eq 137 ]; then
+            echo "ci: stage '$name' exceeded its ${secs}s budget" >&2
+        else
+            echo "ci: stage '$name' failed (exit $rc)" >&2
+        fi
+        exit 1
+    fi
+}
+
 echo "=== lint (clang-tidy) ==="
-tools/run_lint.sh
+budget 1800 "clang-tidy lint" tools/run_lint.sh
 
 echo "=== lint (determinism) ==="
-tools/lint_determinism.sh
+budget 120 "determinism lint" tools/lint_determinism.sh
 
 for preset in default asan ubsan; do
     echo "=== preset: $preset (configure/build/tier-1 ctest) ==="
-    cmake --preset "$preset" >/dev/null
-    cmake --build --preset "$preset" -j "$(nproc)" >/dev/null
-    ctest --preset "${preset/default/tier1}"
+    budget 300 "$preset configure" cmake --preset "$preset" >/dev/null
+    budget 1200 "$preset build" \
+        cmake --build --preset "$preset" -j "$(nproc)" >/dev/null
+    budget 900 "$preset ctest" ctest --preset "${preset/default/tier1}"
 done
+
+# The fault-injection smokes (requeue/replay/watchdog paths) under ASan:
+# the asan test preset filters the tier1 label, so the `fault` label is
+# driven directly against the instrumented build.
+echo "=== asan: fault-injection label ==="
+budget 900 "asan fault ctest" \
+    ctest --test-dir build-asan -L fault --output-on-failure
 
 # The PDES time-window mode is the only threaded code in the simulator;
 # TSan the differential/transport tests so a missed mailbox handoff or
 # shard lock shows up as a hard failure, not a once-a-month flake.
 echo "=== preset: tsan (PDES + transport tests under ThreadSanitizer) ==="
-cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j "$(nproc)" >/dev/null
-ctest --preset tsan
+budget 300 "tsan configure" cmake --preset tsan >/dev/null
+budget 1200 "tsan build" \
+    cmake --build --preset tsan -j "$(nproc)" >/dev/null
+budget 900 "tsan ctest" ctest --preset tsan
 
 echo "=== hmgcheck: exhaustive state-space exploration ==="
 BUILD_BIN=build/tools/hmgcheck
-"$BUILD_BIN" --protocol nhcc
-"$BUILD_BIN" --protocol hmg
+budget 600 "hmgcheck nhcc" "$BUILD_BIN" --protocol nhcc
+budget 600 "hmgcheck hmg" "$BUILD_BIN" --protocol hmg
 
 echo "ci: PASS"

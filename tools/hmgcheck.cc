@@ -31,6 +31,7 @@
 
 #include "common/log.hh"
 #include "verify/model.hh"
+#include "verify/retry_model.hh"
 #include "verify/spec.hh"
 
 namespace
@@ -44,6 +45,8 @@ struct Options
     std::string workload = "all";
     std::uint32_t dirCap = 1;
     bool seedBadRow = false;
+    bool seedRetryBug = false;
+    std::uint32_t retryLosses = 3;
     bool showTrace = false;
     bool quiet = false;
 };
@@ -60,6 +63,11 @@ usage()
         "                    which forces replacement fans)\n"
         "  --seed-bad-row    corrupt the home store row (test hook): the\n"
         "                    explorer must emit a counterexample\n"
+        "  --seed-retry-bug  remove the retry sublayer's in-order filter\n"
+        "                    (test hook): the retry check must find a\n"
+        "                    duplicate delivery\n"
+        "  --retry-losses N  loss budget of the retry-sublayer check\n"
+        "                    (default 3)\n"
         "  --trace           print the counterexample trace of failures\n"
         "  --quiet           only the final verdict\n");
 }
@@ -89,6 +97,10 @@ parse(int argc, char **argv)
             o.dirCap = static_cast<std::uint32_t>(std::atoi(need(i)));
         else if (a == "--seed-bad-row")
             o.seedBadRow = true;
+        else if (a == "--seed-retry-bug")
+            o.seedRetryBug = true;
+        else if (a == "--retry-losses")
+            o.retryLosses = static_cast<std::uint32_t>(std::atoi(need(i)));
         else if (a == "--trace")
             o.showTrace = true;
         else if (a == "--quiet")
@@ -180,6 +192,49 @@ runWorkload(const Options &o, verify::Workload w)
     return pass;
 }
 
+/**
+ * Model-check the link-level retry sublayer (loss + retransmit
+ * nondeterminism) for delivery liveness and no-duplicate-delivery
+ * before the engines trust "faults cost time, never messages".
+ */
+bool
+runRetry(const Options &o)
+{
+    verify::RetryMckConfig cfg;
+    cfg.lossBudget = o.retryLosses;
+    cfg.seedAcceptAnySeq = o.seedRetryBug;
+    const bool expectFail = o.seedRetryBug;
+
+    verify::RetryMckResult res = verify::exploreRetry(cfg);
+    const bool pass = expectFail ? !res.ok : res.ok;
+    if (!o.quiet || !pass) {
+        std::printf("retry   go-back-%u     %8llu states %9llu "
+                    "transitions %6llu final: %s\n",
+                    cfg.window,
+                    static_cast<unsigned long long>(res.statesExplored),
+                    static_cast<unsigned long long>(res.transitionsTaken),
+                    static_cast<unsigned long long>(res.finalStates),
+                    !res.ok
+                        ? (expectFail ? "violation found as expected"
+                                      : "FAILED")
+                        : (expectFail
+                               ? "FAILED (no violation found)"
+                               : "delivery liveness + exactly-once "
+                                 "in-order delivery hold"));
+        if (!res.ok) {
+            std::printf("  violation: %s\n", res.violation.c_str());
+            if (o.showTrace || !pass) {
+                std::printf("  counterexample (%zu steps):\n",
+                            res.trace.size());
+                for (std::size_t i = 0; i < res.trace.size(); ++i)
+                    std::printf("    %2zu. %s\n", i + 1,
+                                res.trace[i].c_str());
+            }
+        }
+    }
+    return pass;
+}
+
 verify::Workload
 parseWorkload(const std::string &s)
 {
@@ -205,6 +260,7 @@ main(int argc, char **argv)
                     o.dirCap == 1 ? "y" : "ies");
 
     bool ok = runStatic(o);
+    ok = runRetry(o) && ok;
 
     using W = verify::Workload;
     std::vector<W> runs;

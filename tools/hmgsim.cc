@@ -16,6 +16,8 @@
  *   hmgsim --workload bfs --protocol nhcc --csv > bfs.csv
  */
 
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +28,7 @@
 #include "common/log.hh"
 #include "gpu/simulator.hh"
 #include "sim/sweep.hh"
+#include "sim/watchdog.hh"
 #include "trace/io.hh"
 #include "trace/profiler.hh"
 #include "trace/workloads.hh"
@@ -47,6 +50,72 @@ struct Options
     std::string load_trace;
     hmg::SystemConfig cfg;
 };
+
+/**
+ * Strict numeric flag parsing: the whole string must be consumed, the
+ * value must be in range, and failures are a one-line error plus a
+ * nonzero exit — never a silent 0 the way atoi() would have it.
+ */
+std::uint64_t
+parseU64(const char *flag, const char *s, std::uint64_t lo = 0,
+         std::uint64_t hi = UINT64_MAX)
+{
+    if (*s == '\0' || *s == '-')
+        hmg_fatal("%s wants an unsigned integer, got '%s'", flag, s);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno == ERANGE || end == s || *end != '\0')
+        hmg_fatal("%s wants an unsigned integer, got '%s'", flag, s);
+    if (v < lo || v > hi)
+        hmg_fatal("%s wants a value in [%llu, %llu], got '%s'", flag,
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi), s);
+    return v;
+}
+
+double
+parseF64(const char *flag, const char *s, double lo, double hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (errno == ERANGE || end == s || *end != '\0' || !std::isfinite(v))
+        hmg_fatal("%s wants a finite number, got '%s'", flag, s);
+    if (v < lo || v > hi)
+        hmg_fatal("%s wants a value in [%g, %g], got '%s'", flag, lo, hi,
+                  s);
+    return v;
+}
+
+/** Parse a `--fault-flap GPU:DIR:DOWN:UP` schedule entry. */
+hmg::LinkFlap
+parseFlap(const char *s)
+{
+    std::string str(s);
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    for (std::size_t colon;
+         (colon = str.find(':', pos)) != std::string::npos;
+         pos = colon + 1)
+        parts.push_back(str.substr(pos, colon - pos));
+    parts.push_back(str.substr(pos));
+    if (parts.size() != 4)
+        hmg_fatal("--fault-flap wants GPU:DIR:DOWN:UP, got '%s'", s);
+    hmg::LinkFlap f;
+    f.gpu = static_cast<hmg::GpuId>(
+        parseU64("--fault-flap GPU", parts[0].c_str(), 0, UINT32_MAX));
+    if (parts[1] == "egress")
+        f.egress = true;
+    else if (parts[1] == "ingress")
+        f.egress = false;
+    else
+        hmg_fatal("--fault-flap DIR wants egress|ingress, got '%s'",
+                  parts[1].c_str());
+    f.downAt = parseU64("--fault-flap DOWN", parts[2].c_str());
+    f.upAt = parseU64("--fault-flap UP", parts[3].c_str());
+    return f;
+}
 
 hmg::Protocol
 parseProtocol(const std::string &s)
@@ -96,7 +165,26 @@ usage()
         "  --check                 run the runtime coherence checker\n"
         "  --locality              also run the Fig. 3 locality analysis\n"
         "  --stats                 dump every statistic\n"
-        "  --csv                   machine-readable stat dump\n");
+        "  --csv                   machine-readable stat dump\n"
+        "\nfault injection (DESIGN.md §11; all deterministic under "
+        "--fault-seed):\n"
+        "  --fault-seed N          fault RNG seed (default 1)\n"
+        "  --fault-drop P          per-transmission drop probability\n"
+        "  --fault-corrupt P       per-transmission corrupt probability\n"
+        "                          (CRC-detected, dropped + counted)\n"
+        "  --fault-delay P         per-transmission extra-delay prob.\n"
+        "  --fault-delay-cycles N  extra latency of a delay fault\n"
+        "                          (default 200)\n"
+        "  --fault-flap G:DIR:D:U  take GPU G's DIR (egress|ingress)\n"
+        "                          inter-GPU link down over cycles\n"
+        "                          [D, U); U=0 means forever.\n"
+        "                          Repeatable.\n"
+        "  --fault-intra           also inject on intra-GPU GPM links\n"
+        "  --fault-timeout N       link retry timeout before replay\n"
+        "                          (default 64 cycles, exp. backoff)\n"
+        "  --watchdog N            hang watchdog no-progress threshold\n"
+        "                          in cycles (default: 2M when faults\n"
+        "                          are active, otherwise off)\n");
 }
 
 Options
@@ -114,40 +202,74 @@ parse(int argc, char **argv)
             o.workload = need(i);
         else if (a == "--protocol")
             o.protocol = need(i);
-        else if (a == "--scale")
-            o.scale = std::atof(need(i));
-        else if (a == "--seed")
-            o.seed = std::strtoull(need(i), nullptr, 10);
-        else if (a == "--jobs") {
-            const int v = std::atoi(need(i));
-            if (v <= 0)
-                hmg_fatal("--jobs wants a positive integer");
-            o.jobs = static_cast<unsigned>(v);
-        } else if (a == "--lp-jobs") {
-            const int v = std::atoi(need(i));
-            if (v <= 0)
-                hmg_fatal("--lp-jobs wants a positive integer");
-            o.cfg.lpJobs = static_cast<std::uint32_t>(v);
-        } else if (a == "--deterministic")
+        else if (a == "--scale") {
+            o.scale = parseF64("--scale", need(i), 0.0, 1e6);
+            if (o.scale <= 0.0)
+                hmg_fatal("--scale wants a positive factor");
+        } else if (a == "--seed")
+            o.seed = parseU64("--seed", need(i));
+        else if (a == "--jobs")
+            o.jobs = static_cast<unsigned>(
+                parseU64("--jobs", need(i), 1, 4096));
+        else if (a == "--lp-jobs")
+            o.cfg.lpJobs = static_cast<std::uint32_t>(
+                parseU64("--lp-jobs", need(i), 1, 4096));
+        else if (a == "--deterministic")
             o.cfg.lpDeterministic = true;
         else if (a == "--gpus")
-            o.cfg.numGpus = std::atoi(need(i));
+            o.cfg.numGpus = static_cast<std::uint32_t>(
+                parseU64("--gpus", need(i), 1, 1024));
         else if (a == "--gpms")
-            o.cfg.gpmsPerGpu = std::atoi(need(i));
+            o.cfg.gpmsPerGpu = static_cast<std::uint32_t>(
+                parseU64("--gpms", need(i), 1, 1024));
         else if (a == "--l2-mb")
-            o.cfg.l2BytesPerGpu = std::strtoull(need(i), nullptr, 10) *
-                                  1024 * 1024;
+            o.cfg.l2BytesPerGpu =
+                parseU64("--l2-mb", need(i), 1, 1 << 20) * 1024 * 1024;
         else if (a == "--dir-entries")
-            o.cfg.dirEntriesPerGpm = std::atoi(need(i));
+            o.cfg.dirEntriesPerGpm = static_cast<std::uint32_t>(
+                parseU64("--dir-entries", need(i), 1, UINT32_MAX));
         else if (a == "--dir-lines")
-            o.cfg.dirLinesPerEntry = std::atoi(need(i));
-        else if (a == "--inter-bw")
-            o.cfg.interGpuGBpsPerLink = std::atof(need(i));
-        else if (a == "--placement")
-            o.cfg.pagePlacement =
-                std::string(need(i)) == "round-robin"
-                    ? hmg::PagePlacement::RoundRobin
-                    : hmg::PagePlacement::FirstTouch;
+            o.cfg.dirLinesPerEntry = static_cast<std::uint32_t>(
+                parseU64("--dir-lines", need(i), 1, UINT32_MAX));
+        else if (a == "--inter-bw") {
+            o.cfg.interGpuGBpsPerLink =
+                parseF64("--inter-bw", need(i), 0.0, 1e9);
+            if (o.cfg.interGpuGBpsPerLink <= 0.0)
+                hmg_fatal("--inter-bw wants a positive bandwidth");
+        } else if (a == "--placement") {
+            const std::string p = need(i);
+            if (p == "first-touch")
+                o.cfg.pagePlacement = hmg::PagePlacement::FirstTouch;
+            else if (p == "round-robin")
+                o.cfg.pagePlacement = hmg::PagePlacement::RoundRobin;
+            else
+                hmg_fatal("unknown placement '%s' "
+                          "(first-touch|round-robin)",
+                          p.c_str());
+        } else if (a == "--fault-seed")
+            o.cfg.fault.seed = parseU64("--fault-seed", need(i));
+        else if (a == "--fault-drop")
+            o.cfg.fault.dropProb =
+                parseF64("--fault-drop", need(i), 0.0, 1.0);
+        else if (a == "--fault-corrupt")
+            o.cfg.fault.corruptProb =
+                parseF64("--fault-corrupt", need(i), 0.0, 1.0);
+        else if (a == "--fault-delay")
+            o.cfg.fault.delayProb =
+                parseF64("--fault-delay", need(i), 0.0, 1.0);
+        else if (a == "--fault-delay-cycles")
+            o.cfg.fault.delayCycles =
+                parseU64("--fault-delay-cycles", need(i), 1, UINT64_MAX);
+        else if (a == "--fault-flap")
+            o.cfg.fault.flaps.push_back(parseFlap(need(i)));
+        else if (a == "--fault-intra")
+            o.cfg.fault.intraGpu = true;
+        else if (a == "--fault-timeout")
+            o.cfg.fault.retryTimeout =
+                parseU64("--fault-timeout", need(i), 1, UINT64_MAX);
+        else if (a == "--watchdog")
+            o.cfg.watchdogCycles =
+                parseU64("--watchdog", need(i), 1, UINT64_MAX);
         else if (a == "--hier-release")
             o.cfg.hierarchicalReleaseFanout = true;
         else if (a == "--downgrade")
@@ -252,20 +374,47 @@ main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
     o.cfg.validate();
+    // Reject an unknown workload before any simulation (or sweep
+    // fan-out) starts; workloads::info() is fatal on unknown names.
+    if (o.workload != "all" && o.load_trace.empty())
+        hmg::trace::workloads::info(o.workload);
 
     if (o.workload == "all") {
         const auto &infos = hmg::trace::workloads::list();
         std::vector<std::string> outputs(infos.size());
+        std::vector<std::string> hung(infos.size());
         // --save-trace writes one file per run to the same path; keep
         // that serial so the behaviour stays what it always was.
         hmg::SweepRunner runner(o.save_trace.empty() ? o.jobs : 1);
         runner.forEach(infos.size(), [&](std::size_t i) {
-            outputs[i] = runOne(o, infos[i].name);
+            // A hung cell is isolated: report it degraded with its
+            // watchdog diagnostic and let the rest of the sweep finish.
+            try {
+                outputs[i] = runOne(o, infos[i].name);
+            } catch (const hmg::SimHang &h) {
+                outputs[i] = infos[i].name + ": DEGRADED — " + h.what() +
+                             "\n";
+                hung[i] = h.diagnostic();
+            }
         });
+        bool any_hung = false;
         for (const auto &s : outputs)
             std::fputs(s.c_str(), stdout);
-    } else {
+        for (std::size_t i = 0; i < infos.size(); ++i) {
+            if (hung[i].empty())
+                continue;
+            any_hung = true;
+            std::fprintf(stderr, "--- %s diagnostic ---\n%s",
+                         infos[i].name.c_str(), hung[i].c_str());
+        }
+        return any_hung ? 3 : 0;
+    }
+    try {
         std::fputs(runOne(o, o.workload).c_str(), stdout);
+    } catch (const hmg::SimHang &h) {
+        std::fprintf(stderr, "hmgsim: %s\n%s", h.what(),
+                     h.diagnostic().c_str());
+        return 3;
     }
     return 0;
 }

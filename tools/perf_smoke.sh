@@ -29,7 +29,10 @@ if [ -z "$baseline" ]; then
     exit 1
 fi
 
-measured=$("$BIN" --kernel-only --events 1000000 |
+# Hard budget: a hung microbench (the thing this PR's watchdogs exist
+# to prevent inside the simulator) must not wedge the CI runner.
+measured=$(timeout --kill-after=30 300 \
+    "$BIN" --kernel-only --events 1000000 |
     awk '/^wheel_events_per_sec/ { print $2 }')
 if [ -z "$measured" ]; then
     echo "perf_smoke: could not parse --kernel-only output" >&2
