@@ -1,0 +1,296 @@
+#include "verify/lint/cdg.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "verify/spec.hh"
+
+namespace hmg::verify::lint
+{
+
+namespace
+{
+
+/** One physical credit pool (Port input queue or NIC backlog). */
+struct Node
+{
+    std::string name;
+    bool unbounded = false;
+    std::uint64_t capacityBytes = 0;
+};
+
+/** `from` holds space while waiting for space in `to`. */
+struct Edge
+{
+    std::size_t from;
+    std::size_t to;
+    std::string label;
+};
+
+struct Graph
+{
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+    /** Emission edges cut by the unbounded-NIC escape (real system). */
+    std::vector<Edge> escapes;
+
+    std::size_t
+    addNode(std::string name, bool unbounded, std::uint64_t cap)
+    {
+        nodes.push_back({std::move(name), unbounded, cap});
+        return nodes.size() - 1;
+    }
+};
+
+/** Classes that never leave their GPU (no switch traversal). */
+bool
+intraGpuOnly(const char *className)
+{
+    const std::string n = className;
+    return n == "Inv.refan" || n == "RelMarker.relay";
+}
+
+/**
+ * Mirror of Network::init()'s credit-pool sizing (src/noc/network.cc)
+ * so the graph's nodes carry the real pool capacities in bytes.
+ */
+struct Pools
+{
+    std::uint64_t gpmEgress, gpmIngress, gpuEgress, gpuIngress;
+};
+
+Pools
+poolSizes(const SystemConfig &cfg)
+{
+    const double gpm_bpc = cfg.intraGpuPortBytesPerCycle();
+    const double gpu_bpc = cfg.interGpuPortBytesPerCycle();
+    const Tick intra_half = cfg.intraGpuHopLatency / 2;
+    const Tick inter_half = cfg.interGpuHopLatency / 2;
+    const Tick inter_rest = cfg.interGpuHopLatency - inter_half;
+    const std::uint64_t floor_bytes =
+        std::uint64_t{cfg.nocPortQueueCapacity} *
+        (cfg.msgHeaderBytes + cfg.cacheLineBytes);
+    auto pool = [&](double drain_bpc, Tick feed_latency) {
+        const auto bdp = static_cast<std::uint64_t>(
+            drain_bpc * static_cast<double>(feed_latency + 8));
+        return std::max(floor_bytes, 2 * bdp);
+    };
+    return {pool(gpm_bpc, 0), pool(gpm_bpc, inter_rest),
+            pool(gpu_bpc, intra_half), pool(gpu_bpc, inter_half)};
+}
+
+Graph
+buildGraph(const CdgOptions &opts, LintReport &report)
+{
+    Graph g;
+    SystemConfig cfg;
+    cfg.numGpus = opts.numGpus;
+    cfg.gpmsPerGpu = opts.gpmsPerGpu;
+    const Pools pools = poolSizes(cfg);
+    const std::uint32_t gpms = cfg.totalGpms();
+
+    std::size_t count = 0;
+    const MsgClass *classes = msgClasses(count);
+    std::string interClasses, intraClasses;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!intraGpuOnly(classes[i].name)) {
+            if (!interClasses.empty())
+                interClasses += ", ";
+            interClasses += classes[i].name;
+        }
+        if (!intraClasses.empty())
+            intraClasses += ", ";
+        intraClasses += classes[i].name;
+    }
+
+    // Nodes: per-GPM NIC/egress/ingress, per-GPU switch egress/ingress.
+    std::vector<std::size_t> nic(gpms), gpmE(gpms), gpmI(gpms);
+    std::vector<std::size_t> gpuE(cfg.numGpus), gpuI(cfg.numGpus);
+    for (std::uint32_t m = 0; m < gpms; ++m) {
+        const std::string base = "gpu" + std::to_string(cfg.gpuOf(m)) +
+                                 ".gpm" +
+                                 std::to_string(cfg.localGpmOf(m));
+        nic[m] = g.addNode(base + ".nic", /*unbounded=*/true, 0);
+        gpmE[m] = g.addNode(base + ".egress", false, pools.gpmEgress);
+        gpmI[m] = g.addNode(base + ".ingress", false, pools.gpmIngress);
+    }
+    for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
+        const std::string base = "gpu" + std::to_string(u);
+        gpuE[u] = g.addNode(base + ".switch-egress", false,
+                            pools.gpuEgress);
+        gpuI[u] = g.addNode(base + ".switch-ingress", false,
+                            pools.gpuIngress);
+    }
+
+    // Route-progression edges: a head occupying `from` waits for
+    // credit in `to` (noc/port.hh's canAccept gate).
+    for (std::uint32_t m = 0; m < gpms; ++m) {
+        g.edges.push_back({nic[m], gpmE[m],
+                           "NIC backlog drains into the GPM egress as "
+                           "credits free (all classes)"});
+        for (std::uint32_t d = 0; d < gpms; ++d) {
+            if (d == m || cfg.gpuOf(d) != cfg.gpuOf(m))
+                continue;
+            g.edges.push_back({gpmE[m], gpmI[d],
+                               "intra-GPU crossbar hop [" +
+                                   intraClasses + "]"});
+        }
+        g.edges.push_back({gpmE[m], gpuE[cfg.gpuOf(m)],
+                           "GPM egress feeds the GPU switch port [" +
+                               interClasses + "]"});
+        g.edges.push_back({gpuI[cfg.gpuOf(m)], gpmI[m],
+                           "switch ingress fans to the GPM ingress [" +
+                               interClasses + "]"});
+    }
+    for (std::uint32_t su = 0; su < cfg.numGpus; ++su)
+        for (std::uint32_t du = 0; du < cfg.numGpus; ++du)
+            if (su != du)
+                g.edges.push_back({gpuE[su], gpuI[du],
+                                   "inter-GPU switch hop [" +
+                                       interClasses + "]"});
+
+    // Handler-emission edges: consuming class X at a GPM ingress may
+    // synchronously emit class Y, which enters at the local NIC. In
+    // the real transport the NIC is unbounded and every handler
+    // consumes unconditionally, so these dependencies terminate in a
+    // pool that can always accept — they are the escape that makes the
+    // rest of the graph acyclic. seedCdgCycle models a bounded,
+    // blocking injection queue by keeping them.
+    std::size_t depCount = 0;
+    const MsgDep *deps = msgDeps(depCount);
+    for (std::size_t d = 0; d < depCount; ++d) {
+        if (deps[d].from >= count || deps[d].to >= count) {
+            Finding f;
+            f.family = "cdg";
+            f.check = "bad-dep";
+            f.file = "src/verify/tables.cc";
+            f.message = "msgDeps()[" + std::to_string(d) +
+                        "] references a message class out of range";
+            report.add(std::move(f));
+            continue;
+        }
+        for (std::uint32_t m = 0; m < gpms; ++m) {
+            Edge e{gpmI[m], nic[m],
+                   std::string("handling ") +
+                       classes[deps[d].from].name + " emits " +
+                       classes[deps[d].to].name + " (" + deps[d].why +
+                       ")"};
+            if (opts.seedCdgCycle)
+                g.edges.push_back(std::move(e));
+            else
+                g.escapes.push_back(std::move(e));
+        }
+    }
+    return g;
+}
+
+/**
+ * Shortest cycle through any node, by BFS from every node over the
+ * blocking edges. Returns the edge sequence, empty when acyclic.
+ */
+std::vector<const Edge *>
+minimalCycle(const Graph &g)
+{
+    const std::size_t n = g.nodes.size();
+    std::vector<std::vector<const Edge *>> out(n);
+    for (const Edge &e : g.edges)
+        out[e.from].push_back(&e);
+
+    std::vector<const Edge *> best;
+    for (std::size_t root = 0; root < n; ++root) {
+        // BFS from root; the first edge closing back on root yields
+        // the shortest cycle through it.
+        std::vector<const Edge *> via(n, nullptr);
+        std::vector<std::size_t> queue = {root};
+        std::vector<bool> seen(n, false);
+        seen[root] = true;
+        const Edge *closing = nullptr;
+        for (std::size_t qi = 0; qi < queue.size() && !closing; ++qi) {
+            for (const Edge *e : out[queue[qi]]) {
+                if (e->to == root) {
+                    closing = e;
+                    break;
+                }
+                if (!seen[e->to]) {
+                    seen[e->to] = true;
+                    via[e->to] = e;
+                    queue.push_back(e->to);
+                }
+            }
+        }
+        if (!closing)
+            continue;
+        std::vector<const Edge *> cycle = {closing};
+        for (std::size_t at = closing->from; at != root;
+             at = via[at]->from)
+            cycle.push_back(via[at]);
+        std::reverse(cycle.begin(), cycle.end());
+        if (best.empty() || cycle.size() < best.size())
+            best = std::move(cycle);
+    }
+    return best;
+}
+
+} // namespace
+
+void
+analyzeCdg(const CdgOptions &opts, LintReport &report)
+{
+    // The escape argument requires guaranteed consumption: a handler
+    // that could block would hold its ingress slot forever.
+    std::size_t count = 0;
+    const MsgClass *classes = msgClasses(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (classes[i].nonBlockingHandler)
+            continue;
+        Finding f;
+        f.family = "cdg";
+        f.check = "blocking-handler";
+        f.file = "src/verify/tables.cc";
+        f.message = std::string(classes[i].name) +
+                    ": handler may block on consumption, invalidating "
+                    "the unbounded-NIC escape the acyclicity proof "
+                    "rests on";
+        report.add(std::move(f));
+    }
+
+    Graph g = buildGraph(opts, report);
+    report.stat("cdg.nodes", g.nodes.size());
+    report.stat("cdg.edges", g.edges.size());
+    report.stat("cdg.escape_edges", g.escapes.size());
+    report.stat("cdg.msg_classes", count);
+
+    const std::vector<const Edge *> cycle = minimalCycle(g);
+    if (cycle.empty())
+        return;
+
+    Finding f;
+    f.family = "cdg";
+    f.check = "cycle";
+    f.file = "src/noc/network.cc";
+    f.message =
+        "channel-dependency cycle of length " +
+        std::to_string(cycle.size()) +
+        (opts.seedCdgCycle
+             ? " under a bounded injection queue: every pool in the "
+               "loop can fill while waiting on the next, so the "
+               "transport can deadlock"
+             : ": the credit pools below can deadlock");
+    for (const Edge *e : cycle) {
+        const Node &from = g.nodes[e->from];
+        const Node &to = g.nodes[e->to];
+        auto cap = [](const Node &n) {
+            return n.unbounded ? std::string("unbounded")
+                               : std::to_string(n.capacityBytes) + "B";
+        };
+        f.counterexample.push_back(from.name + " (" + cap(from) +
+                                   ") --[" + e->label + "]--> " +
+                                   to.name + " (" + cap(to) + ")");
+    }
+    report.add(std::move(f));
+}
+
+} // namespace hmg::verify::lint

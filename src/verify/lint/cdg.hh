@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Family (b): static message-class deadlock freedom over the transport.
+ *
+ * Builds the Duato-style channel-dependency graph of the NoC: one node
+ * per physical credit pool of a concrete (numGpus x gpmsPerGpu)
+ * instance — each GPM's NIC backlog, GPM egress/ingress port and each
+ * GPU's switch egress/ingress port — and one edge wherever a message
+ * *holding* space in one pool may *wait* for space in another:
+ *
+ *   - route progression: a queued head waits for the next hop's credit
+ *     while occupying its own slot (gpmEgress -> gpuEgress ->
+ *     gpuIngress -> gpmIngress, plus the intra-GPU shortcut), labeled
+ *     with the hop-level message classes (spec.hh) that traverse it;
+ *   - handler emission: consuming class X at a GPM ingress may emit
+ *     class Y (msgDeps()), which enters at the local NIC.
+ *
+ * The transport's deadlock-freedom argument is that the NIC backlog is
+ * UNBOUNDED and every handler consumes unconditionally, so emission
+ * edges terminate in a pool that can always accept — they are recorded
+ * as "escape" edges and cut from the cycle check. What remains must be
+ * acyclic; if it is not, the minimal dependency cycle (links + the
+ * message classes inducing each edge) is emitted as a counterexample.
+ *
+ * `seedCdgCycle` models the one-line bug that would re-introduce
+ * deadlock — a bounded, blocking injection queue — by keeping the
+ * emission edges in the graph. The analysis must then find and print
+ * the cycle. This check is O(links), independent of protocol state
+ * space, which is what keeps it tractable for the 3-level hierarchies
+ * where hmgcheck's exhaustive exploration explodes.
+ */
+
+#ifndef HMG_VERIFY_LINT_CDG_HH
+#define HMG_VERIFY_LINT_CDG_HH
+
+#include <cstdint>
+
+#include "verify/lint/lint.hh"
+
+namespace hmg::verify::lint
+{
+
+struct CdgOptions
+{
+    /** Topology instance the graph is built over. The graph shape is
+     *  instance-generic; a small instance keeps diagnostics short. */
+    std::uint32_t numGpus = 2;
+    std::uint32_t gpmsPerGpu = 2;
+    /** Test hook: model a bounded/blocking NIC injection queue (the
+     *  escape hatch removed); the analysis must report the cycle. */
+    bool seedCdgCycle = false;
+};
+
+/** Build the channel-dependency graph and prove acyclicity. */
+void analyzeCdg(const CdgOptions &opts, LintReport &report);
+
+} // namespace hmg::verify::lint
+
+#endif // HMG_VERIFY_LINT_CDG_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Family (c): the determinism analyzer.
+ *
+ * The simulator promises bit-identical results for a given (config,
+ * seed) — the property that makes the sweep cache and hmgcheck
+ * counterexample traces sound. tools/lint_determinism.sh used to guard
+ * that promise with grep; this is its replacement: a token-level C++
+ * analyzer that strips comments and string literals before matching,
+ * tracks which identifiers are unordered containers across the whole
+ * source tree, and therefore sees what grep cannot:
+ *
+ *  - D1 unordered-decl: every std::unordered_{map,set,...} declaration
+ *    needs a `det-ok:` justification within 4 lines (hash order must
+ *    be argued not to leak into simulated behaviour);
+ *  - D2 unordered-iteration: *iterating* such a container (range-for
+ *    or .begin()/.cbegin()) is flagged at the iteration site unless
+ *    the site or the container's declaration carries a det-ok — a
+ *    declaration-only grep never sees the loop three files away;
+ *  - D3 entropy: C rand, the std random-device, wall-clock time()
+ *    and chrono now() are banned in src/ (seeded mt19937 only);
+ *  - D4 sim-sync: shared mutable state in src/sim/ (atomics, mutexes,
+ *    condition variables, threads, thread_local) needs a det-ok
+ *    arguing why the deterministic modes never observe it;
+ *  - D5 float-accumulation: accumulating a float/double inside an
+ *    unordered-container iteration sums in hash order — flagged even
+ *    when the iteration itself is annotated;
+ *  - D6 stale-suppression: a `det-ok:` with no suppressible construct
+ *    within its window is dead weight that lets justifications rot,
+ *    and is reported so it gets deleted or re-attached.
+ *
+ * Comments and string literals never match (so this file can name the
+ * banned tokens), and suppressions are honored exactly as the shell
+ * lint defined them: same line or up to 4 lines above the construct.
+ */
+
+#ifndef HMG_VERIFY_LINT_DETERMINISM_HH
+#define HMG_VERIFY_LINT_DETERMINISM_HH
+
+#include <string>
+
+#include "verify/lint/lint.hh"
+
+namespace hmg::verify::lint
+{
+
+struct DeterminismOptions
+{
+    /** Repository root; `root`/src is scanned. */
+    std::string root = ".";
+};
+
+/** Run every determinism check, appending findings to `report`. */
+void analyzeDeterminism(const DeterminismOptions &opts,
+                        LintReport &report);
+
+} // namespace hmg::verify::lint
+
+#endif // HMG_VERIFY_LINT_DETERMINISM_HH

@@ -1,0 +1,126 @@
+#include "verify/lint/lint.hh"
+
+#include <cstdio>
+
+namespace hmg::verify::lint
+{
+
+const char *
+toString(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+std::size_t
+LintReport::errors() const
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings_)
+        if (f.severity == Severity::Error)
+            ++n;
+    return n;
+}
+
+std::size_t
+LintReport::warnings() const
+{
+    return findings_.size() - errors();
+}
+
+std::size_t
+LintReport::count(const std::string &family) const
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings_)
+        if (f.family == family)
+            ++n;
+    return n;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+LintReport::toJson() const
+{
+    std::string out = "{\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings_.size(); ++i) {
+        const Finding &f = findings_[i];
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"family\": \"" + jsonEscape(f.family) + "\", ";
+        out += "\"check\": \"" + jsonEscape(f.check) + "\", ";
+        out += "\"severity\": \"" + std::string(toString(f.severity)) +
+               "\", ";
+        out += "\"file\": \"" + jsonEscape(f.file) + "\", ";
+        out += "\"line\": " + std::to_string(f.line) + ", ";
+        out += "\"table\": \"" + jsonEscape(f.table) + "\", ";
+        out += "\"row\": " + std::to_string(f.row) + ", ";
+        out += "\"message\": \"" + jsonEscape(f.message) + "\", ";
+        out += "\"counterexample\": [";
+        for (std::size_t j = 0; j < f.counterexample.size(); ++j) {
+            if (j)
+                out += ", ";
+            out += "\"" + jsonEscape(f.counterexample[j]) + "\"";
+        }
+        out += "]}";
+    }
+    out += findings_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"stats\": {";
+    std::size_t i = 0;
+    for (const auto &[k, v] : stats_) {
+        out += i++ ? ",\n    " : "\n    ";
+        out += "\"" + jsonEscape(k) + "\": " + std::to_string(v);
+    }
+    out += stats_.empty() ? "},\n" : "\n  },\n";
+    out += "  \"errors\": " + std::to_string(errors()) + ",\n";
+    out += "  \"warnings\": " + std::to_string(warnings()) + "\n}\n";
+    return out;
+}
+
+std::string
+LintReport::toText() const
+{
+    std::string out;
+    for (const Finding &f : findings_) {
+        out += f.file;
+        if (f.line > 0)
+            out += ":" + std::to_string(f.line);
+        out += ": ";
+        out += toString(f.severity);
+        out += ": [" + f.family + "/" + f.check + "] ";
+        if (!f.table.empty()) {
+            out += f.table;
+            if (f.row >= 0)
+                out += " row " + std::to_string(f.row);
+            out += ": ";
+        }
+        out += f.message + "\n";
+        for (const std::string &c : f.counterexample)
+            out += "    " + c + "\n";
+    }
+    return out;
+}
+
+} // namespace hmg::verify::lint

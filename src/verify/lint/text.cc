@@ -1,0 +1,123 @@
+#include "verify/lint/text.hh"
+
+#include <cctype>
+
+namespace hmg::verify::lint
+{
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void
+splitViews(const std::vector<std::string> &raw,
+           std::vector<std::string> &code,
+           std::vector<std::string> &comments)
+{
+    code.reserve(raw.size());
+    comments.reserve(raw.size());
+    enum class St { Normal, Block, Str, Chr, RawStr };
+    St st = St::Normal;
+    std::string rawDelim;
+    for (const std::string &line : raw) {
+        std::string out(line.size(), ' ');
+        std::string cmt(line.size(), ' ');
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char n = i + 1 < line.size() ? line[i + 1] : '\0';
+            switch (st) {
+              case St::Normal:
+                if (c == '/' && n == '/') {
+                    for (std::size_t j = i; j < line.size(); ++j)
+                        cmt[j] = line[j];
+                    i = line.size(); // rest of line is comment
+                } else if (c == '/' && n == '*') {
+                    st = St::Block;
+                    cmt[i] = c;
+                    cmt[i + 1] = n;
+                    ++i;
+                } else if (c == '"' && i > 0 && line[i - 1] == 'R') {
+                    // Raw string: R"delim( ... )delim"
+                    st = St::RawStr;
+                    rawDelim = ")";
+                    for (std::size_t j = i + 1;
+                         j < line.size() && line[j] != '('; ++j)
+                        rawDelim += line[j];
+                    rawDelim += '"';
+                    out[i - 1] = ' '; // blank the R as well
+                } else if (c == '"') {
+                    st = St::Str;
+                } else if (c == '\'') {
+                    st = St::Chr;
+                } else {
+                    out[i] = c;
+                }
+                break;
+              case St::Block:
+                cmt[i] = c;
+                if (c == '*' && n == '/') {
+                    st = St::Normal;
+                    cmt[i + 1] = n;
+                    ++i;
+                }
+                break;
+              case St::Str:
+                if (c == '\\')
+                    ++i;
+                else if (c == '"')
+                    st = St::Normal;
+                break;
+              case St::Chr:
+                if (c == '\\')
+                    ++i;
+                else if (c == '\'')
+                    st = St::Normal;
+                break;
+              case St::RawStr:
+                if (line.compare(i, rawDelim.size(), rawDelim) == 0) {
+                    i += rawDelim.size() - 1;
+                    st = St::Normal;
+                }
+                break;
+            }
+        }
+        code.push_back(std::move(out));
+        comments.push_back(std::move(cmt));
+    }
+}
+
+std::size_t
+findToken(const std::string &s, const std::string &tok,
+          std::size_t pos)
+{
+    while (true) {
+        const std::size_t at = s.find(tok, pos);
+        if (at == std::string::npos)
+            return std::string::npos;
+        const bool leftOk = at == 0 || !identChar(s[at - 1]);
+        const std::size_t end = at + tok.size();
+        const bool rightOk = end >= s.size() || !identChar(s[end]);
+        if (leftOk && rightOk)
+            return at;
+        pos = at + 1;
+    }
+}
+
+bool
+hasAnnotation(const std::string &commentLine,
+              const std::string &marker)
+{
+    std::size_t pos = 0;
+    while ((pos = commentLine.find(marker, pos)) !=
+           std::string::npos) {
+        const char before = pos > 0 ? commentLine[pos - 1] : ' ';
+        if (before != '`' && before != '\'' && before != '"')
+            return true;
+        pos += marker.size();
+    }
+    return false;
+}
+
+} // namespace hmg::verify::lint

@@ -146,6 +146,13 @@ guardHolds(Guard g, bool tracked)
 }
 
 /**
+ * Which events a directory of `role` can actually receive in state `s`.
+ * Shared by checkTable()'s completeness pass and hmglint's table
+ * analyses so "covered" means the same thing everywhere.
+ */
+bool receivable(Role role, DirState s, DirEvent e);
+
+/**
  * The unique row of `t` matching (state, event, tracked-writer), or
  * nullptr. Uniqueness and coverage are enforced by checkTable().
  */

@@ -87,7 +87,22 @@ constexpr TransitionTable kTables[] = {
      sizeof(kSysHomeRows) / sizeof(kSysHomeRows[0])},
 };
 
-/** Which events a directory of `role` can actually receive. */
+std::string
+rowName(const TransitionTable &t, const Transition &r)
+{
+    std::string s = t.name;
+    s += '[';
+    s += toString(r.state);
+    s += ',';
+    s += toString(r.event);
+    s += ',';
+    s += toString(r.guard);
+    s += ']';
+    return s;
+}
+
+} // namespace
+
 bool
 receivable(Role role, DirState s, DirEvent e)
 {
@@ -108,22 +123,6 @@ receivable(Role role, DirState s, DirEvent e)
     }
     return false;
 }
-
-std::string
-rowName(const TransitionTable &t, const Transition &r)
-{
-    std::string s = t.name;
-    s += '[';
-    s += toString(r.state);
-    s += ',';
-    s += toString(r.event);
-    s += ',';
-    s += toString(r.guard);
-    s += ']';
-    return s;
-}
-
-} // namespace
 
 const char *
 toString(DirState s)

@@ -34,8 +34,23 @@ budget() {
 echo "=== lint (clang-tidy) ==="
 budget 1800 "clang-tidy lint" tools/run_lint.sh
 
-echo "=== lint (determinism) ==="
-budget 120 "determinism lint" tools/lint_determinism.sh
+# Optional extra static analyzers: both are skipped (not failed) when
+# the container doesn't ship them, mirroring the clang-tidy policy.
+echo "=== lint (cppcheck, optional) ==="
+if command -v cppcheck >/dev/null 2>&1; then
+    budget 900 "cppcheck" cppcheck --quiet --error-exitcode=1 \
+        --enable=warning,portability --inline-suppr \
+        --suppress=internalAstError -I src src tools
+else
+    echo "ci: cppcheck not found; skipping"
+fi
+
+echo "=== lint (shellcheck, optional) ==="
+if command -v shellcheck >/dev/null 2>&1; then
+    budget 120 "shellcheck" shellcheck tools/*.sh
+else
+    echo "ci: shellcheck not found; skipping"
+fi
 
 for preset in default asan ubsan; do
     echo "=== preset: $preset (configure/build/tier-1 ctest) ==="
@@ -44,6 +59,14 @@ for preset in default asan ubsan; do
         cmake --build --preset "$preset" -j "$(nproc)" >/dev/null
     budget 900 "$preset ctest" ctest --preset "${preset/default/tier1}"
 done
+
+# hmglint needs a built binary, so the static-analysis stages sit after
+# the default preset's build (which produced build/tools/hmglint).
+echo "=== hmglint: tables + cdg + determinism + statkeys ==="
+budget 120 "hmglint" build/tools/hmglint --root .
+
+echo "=== lint (determinism) ==="
+budget 120 "determinism lint" tools/lint_determinism.sh
 
 # The fault-injection smokes (requeue/replay/watchdog paths) under ASan:
 # the asan test preset filters the tier1 label, so the `fault` label is

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "verify/lint/cdg.hh"
 #include "verify/model.hh"
 #include "verify/retry_model.hh"
 #include "verify/spec.hh"
@@ -152,6 +153,22 @@ runStatic(const Options &o)
                                   : "FAILED");
     for (const auto &p : graph) {
         std::printf("  problem: %s\n", p.c_str());
+        ok = false;
+    }
+
+    // Channel-dependency graph over the *physical* credit pools: the
+    // msg-class check above proves the protocol layer acyclic; this
+    // one proves the transport instance (ports x classes) can't
+    // deadlock either. Shared with `hmglint --cdg`.
+    verify::lint::LintReport cdg;
+    verify::lint::analyzeCdg(verify::lint::CdgOptions{}, cdg);
+    if (!o.quiet)
+        std::printf("static  channel-dep graph: %s\n",
+                    cdg.clean()
+                        ? "acyclic over credit pools (deadlock-free)"
+                        : "FAILED");
+    if (!cdg.clean()) {
+        std::printf("%s", cdg.toText().c_str());
         ok = false;
     }
     return ok;

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * hmglint — static analyzer for the HMG repository.
+ *
+ * The static complement to hmgcheck: instead of exploring reachable
+ * protocol states, hmglint proves structural properties of the things
+ * the simulator is *built from*, in milliseconds and independent of
+ * state-space size. Four analysis families (src/verify/lint/):
+ *
+ *   tables       spec-table structure: dead/unreachable rows, shadowed
+ *                guards, coverage, emitted-message consumers, NHCC vs
+ *                HMG divergence on the shared query space;
+ *   cdg          Duato channel-dependency graph over the NoC credit
+ *                pools x message classes; proves deadlock freedom or
+ *                prints the minimal cycle;
+ *   determinism  token-level source analysis replacing the old grep
+ *                lint: unordered-container iteration, entropy sources,
+ *                float accumulation order, sim-thread sync, stale
+ *                `det-ok:` suppressions;
+ *   statkeys     the stats-key registry: duplicate keys in one scope,
+ *                absolute keys colliding with composed namespaces.
+ *
+ *   hmglint                          # all families, human diagnostics
+ *   hmglint --json                   # machine-readable findings
+ *   hmglint --determinism --root .   # one family, explicit repo root
+ *   hmglint --seed-dead-row          # test hook: must report the row
+ *   hmglint --seed-cdg-cycle         # test hook: must print the cycle
+ *
+ * Exit status: 0 when no errors were found, 1 otherwise (warnings do
+ * not gate; `tools/run_lint.sh` escalates them separately).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+#include "verify/lint/cdg.hh"
+#include "verify/lint/determinism.hh"
+#include "verify/lint/lint.hh"
+#include "verify/lint/statkeys.hh"
+#include "verify/lint/table_lint.hh"
+
+namespace
+{
+
+using namespace hmg::verify;
+
+struct Options
+{
+    bool tables = false;
+    bool cdg = false;
+    bool determinism = false;
+    bool statkeys = false;
+    std::string root = ".";
+    bool json = false;
+    bool quiet = false;
+    bool seedDeadRow = false;
+    bool seedCdgCycle = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "hmglint — static analyzer for protocol tables, transport\n"
+        "deadlock freedom, simulator determinism and the stats-key\n"
+        "registry\n\n"
+        "  --tables          spec-table structural analysis only\n"
+        "  --cdg             channel-dependency deadlock check only\n"
+        "  --determinism     determinism source analysis only\n"
+        "  --statkeys        stats-key registry lint only\n"
+        "                    (default: all four families)\n"
+        "  --root DIR        repository root for source scans\n"
+        "                    (default .)\n"
+        "  --json            machine-readable report on stdout\n"
+        "  --quiet           findings only, no summary\n"
+        "  --seed-dead-row   test hook: append a guard-shadowed row;\n"
+        "                    the table analysis must report it\n"
+        "  --seed-cdg-cycle  test hook: model a bounded blocking NIC\n"
+        "                    queue; the CDG analysis must print the\n"
+        "                    dependency cycle\n");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            hmg_fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--tables")
+            o.tables = true;
+        else if (a == "--cdg")
+            o.cdg = true;
+        else if (a == "--determinism")
+            o.determinism = true;
+        else if (a == "--statkeys")
+            o.statkeys = true;
+        else if (a == "--root")
+            o.root = need(i);
+        else if (a == "--json")
+            o.json = true;
+        else if (a == "--quiet")
+            o.quiet = true;
+        else if (a == "--seed-dead-row")
+            o.seedDeadRow = true;
+        else if (a == "--seed-cdg-cycle")
+            o.seedCdgCycle = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            hmg_fatal("unknown option '%s'", a.c_str());
+        }
+    }
+    // No family flag selects every family.
+    if (!o.tables && !o.cdg && !o.determinism && !o.statkeys)
+        o.tables = o.cdg = o.determinism = o.statkeys = true;
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    lint::LintReport report;
+    if (o.tables) {
+        lint::TableLintOptions topts;
+        topts.seedDeadRow = o.seedDeadRow;
+        lint::analyzeTables(topts, report);
+    }
+    if (o.cdg) {
+        lint::CdgOptions copts;
+        copts.seedCdgCycle = o.seedCdgCycle;
+        lint::analyzeCdg(copts, report);
+    }
+    if (o.determinism) {
+        lint::DeterminismOptions dopts;
+        dopts.root = o.root;
+        lint::analyzeDeterminism(dopts, report);
+    }
+    if (o.statkeys) {
+        lint::StatKeysOptions sopts;
+        sopts.root = o.root;
+        lint::analyzeStatKeys(sopts, report);
+    }
+
+    if (o.json) {
+        std::printf("%s\n", report.toJson().c_str());
+    } else {
+        const std::string text = report.toText();
+        if (!text.empty())
+            std::printf("%s", text.c_str());
+        if (!o.quiet) {
+            for (const auto &[name, value] : report.stats())
+                std::printf("# %s %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(value));
+            std::printf("hmglint: %zu error%s, %zu warning%s — %s\n",
+                        report.errors(),
+                        report.errors() == 1 ? "" : "s",
+                        report.warnings(),
+                        report.warnings() == 1 ? "" : "s",
+                        report.clean() ? "PASS" : "FAIL");
+        }
+    }
+    return report.clean() ? 0 : 1;
+}

@@ -5,6 +5,9 @@
 # container ships only g++) get a skip, not a failure, so `tools/ci.sh`
 # can call this unconditionally. Pass extra args through to clang-tidy,
 # e.g. `tools/run_lint.sh --fix`.
+#
+# LINT_WERROR=1 escalates every clang-tidy warning to an error, turning
+# the advisory wall into a gate (CI sets it on protected branches).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +27,12 @@ fi
 # wall covers the checker/litmus harnesses.
 mapfile -t FILES < <(find src tools tests -name '*.cc' ! -path '*/third_party/*' | sort)
 
+WERROR=()
+if [ "${LINT_WERROR:-0}" = "1" ]; then
+    WERROR=(--warnings-as-errors='*')
+    echo "run_lint: LINT_WERROR=1 — warnings gate as errors"
+fi
+
 echo "run_lint: ${#FILES[@]} files under $TIDY"
-"$TIDY" -p "$BUILD_DIR" --quiet "$@" "${FILES[@]}"
+"$TIDY" -p "$BUILD_DIR" --quiet ${WERROR[@]+"${WERROR[@]}"} "$@" "${FILES[@]}"
 echo "run_lint: clean"
