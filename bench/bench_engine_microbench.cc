@@ -22,9 +22,14 @@
  *     threaded conservative time-window mode, with the sync-overhead
  *     counters from the run's own pdes.* statistics.
  *
+ *  4. simulator wall-clock and simulated cycles at the 16/32/64-GPU
+ *     scale-out shapes (nodes of 8 GPUs x 2 GPMs behind node switch
+ *     tiers), so the cost of growing the machine model is tracked from
+ *     PR to PR alongside the sensitivity results in bench_scaleout.
+ *
  * Flags: --events N, --jobs N, --sweep-scale X, --pdes-scale X,
- * --kernel-only (event-kernel throughput only, for tools/perf_smoke.sh),
- * --out FILE.
+ * --scaleout-scale X, --kernel-only (event-kernel throughput only, for
+ * tools/perf_smoke.sh), --out FILE.
  */
 
 #include <chrono>
@@ -287,6 +292,72 @@ measurePdes(const std::string &workload, double scale, unsigned lps)
     return t;
 }
 
+/**
+ * Scale-out cost tracking: one workload per machine size, HMG vs the
+ * broadcast-based software protocol, on the node-tier shapes the
+ * topology model added (16 GPUs = 2 nodes, 32 = 4, 64 = 8; 8 GPUs x
+ * 2 GPMs per node, SM count held at 8/GPU so the trace size stays
+ * comparable to the default 4x4 machine).
+ */
+struct ScaleoutPoint
+{
+    unsigned gpus = 0;
+    unsigned nodes = 0;
+    unsigned gpms = 0;
+    bool nhcc_trackable = false;
+    double hmg_seconds = 0;
+    hmg::Tick hmg_cycles = 0;
+    hmg::Tick swnh_cycles = 0;
+    // Directory-capacity pressure (4096 entries/GPM at these shapes):
+    // evictions per allocation is the "directory becomes the wall"
+    // signal the ROADMAP question asks about.
+    double dir_allocations = 0;
+    double dir_evictions = 0;
+    // Inter-tier bandwidth: average utilization of the GPU-switch and
+    // node-uplink tiers over the run.
+    double inter_gpu_util = 0;
+    double inter_node_util = 0;
+};
+
+std::vector<ScaleoutPoint>
+measureScaleout(const std::string &workload, double scale)
+{
+    std::vector<ScaleoutPoint> points;
+    for (unsigned gpus : {16u, 32u, 64u}) {
+        hmg::SystemConfig cfg;
+        cfg.numNodes = gpus / 8;
+        cfg.numGpus = gpus;
+        cfg.gpmsPerGpu = 2;
+        cfg.smsPerGpu = 8;
+        cfg.l2BytesPerGpu = 4 * 1024 * 1024;
+        cfg.dirEntriesPerGpm = 4096;
+
+        ScaleoutPoint pt;
+        pt.gpus = gpus;
+        pt.nodes = cfg.numNodes;
+        pt.gpms = cfg.totalGpms();
+        pt.nhcc_trackable = cfg.totalGpms() <= 32;
+
+        const auto trace =
+            hmg::trace::workloads::make(workload, scale);
+        cfg.protocol = hmg::Protocol::Hmg;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto hmg_res = hmg::Simulator(cfg).run(trace);
+        pt.hmg_seconds = secondsSince(t0);
+        pt.hmg_cycles = hmg_res.cycles;
+        pt.dir_allocations = hmg_res.stats.get("total.dir.allocations");
+        pt.dir_evictions = hmg_res.stats.get("total.dir.evictions");
+        pt.inter_gpu_util = hmg_res.stats.get("noc.inter_gpu.util_avg");
+        pt.inter_node_util =
+            hmg_res.stats.get("noc.inter_node.util_avg");
+
+        cfg.protocol = hmg::Protocol::SwNonHier;
+        pt.swnh_cycles = hmg::Simulator(cfg).run(trace).cycles;
+        points.push_back(pt);
+    }
+    return points;
+}
+
 } // namespace
 
 int
@@ -295,6 +366,7 @@ main(int argc, char **argv)
     std::uint64_t events = 2'000'000;
     double sweep_scale = 0.25;
     double pdes_scale = 1.0;
+    double scaleout_scale = 0.25;
     bool kernel_only = false;
     std::string out_path = "BENCH_engine.json";
     for (int i = 1; i < argc; ++i) {
@@ -304,6 +376,9 @@ main(int argc, char **argv)
             sweep_scale = std::atof(argv[++i]);
         else if (std::strcmp(argv[i], "--pdes-scale") == 0 && i + 1 < argc)
             pdes_scale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--scaleout-scale") == 0 &&
+                 i + 1 < argc)
+            scaleout_scale = std::atof(argv[++i]);
         else if (std::strcmp(argv[i], "--kernel-only") == 0)
             kernel_only = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
@@ -362,6 +437,20 @@ main(int argc, char **argv)
                 pd.windows, pd.boundary_msgs, pd.null_msgs,
                 pd.window_stalls, pd.lookahead_util);
 
+    const auto sc = measureScaleout("bfs", scaleout_scale);
+    std::printf("scale-out, bfs at scale %.2f:\n", scaleout_scale);
+    for (const auto &pt : sc)
+        std::printf("  %2ux8x2 (%3u GPUs, %3u GPMs): hmg %.2fs, "
+                    "%llu cycles | sw-nonh %llu cycles | dir evict/"
+                    "alloc %.0f/%.0f | util gpu %.3f node %.3f | "
+                    "nhcc %s\n",
+                    pt.nodes, pt.gpus, pt.gpms, pt.hmg_seconds,
+                    static_cast<unsigned long long>(pt.hmg_cycles),
+                    static_cast<unsigned long long>(pt.swnh_cycles),
+                    pt.dir_evictions, pt.dir_allocations,
+                    pt.inter_gpu_util, pt.inter_node_util,
+                    pt.nhcc_trackable ? "trackable" : "mask overflow");
+
     if (std::FILE *f = std::fopen(out_path.c_str(), "w")) {
         std::fprintf(f,
                      "{\n"
@@ -401,8 +490,11 @@ main(int argc, char **argv)
                      "    \"window_stalls\": %.0f,\n"
                      "    \"cross_lp_posts\": %.0f,\n"
                      "    \"lookahead_util\": %.3f\n"
-                     "  }\n"
-                     "}\n",
+                     "  },\n"
+                     "  \"scaleout\": {\n"
+                     "    \"workload\": \"bfs\",\n"
+                     "    \"scale\": %.3f,\n"
+                     "    \"points\": [\n",
                      static_cast<unsigned long long>(events), wheel_small,
                      seed_small, wheel_small / seed_small, wheel_fat,
                      seed_fat, wheel_fat / seed_fat, sw.cells, sweep_scale,
@@ -418,7 +510,27 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(pd.tw_cycles),
                      pd.windows, pd.boundary_msgs, pd.null_msgs,
                      pd.window_stalls, pd.cross_lp_posts,
-                     pd.lookahead_util);
+                     pd.lookahead_util, scaleout_scale);
+        for (std::size_t i = 0; i < sc.size(); ++i) {
+            const auto &pt = sc[i];
+            std::fprintf(
+                f,
+                "      { \"gpus\": %u, \"nodes\": %u, \"gpms\": %u,"
+                " \"nhcc_trackable\": %s,"
+                " \"hmg_seconds\": %.3f, \"hmg_cycles\": %llu,"
+                " \"swnh_cycles\": %llu,"
+                " \"dir_allocations\": %.0f, \"dir_evictions\": %.0f,"
+                " \"inter_gpu_util\": %.4f,"
+                " \"inter_node_util\": %.4f }%s\n",
+                pt.gpus, pt.nodes, pt.gpms,
+                pt.nhcc_trackable ? "true" : "false", pt.hmg_seconds,
+                static_cast<unsigned long long>(pt.hmg_cycles),
+                static_cast<unsigned long long>(pt.swnh_cycles),
+                pt.dir_allocations, pt.dir_evictions,
+                pt.inter_gpu_util, pt.inter_node_util,
+                i + 1 < sc.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", out_path.c_str());
     } else {

@@ -61,11 +61,38 @@ toString(PagePlacement p)
 void
 SystemConfig::validate() const
 {
-    if (numGpus == 0 || gpmsPerGpu == 0 || smsPerGpu == 0)
+    if (numNodes == 0 || numGpus == 0 || gpmsPerGpu == 0 ||
+        smsPerGpu == 0)
         hmg_fatal("topology dimensions must be non-zero");
+    if (numGpus % numNodes != 0)
+        hmg_fatal("numGpus (%u) must be divisible by numNodes (%u); "
+                  "%u GPUs would leave %u stranded",
+                  numGpus, numNodes, numGpus, numGpus % numNodes);
     if (smsPerGpu % gpmsPerGpu != 0)
-        hmg_fatal("smsPerGpu (%u) must be divisible by gpmsPerGpu (%u)",
-                  smsPerGpu, gpmsPerGpu);
+        hmg_fatal("smsPerGpu (%u) must be divisible by gpmsPerGpu (%u); "
+                  "smsPerGpm() would silently truncate %u SMs",
+                  smsPerGpu, gpmsPerGpu, smsPerGpu % gpmsPerGpu);
+    // Sharer vectors are 32-bit masks per tier (core/directory.hh);
+    // each tier's population must fit its mask. NHCC tracks every GPM
+    // of the machine in one flat mask, so it stops scaling first — the
+    // scale-out benches quantify exactly that.
+    if (gpmsPerGpu > 32)
+        hmg_fatal("gpmsPerGpu (%u) exceeds the 32-bit GPM sharer mask",
+                  gpmsPerGpu);
+    if (gpusPerNode() > 32)
+        hmg_fatal("gpusPerNode (%u) exceeds the 32-bit GPU sharer mask; "
+                  "add nodes (numNodes) to scale further",
+                  gpusPerNode());
+    if (numNodes > 32)
+        hmg_fatal("numNodes (%u) exceeds the 32-bit node sharer mask",
+                  numNodes);
+    if (protocol == Protocol::Nhcc && totalGpms() > 32)
+        hmg_fatal("NHCC's flat sharer mask tracks at most 32 GPMs "
+                  "(%u GPUs x %u GPMs = %u); use a hierarchical "
+                  "protocol at this scale",
+                  numGpus, gpmsPerGpu, totalGpms());
+    if (numNodes > 1 && gpusPerNode() < 1)
+        hmg_fatal("each node needs at least one GPU");
     if (!isPowerOf2(cacheLineBytes))
         hmg_fatal("cacheLineBytes must be a power of two");
     if (!isPowerOf2(osPageBytes) || osPageBytes < cacheLineBytes)
@@ -73,7 +100,12 @@ SystemConfig::validate() const
     if (l1Bytes % (cacheLineBytes * l1Ways) != 0)
         hmg_fatal("L1 geometry does not divide into sets");
     if (l2BytesPerGpu % gpmsPerGpu != 0)
-        hmg_fatal("l2BytesPerGpu must divide across GPMs");
+        hmg_fatal("l2BytesPerGpu (%llu) must divide across %u GPMs; "
+                  "l2BytesPerGpm() would silently drop %llu bytes",
+                  static_cast<unsigned long long>(l2BytesPerGpu),
+                  gpmsPerGpu,
+                  static_cast<unsigned long long>(l2BytesPerGpu %
+                                                  gpmsPerGpu));
     if (l2BytesPerGpm() % (std::uint64_t{cacheLineBytes} * l2Ways) != 0)
         hmg_fatal("L2 geometry does not divide into sets");
     if (!isPowerOf2(dirLinesPerEntry))
@@ -81,8 +113,13 @@ SystemConfig::validate() const
     if (dirEntriesPerGpm % dirWays != 0)
         hmg_fatal("directory geometry does not divide into sets");
     if (gpuFrequencyGhz <= 0 || interGpmGBpsPerGpu <= 0 ||
-        interGpuGBpsPerLink <= 0 || dramGBpsPerGpu <= 0)
+        interGpuGBpsPerLink <= 0 || interNodeGBpsPerLink <= 0 ||
+        dramGBpsPerGpu <= 0)
         hmg_fatal("rates must be positive");
+    if (numNodes > 1 && interNodeHopLatency < 2)
+        hmg_fatal("interNodeHopLatency (%llu) must be >= 2 cycles so "
+                  "node-tier LP cuts retain positive lookahead",
+                  static_cast<unsigned long long>(interNodeHopLatency));
     if (smMaxOutstanding == 0 || smIssueWidth == 0)
         hmg_fatal("SM issue parameters must be non-zero");
     if (nocPortQueueCapacity == 0 || nocInjectionBacklogLimit == 0)
@@ -116,6 +153,9 @@ std::string
 SystemConfig::toString() const
 {
     std::ostringstream os;
+    if (numNodes > 1)
+        os << "Number of nodes             " << numNodes << " ("
+           << gpusPerNode() << " GPUs each)\n";
     os << "Number of GPUs              " << numGpus << "\n"
        << "Number of SMs               " << smsPerGpu << " per GPU, "
        << totalSms() << " in total\n"
@@ -134,8 +174,11 @@ SystemConfig::toString() const
        << "Inter-GPM bandwidth         " << interGpmGBpsPerGpu / 1000.0
        << "TB/s per GPU, bi-directional\n"
        << "Inter-GPU bandwidth         " << interGpuGBpsPerLink
-       << "GB/s per link, bi-directional\n"
-       << "NoC port queue floor        " << nocPortQueueCapacity
+       << "GB/s per link, bi-directional\n";
+    if (numNodes > 1)
+        os << "Inter-node bandwidth        " << interNodeGBpsPerLink
+           << "GB/s per uplink, bi-directional\n";
+    os << "NoC port queue floor        " << nocPortQueueCapacity
        << " max-size messages per input (grown to 2x link BDP)\n"
        << "NoC injection backlog cap   " << nocInjectionBacklogLimit
        << " messages per GPM NIC\n"

@@ -41,7 +41,16 @@ const char *toString(PagePlacement p);
  */
 struct SystemConfig
 {
-    // ---- topology (Table II) ----
+    // ---- topology (Table II; numNodes extends it beyond the paper) ----
+    /**
+     * Multi-GPU nodes (boards/chassis) joined by an inter-node switch
+     * tier. 1 (the default, and the paper's whole evaluation) keeps the
+     * classic two-level machine: no node switches are built, no node
+     * directory role exists, and every result is bit-identical to the
+     * pre-topology simulator. `numGpus` stays the TOTAL GPU count and
+     * must be divisible by `numNodes`.
+     */
+    std::uint32_t numNodes = 1;
     std::uint32_t numGpus = 4;
     std::uint32_t gpmsPerGpu = 4;
     std::uint32_t smsPerGpu = 128;
@@ -75,6 +84,7 @@ struct SystemConfig
     // ---- interconnect bandwidth (Table II), GB/s ----
     double interGpmGBpsPerGpu = 2000.0;  //!< aggregate per GPU, bidir
     double interGpuGBpsPerLink = 200.0;  //!< per GPU link, bidir
+    double interNodeGBpsPerLink = 100.0; //!< per node uplink, bidir
     double dramGBpsPerGpu = 1000.0;
 
     // ---- transport-layer queueing (noc/port.hh) ----
@@ -95,6 +105,7 @@ struct SystemConfig
     // ---- fixed latencies (documented estimates; swept in benches) ----
     Tick intraGpuHopLatency = 30;    //!< GPM <-> crossbar <-> GPM
     Tick interGpuHopLatency = 600;   //!< GPU <-> switch <-> GPU one-way
+    Tick interNodeHopLatency = 1200; //!< GPU <-> node switches <-> GPU
     Tick dramLatency = 350;
 
     // ---- message sizing ----
@@ -221,13 +232,20 @@ struct SystemConfig
         return bytesPerCycle(interGpuGBpsPerLink);
     }
 
+    /** Bytes/cycle of one node's uplink into the inter-node switch. */
+    double interNodePortBytesPerCycle() const
+    {
+        return bytesPerCycle(interNodeGBpsPerLink);
+    }
+
     /** Bytes/cycle of one GPM's DRAM channel. */
     double dramPortBytesPerCycle() const
     {
         return bytesPerCycle(dramGBpsPerGpu / gpmsPerGpu);
     }
 
-    /** GPM -> GPU containing it. */
+    /** GPM -> GPU containing it. Round-trips with gpmId(): validate()
+     *  rejects shapes whose division here would silently truncate. */
     GpuId gpuOf(GpmId gpm) const { return gpm / gpmsPerGpu; }
     /** GPM -> index within its GPU. */
     std::uint32_t localGpmOf(GpmId gpm) const { return gpm % gpmsPerGpu; }
@@ -244,10 +262,28 @@ struct SystemConfig
         return gpmId(gpu, local_sm / smsPerGpm());
     }
 
-    /** Directory sharer-vector width: M-1 GPM bits + N-1 GPU bits. */
+    // ---- node-tier geometry ----
+    std::uint32_t gpusPerNode() const { return numGpus / numNodes; }
+    /** GPU -> node containing it (GPUs are striped over nodes). */
+    NodeId nodeOf(GpuId gpu) const { return gpu / gpusPerNode(); }
+    /** GPU -> index within its node (sharer-mask index). */
+    std::uint32_t localGpuOf(GpuId gpu) const
+    {
+        return gpu % gpusPerNode();
+    }
+    /** (node, local gpu) -> flat GPU id. */
+    GpuId gpuId(NodeId node, std::uint32_t local) const
+    {
+        return node * gpusPerNode() + local;
+    }
+    NodeId nodeOfGpm(GpmId gpm) const { return nodeOf(gpuOf(gpm)); }
+
+    /** Directory sharer-vector width per entry: with the node tier the
+     *  sys home tracks M-1 GPM bits + (N/K - 1) local-GPU bits + K-1
+     *  node bits (K = 1 reduces to the paper's M + N - 2). */
     std::uint32_t dirSharerBits() const
     {
-        return (gpmsPerGpu - 1) + (numGpus - 1);
+        return (gpmsPerGpu - 1) + (gpusPerNode() - 1) + (numNodes - 1);
     }
 
     /** Abort with hmg_fatal() if the configuration is inconsistent. */

@@ -35,6 +35,9 @@ using GpmId = std::uint32_t;
 /** GPU index within the system. */
 using GpuId = std::uint32_t;
 
+/** Node (multi-GPU board / chassis) index within the system. */
+using NodeId = std::uint32_t;
+
 /** Flat SM index across the whole system. */
 using SmId = std::uint32_t;
 

@@ -398,17 +398,35 @@ CoherenceChecker::checkCopyCovered(GpmId g, const CacheLine &copy)
     const Addr line = copy.addr;
     const GpmId home = ctx_.pages.homeOf(line);
     if (hier_) {
-        const GpmId gh = ctx_.amap.gpuHome(ctx_.cfg.gpuOf(g), line);
+        const GpuId gu = ctx_.cfg.gpuOf(g);
+        const GpmId gh = ctx_.amap.gpuHome(gu, line);
         if (gh == g) {
-            // A GPU home registers directly at the system home, which
-            // tracks it the way recordSharer does: sharers on the
-            // system home's own GPU get a GPM bit, remote GPU homes a
-            // GPU bit.
-            const DirEntry *e = ctx_.gpm(home).dir()->peek(line);
-            if (e && (ctx_.cfg.gpuOf(g) == ctx_.cfg.gpuOf(home)
-                          ? e->hasGpm(ctx_.cfg.localGpmOf(g))
-                          : e->hasGpu(ctx_.cfg.gpuOf(g))))
+            // A GPU home registers one tier up the home chain, which
+            // tracks it the way recordSharerBits does: the next home
+            // is the node home when one stands strictly between (the
+            // cross-node case), else the system home; sharers on the
+            // upper home's own GPU get a GPM bit, same-node GPU homes
+            // a local-GPU bit, and remote node homes a node bit.
+            GpmId up = home;
+            if (ctx_.cfg.numNodes > 1) {
+                const GpmId nh =
+                    ctx_.amap.nodeHome(ctx_.cfg.nodeOf(gu), line);
+                if (nh != g && nh != home)
+                    up = nh;
+            }
+            const DirEntry *e = ctx_.gpm(up).dir()->peek(line);
+            if (up != home) {
+                if (e && e->hasGpu(ctx_.cfg.localGpuOf(gu)))
+                    return;
+            } else if (ctx_.cfg.nodeOf(gu) !=
+                       ctx_.cfg.nodeOfGpm(home)) {
+                if (e && e->hasNode(ctx_.cfg.nodeOf(gu)))
+                    return;
+            } else if (e && (gu == ctx_.cfg.gpuOf(home)
+                                 ? e->hasGpm(ctx_.cfg.localGpmOf(g))
+                                 : e->hasGpu(ctx_.cfg.localGpuOf(gu)))) {
                 return;
+            }
         } else {
             const DirEntry *e = ctx_.gpm(gh).dir()->peek(line);
             if (e && e->hasGpm(ctx_.cfg.localGpmOf(g)))
@@ -431,12 +449,14 @@ CoherenceChecker::checkCopyCovered(GpmId g, const CacheLine &copy)
     const DirEntry *ge = ctx_.gpm(gh).dir()->peek(line);
     violation("GPM %u caches line %#llx (v%llu) with no covering "
               "directory state; a future store could never invalidate it "
-              "[home=%u gh=%u dir(home)={gpm=%#x,gpu=%#x} "
-              "dir(gh)={gpm=%#x,gpu=%#x}]",
+              "[home=%u gh=%u dir(home)={gpm=%#x,gpu=%#x,node=%#x} "
+              "dir(gh)={gpm=%#x,gpu=%#x,node=%#x}]",
               g, static_cast<unsigned long long>(line),
               static_cast<unsigned long long>(copy.version), home, gh,
               he ? he->gpmSharers : 0u, he ? he->gpuSharers : 0u,
-              ge ? ge->gpmSharers : 0u, ge ? ge->gpuSharers : 0u);
+              he ? he->nodeSharers : 0u,
+              ge ? ge->gpmSharers : 0u, ge ? ge->gpuSharers : 0u,
+              ge ? ge->nodeSharers : 0u);
 }
 
 void

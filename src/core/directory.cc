@@ -88,6 +88,7 @@ Directory::allocate(Addr addr, DirEntry *evicted)
     victim->valid = true;
     victim->gpmSharers = 0;
     victim->gpuSharers = 0;
+    victim->nodeSharers = 0;
     victim->lru = next_lru_++;
     return victim;
 }

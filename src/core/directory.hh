@@ -8,19 +8,23 @@
  * the coarse-grain tracking optimization evaluated in Section VII-B.
  *
  * Entries have just two stable states, Valid and Invalid (Table I);
- * Invalid is represented by absence. An entry tracks sharers in two
- * domains, following the hierarchical scheme of Section V-A:
+ * Invalid is represented by absence. An entry tracks sharers in three
+ * domains, the hierarchical scheme of Section V-A extended one tier
+ * for multi-node machines:
  *
  *  - `gpmSharers`: local GPM indices within the home GPM's own GPU
- *    (used by the GPU-home role, and by NHCC in flat mode where the
+ *    (used by every home role, and by NHCC in flat mode where the
  *    whole system is treated as one GPU of M*N GPMs);
- *  - `gpuSharers`: GPU ids other than the home's (used by the
- *    system-home role only).
+ *  - `gpuSharers`: local GPU indices within the home's node, other
+ *    than the home's own (node-home and system-home roles);
+ *  - `nodeSharers`: node ids other than the home's (system-home role
+ *    only; always empty on the paper's single-node machine).
  *
- * For an M-GPM, N-GPU system an entry therefore tracks at most
- * M + N - 2 sharers (Section V-A), i.e. 6 bits of sharer vector in the
- * default 4x4 configuration — the basis of the paper's 55-bits-per-entry
- * hardware cost estimate (Section VII-C).
+ * For a K-GPM, M-GPU-per-node, N-node system an entry therefore tracks
+ * at most (K-1) + (M-1) + (N-1) sharers — 6 bits of sharer vector in
+ * the default single-node 4x4 configuration, exactly Section V-A's
+ * M + N - 2 and the basis of the paper's 55-bits-per-entry hardware
+ * cost estimate (Section VII-C).
  */
 
 #ifndef HMG_CORE_DIRECTORY_HH
@@ -42,27 +46,42 @@ struct DirEntry
     Addr sector = 0;             //!< sector base address
     bool valid = false;
     std::uint64_t lru = 0;
-    std::uint32_t gpmSharers = 0; //!< bitmask of local GPM indices
-    std::uint32_t gpuSharers = 0; //!< bitmask of GPU ids
+    std::uint32_t gpmSharers = 0;  //!< bitmask of local GPM indices
+    std::uint32_t gpuSharers = 0;  //!< bitmask of node-local GPU indices
+    std::uint32_t nodeSharers = 0; //!< bitmask of node ids
 
-    bool hasSharers() const { return gpmSharers != 0 || gpuSharers != 0; }
+    bool hasSharers() const
+    {
+        return gpmSharers != 0 || gpuSharers != 0 || nodeSharers != 0;
+    }
 
     void addGpm(std::uint32_t local_gpm) { gpmSharers |= 1u << local_gpm; }
-    void addGpu(GpuId gpu) { gpuSharers |= 1u << gpu; }
+    void addGpu(std::uint32_t local_gpu) { gpuSharers |= 1u << local_gpu; }
+    void addNode(NodeId node) { nodeSharers |= 1u << node; }
     void dropGpm(std::uint32_t local_gpm)
     {
         gpmSharers &= ~(1u << local_gpm);
     }
-    void dropGpu(GpuId gpu) { gpuSharers &= ~(1u << gpu); }
+    void dropGpu(std::uint32_t local_gpu)
+    {
+        gpuSharers &= ~(1u << local_gpu);
+    }
+    void dropNode(NodeId node) { nodeSharers &= ~(1u << node); }
     bool hasGpm(std::uint32_t local_gpm) const
     {
         return gpmSharers & (1u << local_gpm);
     }
-    bool hasGpu(GpuId gpu) const { return gpuSharers & (1u << gpu); }
+    bool hasGpu(std::uint32_t local_gpu) const
+    {
+        return gpuSharers & (1u << local_gpu);
+    }
+    bool hasNode(NodeId node) const { return nodeSharers & (1u << node); }
     std::uint32_t sharerCount() const
     {
-        return static_cast<std::uint32_t>(__builtin_popcount(gpmSharers) +
-                                          __builtin_popcount(gpuSharers));
+        return static_cast<std::uint32_t>(
+            __builtin_popcount(gpmSharers) +
+            __builtin_popcount(gpuSharers) +
+            __builtin_popcount(nodeSharers));
     }
 };
 

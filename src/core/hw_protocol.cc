@@ -26,6 +26,21 @@ HwProtocol::gpuHomeFor(GpuId gpu, Addr line) const
     return hier_ ? ctx_.amap.gpuHome(gpu, line) : ctx_.amap.systemHome(line);
 }
 
+GpmId
+HwProtocol::nodeHomeFor(NodeId node, Addr line) const
+{
+    return ctx_.amap.nodeHome(node, line);
+}
+
+GpmId
+HwProtocol::nodeHopBetween(GpmId from, GpmId h, Addr line) const
+{
+    if (!multiNode())
+        return kInvalidGpm;
+    const GpmId nh = nodeHomeFor(ctx_.cfg.nodeOfGpm(from), line);
+    return (nh != from && nh != h) ? nh : kInvalidGpm;
+}
+
 // ---------------------------------------------------------------- loads
 
 void
@@ -153,31 +168,127 @@ HwProtocol::loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done)
             if (!home.mshrRegister(acc.lineAddr, std::move(respond)))
                 return;
         }
-        // Miss at the GPU home: consult the system home. Only the GPU
-        // identity travels onward (Section V-B, "Loads"). When the miss
-        // merged into the MSHR above, `respond` is already parked there
-        // and the moved-from callback travelling below stays unused.
+        // Miss at the GPU home: consult the next home up the chain —
+        // the node home when one stands strictly between (cross-node
+        // leg), else the system home. Only the GPU identity travels
+        // onward (Section V-B, "Loads"). When the miss merged into the
+        // MSHR above, `respond` is already parked there and the
+        // moved-from callback travelling below stays unused.
+        auto fill = [this, acc, gh, mergeable,
+                     respond = std::move(respond)](Version v) mutable {
+            GpmNode &home = ctx_.gpm(gh);
+            home.l2().fill(acc.lineAddr, v);
+            if (mergeable)
+                home.mshrComplete(acc.lineAddr, v);
+            else
+                respond(v);
+        };
+        const GpmId nh = nodeHopBetween(gh, h, acc.lineAddr);
+        if (nh != kInvalidGpm) {
+            ctx_.net.inject(
+                {.src = gh,
+                 .dst = nh,
+                 .type = MsgType::ReadReq,
+                 .addr = acc.lineAddr,
+                 .onArrival = [this, acc, gh, nh, h,
+                               fill = std::move(fill)]() mutable {
+                     loadAtNodeHome(acc, gh, nh, h, std::move(fill));
+                 }});
+            return;
+        }
         ctx_.net.inject(
             {.src = gh,
              .dst = h,
              .type = MsgType::ReadReq,
              .addr = acc.lineAddr,
-             .onArrival = [this, acc, gh, h, mergeable,
-                           respond = std::move(respond)]() mutable {
+             .onArrival = [this, acc, gh, h,
+                           fill = std::move(fill)]() mutable {
                  loadAtSysHome(
                      acc, gh, h,
-                     [this, acc, gh, h, mergeable,
-                      respond = std::move(respond)](Version v) mutable {
+                     [this, acc, gh, h,
+                      fill = std::move(fill)](Version v) mutable {
                          ctx_.net.inject(
                              {.src = h,
                               .dst = gh,
                               .type = MsgType::ReadResp,
                               .addr = acc.lineAddr,
                               .onArrival =
-                                  [this, acc, gh, v, mergeable,
+                                  [v, fill = std::move(fill)]() mutable {
+                                      fill(v);
+                                  }});
+                     });
+             }});
+    });
+}
+
+void
+HwProtocol::loadAtNodeHome(MemAccess acc, GpmId via, GpmId nh, GpmId h,
+                           LoadDoneCb done)
+{
+    hmg_assert(multiNode() && nh != h && via != nh);
+
+    // Deliver the final value from nh back to `via` (the consulting GPU
+    // home, or a GPU home fetching for an atomic). The sharer is
+    // recorded in the same event that emits the response, for the same
+    // overtaking-invalidation reason loadAtSysHome documents.
+    auto respond = [this, acc, via, nh,
+                    done = std::move(done)](Version v) mutable {
+        applyDirEventAt(dirTableFor(nh, acc.lineAddr), nh, via,
+                        acc.lineAddr, verify::DirEvent::LoadMiss, nullptr);
+        ctx_.net.inject({.src = nh,
+                         .dst = via,
+                         .type = MsgType::ReadResp,
+                         .addr = acc.lineAddr,
+                         .onArrival = [v, done = std::move(done)]() mutable {
+                             done(v);
+                         }});
+    };
+
+    ctx_.engine().schedule(tagLat(), [this, acc, nh, h,
+                                   respond = std::move(respond)]() mutable {
+        GpmNode &home = ctx_.gpm(nh);
+        // The node home may answer anything below `.sys` scope: the
+        // per-(src, dst) FIFO channels gh -> nh and nh -> h order its
+        // copy after any write-through it forwarded, so a `.gpu`-scope
+        // load observes every store its own GPU released.
+        const bool mergeable = loadMayHit(acc.scope, CacheRole::GpuHome);
+        if (mergeable) {
+            auto res = home.l2().load(acc.lineAddr);
+            if (res.hit) {
+                ++loads_node_home_hit_;
+                ctx_.engine().schedule(dataLat(),
+                                     [respond = std::move(respond),
+                                      v = res.version]() mutable {
+                    respond(v);
+                });
+                return;
+            }
+            if (!home.mshrRegister(acc.lineAddr, std::move(respond)))
+                return;
+        }
+        // Miss at the node home: consult the system home. Only the node
+        // identity travels onward.
+        ctx_.net.inject(
+            {.src = nh,
+             .dst = h,
+             .type = MsgType::ReadReq,
+             .addr = acc.lineAddr,
+             .onArrival = [this, acc, nh, h, mergeable,
+                           respond = std::move(respond)]() mutable {
+                 loadAtSysHome(
+                     acc, nh, h,
+                     [this, acc, nh, h, mergeable,
+                      respond = std::move(respond)](Version v) mutable {
+                         ctx_.net.inject(
+                             {.src = h,
+                              .dst = nh,
+                              .type = MsgType::ReadResp,
+                              .addr = acc.lineAddr,
+                              .onArrival =
+                                  [this, acc, nh, v, mergeable,
                                    respond =
                                        std::move(respond)]() mutable {
-                                      GpmNode &home = ctx_.gpm(gh);
+                                      GpmNode &home = ctx_.gpm(nh);
                                       home.l2().fill(acc.lineAddr, v);
                                       if (mergeable)
                                           home.mshrComplete(acc.lineAddr,
@@ -331,14 +442,58 @@ HwProtocol::storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h)
         ctx_.tracker.reachedGpuLevel(f.acc.sm);
     f.gpuCleared = true;
 
+    forwardStoreUp(std::move(f), gh, h);
+}
+
+void
+HwProtocol::forwardStoreUp(StoreFlow f, GpmId from, GpmId h)
+{
     const Addr line = f.acc.lineAddr;
-    ctx_.net.inject({.src = gh,
+    const GpmId nh = nodeHopBetween(from, h, line);
+    if (nh != kInvalidGpm) {
+        ctx_.net.inject({.src = from,
+                         .dst = nh,
+                         .type = MsgType::WriteThrough,
+                         .addr = line,
+                         .onArrival = [this, f = std::move(f), from, nh,
+                                       h]() mutable {
+                             storeAtNodeHome(std::move(f), from, nh, h);
+                         }});
+        return;
+    }
+    ctx_.net.inject({.src = from,
                      .dst = h,
                      .type = MsgType::WriteThrough,
                      .addr = line,
-                     .onArrival = [this, f = std::move(f), gh,
+                     .onArrival = [this, f = std::move(f), from,
                                    h]() mutable {
-                         storeAtSysHome(std::move(f), gh, h);
+                         storeAtSysHome(std::move(f), from, h);
+                     }});
+}
+
+void
+HwProtocol::storeAtNodeHome(StoreFlow f, GpmId via, GpmId nh, GpmId h)
+{
+    hmg_assert(multiNode() && nh != h && via != nh);
+    GpmNode &home = ctx_.gpm(nh);
+    home.l2().store(f.acc.lineAddr, f.v, /*mark_dirty=*/false,
+                    f.serialized);
+
+    applyDirEventAt(dirTableFor(nh, f.acc.lineAddr), nh,
+                    f.recordWriter ? via : kInvalidGpm,
+                    f.acc.lineAddr, verify::DirEvent::Store,
+                    makeInvJob(/*from_store=*/true));
+
+    // No tracker level corresponds to the node tier: the extra hop only
+    // delays reachedSysLevel, which storeAtSysHome signals.
+    const Addr line = f.acc.lineAddr;
+    ctx_.net.inject({.src = nh,
+                     .dst = h,
+                     .type = MsgType::WriteThrough,
+                     .addr = line,
+                     .onArrival = [this, f = std::move(f), nh,
+                                   h]() mutable {
+                         storeAtSysHome(std::move(f), nh, h);
                      }});
 }
 
@@ -434,38 +589,50 @@ HwProtocol::atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
             });
             return;
         }
-        // A GPU home without the line fetches it from the system home
-        // first (recording itself as a GPU-level sharer), then performs
-        // the RMW locally.
+        // A GPU home without the line fetches it from the next home up
+        // (recording itself as a sharer at every tier it crosses), then
+        // performs the RMW locally.
+        auto perform = [this, acc, target, h, v, done = std::move(done),
+                        sys_done =
+                            std::move(sys_done)](Version old_v) mutable {
+            ctx_.gpm(target).l2().fill(acc.lineAddr, old_v);
+            atomicPerform(acc, target, h, v, old_v, std::move(done),
+                          std::move(sys_done));
+        };
+        const GpmId nh = nodeHopBetween(target, h, acc.lineAddr);
+        if (nh != kInvalidGpm) {
+            ctx_.net.inject(
+                {.src = target,
+                 .dst = nh,
+                 .type = MsgType::ReadReq,
+                 .addr = acc.lineAddr,
+                 .onArrival = [this, acc, target, nh, h,
+                               perform = std::move(perform)]() mutable {
+                     loadAtNodeHome(acc, target, nh, h,
+                                    std::move(perform));
+                 }});
+            return;
+        }
         ctx_.net.inject(
             {.src = target,
              .dst = h,
              .type = MsgType::ReadReq,
              .addr = acc.lineAddr,
-             .onArrival = [this, acc, target, h, v,
-                           done = std::move(done),
-                           sys_done = std::move(sys_done)]() mutable {
+             .onArrival = [this, acc, target, h,
+                           perform = std::move(perform)]() mutable {
                  loadAtSysHome(
                      acc, target, h,
-                     [this, acc, target, h, v, done = std::move(done),
-                      sys_done =
-                          std::move(sys_done)](Version old_v) mutable {
+                     [this, acc, target, h,
+                      perform = std::move(perform)](Version old_v) mutable {
                          ctx_.net.inject(
                              {.src = h,
                               .dst = target,
                               .type = MsgType::ReadResp,
                               .addr = acc.lineAddr,
                               .onArrival =
-                                  [this, acc, target, h, v, old_v,
-                                   done = std::move(done),
-                                   sys_done =
-                                       std::move(sys_done)]() mutable {
-                                      ctx_.gpm(target).l2().fill(
-                                          acc.lineAddr, old_v);
-                                      atomicPerform(acc, target, h, v,
-                                                    old_v,
-                                                    std::move(done),
-                                                    std::move(sys_done));
+                                  [old_v, perform = std::move(
+                                              perform)]() mutable {
+                                      perform(old_v);
                                   }});
                      });
              }});
@@ -524,16 +691,10 @@ HwProtocol::atomicPerform(MemAccess acc, GpmId target, GpmId h, Version v,
     f.gpuCleared = true;
     // The performing GPU home keeps a fresh copy: it must stay a sharer
     // at the system home, so the write-through names the GPU home as the
-    // node to record.
+    // node to record — routed via the node home on a cross-node leg so
+    // every tier of the chain tracks the copy.
     f.recordWriter = true;
-    ctx_.net.inject({.src = target,
-                     .dst = h,
-                     .type = MsgType::WriteThrough,
-                     .addr = acc.lineAddr,
-                     .onArrival = [this, f = std::move(f), target,
-                                   h]() mutable {
-                         storeAtSysHome(std::move(f), target, h);
-                     }});
+    forwardStoreUp(std::move(f), target, h);
 }
 
 // --------------------------------------------------- directory plumbing
@@ -544,8 +705,11 @@ HwProtocol::dirTableFor(GpmId h, Addr line) const
     using verify::Role;
     if (!hier_)
         return verify::tableFor(Role::FlatHome);
-    return h == sysHome(line) ? verify::tableFor(Role::SysHome)
-                              : verify::tableFor(Role::GpuHome);
+    if (h == sysHome(line))
+        return verify::tableFor(Role::SysHome);
+    if (multiNode() && h == nodeHomeFor(ctx_.cfg.nodeOfGpm(h), line))
+        return verify::tableFor(Role::NodeHome);
+    return verify::tableFor(Role::GpuHome);
 }
 
 const verify::Transition *
@@ -568,18 +732,21 @@ HwProtocol::applyDirEventAt(const verify::TransitionTable &t, GpmId h,
         snap = e = dir.find(line);
     const verify::DirSnapshot pre{snap != nullptr,
                                   snap ? snap->gpmSharers : 0,
-                                  snap ? snap->gpuSharers : 0};
+                                  snap ? snap->gpuSharers : 0,
+                                  snap ? snap->nodeSharers : 0};
 
     auto outcome = verify::applyDirEvent(
         t, topo(), hier_, h, via, ev, pre,
         [this, sector](GpuId g) { return gpuHomeFor(g, sector); },
+        [this, sector](NodeId n) { return nodeHomeFor(n, sector); },
         [&](GpmId dst) { sendInv(h, dst, sector, job); });
 
     if (!outcome.keepEntry) {
         // An entry whose sharers were all downgraded away carries no
         // obligations; a store leaves it in place (same occupancy the
         // imperative code kept). A processed re-fan always drops its.
-        if (e && (ev == DirEvent::InvRecv || pre.gpmBits || pre.gpuBits))
+        if (e && (ev == DirEvent::InvRecv || pre.gpmBits || pre.gpuBits ||
+                  pre.nodeBits))
             dir.remove(line);
         return outcome.row;
     }
@@ -591,6 +758,7 @@ HwProtocol::applyDirEventAt(const verify::TransitionTable &t, GpmId h,
         if (e) {
             e->gpmSharers = outcome.gpmBits;
             e->gpuSharers = outcome.gpuBits;
+            e->nodeSharers = outcome.nodeBits;
         }
         break;
       case DirUpdate::SetSoleSharer:
@@ -604,6 +772,7 @@ HwProtocol::applyDirEventAt(const verify::TransitionTable &t, GpmId h,
             replaceVictim(h, evicted);
         ne->gpmSharers = outcome.gpmBits;
         ne->gpuSharers = outcome.gpuBits;
+        ne->nodeSharers = outcome.nodeBits;
         break;
       }
     }
@@ -616,13 +785,14 @@ HwProtocol::replaceVictim(GpmId h, const DirEntry &victim)
     auto job = makeInvJob(/*from_store=*/false);
     const Addr sector = victim.sector;
     const verify::DirSnapshot pre{true, victim.gpmSharers,
-                                  victim.gpuSharers};
+                                  victim.gpuSharers, victim.nodeSharers};
     // The victim is already detached from the directory, so the row's
     // Invalid next-state needs no commit — only its invalidation fan.
     verify::applyDirEvent(
         dirTableFor(h, sector), topo(), hier_, h, kInvalidGpm,
         verify::DirEvent::Replace, pre,
         [this, sector](GpuId g) { return gpuHomeFor(g, sector); },
+        [this, sector](NodeId n) { return nodeHomeFor(n, sector); },
         [&](GpmId dst) { sendInv(h, dst, sector, job); });
 }
 
@@ -683,14 +853,19 @@ HwProtocol::handleInv(GpmId at, Addr sector, InvJobPtr job)
     }
 
     if (hier_) {
-        // The HMG-only transition of Table I: a GPU home receiving an
-        // invalidation re-fans it to its GPM sharers and drops the
-        // entry.
+        // The HMG-only transition of Table I: an intermediate home
+        // receiving an invalidation re-fans it one tier down and drops
+        // the entry. dirTableFor resolves whether `at` plays the GPU-
+        // home or node-home role here; a node home's single entry
+        // covers both of its roles, so it applies exactly one InvRecv.
+        // The system home never receives an invalidation for a sector
+        // it homes (every fan excludes it), so the guard below never
+        // sees at == sysHome.
         const GpuId g = ctx_.cfg.gpuOf(at);
-        if (ctx_.pages.isPlaced(sector) && gpuHomeFor(g, sector) == at)
-            applyDirEventAt(verify::tableFor(verify::Role::GpuHome), at,
-                            kInvalidGpm, sector,
-                            verify::DirEvent::InvRecv, job);
+        if (ctx_.pages.isPlaced(sector) && gpuHomeFor(g, sector) == at &&
+            at != sysHome(sector))
+            applyDirEventAt(dirTableFor(at, sector), at, kInvalidGpm,
+                            sector, verify::DirEvent::InvRecv, job);
     }
     finishInvMsg(job, lines);
 }
@@ -732,7 +907,14 @@ HwProtocol::release(const MemAccess &acc, DoneCb done)
                 targets.push_back(d);
     }
 
-    const bool two_rounds = hier_ && acc.scope == Scope::Sys;
+    // HMG `.sys` releases need one marker round per invalidation wave:
+    // round one drains the system homes' top-level invalidations into
+    // the homes one tier down; each further round drains one re-fanned
+    // wave (GPU homes' GPM fans; with a live node tier, the node homes'
+    // re-fans add a wave of their own).
+    const int rounds = (hier_ && acc.scope == Scope::Sys)
+                           ? (multiNode() ? 3 : 2)
+                           : 1;
 
     const bool relayed =
         hier_ && acc.scope == Scope::Sys &&
@@ -745,18 +927,14 @@ HwProtocol::release(const MemAccess &acc, DoneCb done)
             markerRound(r, targets, std::move(then));
     };
 
-    auto after_drain = [this, one_round, two_rounds,
+    auto after_drain = [one_round, rounds,
                         done = std::move(done)]() mutable {
-        if (!two_rounds) {
-            one_round(std::move(done));
-            return;
-        }
-        // HMG `.sys` releases need two marker rounds: round one drains
-        // the system homes' GPU-level invalidations into the GPU homes;
-        // round two drains the re-fanned GPM-level invalidations.
-        one_round([one_round, done = std::move(done)]() mutable {
-            one_round(std::move(done));
-        });
+        DoneCb next = std::move(done);
+        for (int i = 1; i < rounds; ++i)
+            next = [one_round, next = std::move(next)]() mutable {
+                one_round(std::move(next));
+            };
+        one_round(std::move(next));
     };
 
     // Write-back mode: "Release operations trigger a writeback of all
@@ -1065,6 +1243,9 @@ HwProtocol::reportStats(StatRecorder &r) const
              static_cast<double>(loads_local_hit_.total()));
     r.record("protocol.loads_gpu_home_hit",
              static_cast<double>(loads_gpu_home_hit_.total()));
+    if (ctx_.cfg.numNodes > 1)
+        r.record("protocol.loads_node_home_hit",
+                 static_cast<double>(loads_node_home_hit_.total()));
     r.record("protocol.loads_sys_home_hit",
              static_cast<double>(loads_sys_home_hit_.total()));
     r.record("protocol.loads_dram",

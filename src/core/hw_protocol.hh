@@ -21,6 +21,17 @@
  * directory tracks GPU-level sharers; and invalidations received by a
  * GPU home are re-fanned to its GPM sharers (the HMG-only transition of
  * Table I).
+ *
+ * With numNodes > 1 the same recursion adds a third level: every
+ * address has a *node home* inside each node (the GPU home of the
+ * node's GPU whose local index matches the system home GPU's local
+ * index). Cross-node loads and write-throughs route requester -> GPU
+ * home -> node home -> system home; the node home's directory tracks
+ * the GPU homes of its node, the system home's tracks node-level
+ * sharers; invalidations received by a node home re-fan one tier down
+ * (to its GPM sharers and its tracked GPU homes). On a single-node
+ * machine every node-tier branch is dead and the engine is bit-
+ * identical to the two-level protocol above.
  */
 
 #ifndef HMG_CORE_HW_PROTOCOL_HH
@@ -69,6 +80,11 @@ class HwProtocol : public CoherenceModel
     {
         return loads_sys_home_hit_.total();
     }
+    std::uint64_t
+    loadsNodeHomeHit() const
+    {
+        return loads_node_home_hit_.total();
+    }
     std::uint64_t loadsDram() const { return loads_dram_.total(); }
 
   private:
@@ -80,6 +96,21 @@ class HwProtocol : public CoherenceModel
     /** GPU home of `line` within `gpu` (== sysHome in flat mode). */
     GpmId gpuHomeFor(GpuId gpu, Addr line) const;
 
+    /** Node home of `line` within `node` (multi-node HMG only). */
+    GpmId nodeHomeFor(NodeId node, Addr line) const;
+
+    /** Does the home chain have a live node tier? */
+    bool multiNode() const { return hier_ && ctx_.cfg.numNodes > 1; }
+
+    /**
+     * The node home standing strictly between a same-node hop `from`
+     * and the system home `h` for `line`, or kInvalidGpm when the
+     * chain collapses (single node, or `from`/`h` already is the node
+     * home). Cross-node request legs must route through it so every
+     * tier of the home chain records the sharer below it.
+     */
+    GpmId nodeHopBetween(GpmId from, GpmId h, Addr line) const;
+
     Tick l2Lat() const { return ctx_.cfg.l2HitLatency; }
     /** Tag-check cost (misses); hits additionally pay dataLat(). */
     Tick tagLat() const { return ctx_.cfg.l2TagLatency; }
@@ -90,6 +121,8 @@ class HwProtocol : public CoherenceModel
 
     // --- load flow stages (each runs as an engine event) ---
     void loadAtGpuHome(MemAccess acc, GpmId gh, GpmId h, LoadDoneCb done);
+    void loadAtNodeHome(MemAccess acc, GpmId via, GpmId nh, GpmId h,
+                        LoadDoneCb done);
     void loadAtSysHome(MemAccess acc, GpmId via, GpmId h,
                        LoadDoneCb respond);
 
@@ -109,7 +142,15 @@ class HwProtocol : public CoherenceModel
     };
 
     void storeAtGpuHome(StoreFlow f, GpmId gh, GpmId h);
+    void storeAtNodeHome(StoreFlow f, GpmId via, GpmId nh, GpmId h);
     void storeAtSysHome(StoreFlow f, GpmId via, GpmId h);
+
+    /**
+     * Forward a write-through from intermediate home `from` to the next
+     * home up the chain (the node home when one stands strictly between
+     * `from` and `h`, else `h` itself).
+     */
+    void forwardStoreUp(StoreFlow f, GpmId from, GpmId h);
 
     // --- atomic flow ---
     void atomicAtHome(MemAccess acc, GpmId target, GpmId h, Version v,
@@ -141,7 +182,8 @@ class HwProtocol : public CoherenceModel
     /** Topology view handed to the shared sharer-routing helpers. */
     SharerTopology topo() const
     {
-        return {ctx_.cfg.numGpus, ctx_.cfg.gpmsPerGpu};
+        return {ctx_.cfg.numGpus, ctx_.cfg.gpmsPerGpu,
+                ctx_.cfg.numNodes};
     }
 
     /** The transition table governing home `h` for `line`'s sector. */
@@ -194,6 +236,7 @@ class HwProtocol : public CoherenceModel
     // LP-sharded: these count on whichever LP serves the access.
     LpCounter loads_local_hit_;
     LpCounter loads_gpu_home_hit_;
+    LpCounter loads_node_home_hit_;
     LpCounter loads_sys_home_hit_;
     LpCounter loads_dram_;
     LpCounter releases_;

@@ -5,13 +5,21 @@
  *
  * Table I's directory transitions boil down to three deterministic
  * decisions, all functions of the home node, the acting node ("via")
- * and the entry's two sharer bitmasks:
+ * and the entry's sharer bitmasks:
  *
  *   - which bit records a new sharer (recordSharerBits);
  *   - which nodes receive invalidations when a store hits a Valid
  *     entry or an entry is replaced (forEachInvTarget);
- *   - which nodes receive the HMG-only re-fanned invalidations when a
- *     GPU home processes an invalidation (forEachGpmSharer).
+ *   - which nodes receive the HMG-only re-fanned invalidations when an
+ *     intermediate home processes an invalidation (forEachRefanTarget).
+ *
+ * The hierarchical encoding is *geometric*: a home records the acting
+ * GPM by the most specific tier that separates them — same GPU ->
+ * local-GPM bit, same node -> local-GPU bit, different node -> node
+ * bit. With one node (the paper's machine) the node branch is dead and
+ * the encoding is exactly the two-level scheme of Section V-A; with
+ * more, the same rule yields the arbitrary-depth home chain
+ * (node home -> GPU home -> GPM) without per-role special cases.
  *
  * Keeping them here, side-effect free and parameterized only on the
  * topology, means the model checker steps *the same* routing code the
@@ -49,6 +57,7 @@ struct SharerTopology
 {
     std::uint32_t numGpus;
     std::uint32_t gpmsPerGpu;
+    std::uint32_t numNodes = 1;
 
     GpuId gpuOf(GpmId gpm) const { return gpm / gpmsPerGpu; }
     std::uint32_t localGpmOf(GpmId gpm) const { return gpm % gpmsPerGpu; }
@@ -56,36 +65,54 @@ struct SharerTopology
     {
         return gpu * gpmsPerGpu + local;
     }
+    std::uint32_t gpusPerNode() const { return numGpus / numNodes; }
+    NodeId nodeOf(GpuId gpu) const { return gpu / gpusPerNode(); }
+    NodeId nodeOfGpm(GpmId gpm) const { return nodeOf(gpuOf(gpm)); }
+    /** GPU -> sharer-mask index within its node. */
+    std::uint32_t localGpuOf(GpuId gpu) const
+    {
+        return gpu % gpusPerNode();
+    }
+    GpuId gpuId(NodeId node, std::uint32_t local) const
+    {
+        return node * gpusPerNode() + local;
+    }
 };
 
 /**
  * Record node `via` as a sharer in home `h`'s entry bits: flat (NHCC)
  * entries track every GPM directly; hierarchical (HMG) entries track
- * same-GPU sharers by local GPM index and remote sharers by GPU id
- * (Section V-A).
+ * by the most specific tier separating `via` from `h` — same-GPU
+ * sharers by local GPM index, same-node sharers by local GPU index,
+ * remote-node sharers by node id (Section V-A, extended one tier).
  */
 inline void
 recordSharerBits(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
-                 std::uint32_t &gpm_bits, std::uint32_t &gpu_bits)
+                 std::uint32_t &gpm_bits, std::uint32_t &gpu_bits,
+                 std::uint32_t &node_bits)
 {
     if (!hier)
         gpm_bits |= 1u << via;
     else if (topo.gpuOf(via) == topo.gpuOf(h))
         gpm_bits |= 1u << topo.localGpmOf(via);
+    else if (topo.nodeOfGpm(via) == topo.nodeOfGpm(h))
+        gpu_bits |= 1u << topo.localGpuOf(topo.gpuOf(via));
     else
-        gpu_bits |= 1u << topo.gpuOf(via);
+        node_bits |= 1u << topo.nodeOfGpm(via);
 }
 
 /**
  * Forget node `via`'s tracked copy after a clean-eviction downgrade.
- * GPU-level bits are left alone in the hierarchical encoding: one GPM's
- * eviction says nothing about the rest of its GPU.
+ * Coarser-tier bits are left alone in the hierarchical encoding: one
+ * GPM's eviction says nothing about the rest of its GPU or node.
  */
 inline void
 dropSharerBits(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
-               std::uint32_t &gpm_bits, std::uint32_t &gpu_bits)
+               std::uint32_t &gpm_bits, std::uint32_t &gpu_bits,
+               std::uint32_t &node_bits)
 {
     (void)gpu_bits;
+    (void)node_bits;
     if (!hier)
         gpm_bits &= ~(1u << via);
     else if (topo.gpuOf(via) == topo.gpuOf(h))
@@ -96,15 +123,21 @@ dropSharerBits(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
  * Enumerate the GPMs a home `h` must invalidate when its entry's
  * sharers go stale (a store on behalf of `via`, or a replacement with
  * `via` = kInvalidGpm). GPM-level bits address sharing L2s directly;
- * GPU-level bits address the sharing GPU's home node `gpuHomeOf(gpu)`,
- * which re-fans (Table I, HMG). The writer's own domain and the home
- * itself are excluded — their copies are fresh or authoritative.
+ * GPU-level bits address the sharing GPU's home `gpuHomeOf(gpu)` and
+ * node-level bits the sharing node's home `nodeHomeOf(node)`, each of
+ * which re-fans one tier down (Table I, HMG). The writer's own domains
+ * and the home itself are excluded — their copies are fresh,
+ * authoritative, or invalidated by a closer home on the write path.
+ *
+ * Emission order is deterministic: ascending GPM bits, then ascending
+ * GPU bits, then ascending node bits.
  */
-template <typename GpuHomeFn, typename EmitFn>
+template <typename GpuHomeFn, typename NodeHomeFn, typename EmitFn>
 inline void
 forEachInvTarget(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
                  std::uint32_t gpm_bits, std::uint32_t gpu_bits,
-                 GpuHomeFn &&gpu_home_of, EmitFn &&emit)
+                 std::uint32_t node_bits, GpuHomeFn &&gpu_home_of,
+                 NodeHomeFn &&node_home_of, EmitFn &&emit)
 {
     if (!hier) {
         forEachBit(gpm_bits, [&](unsigned flat) {
@@ -115,33 +148,52 @@ forEachInvTarget(const SharerTopology &topo, bool hier, GpmId h, GpmId via,
         return;
     }
     const GpuId hg = topo.gpuOf(h);
+    const NodeId hn = topo.nodeOf(hg);
     forEachBit(gpm_bits, [&](unsigned local) {
         GpmId dst = topo.gpmId(hg, local);
         if (dst != via && dst != h)
             emit(dst);
     });
     const GpuId via_gpu = via == kInvalidGpm ? ~GpuId{0} : topo.gpuOf(via);
-    forEachBit(gpu_bits, [&](unsigned gpu) {
+    forEachBit(gpu_bits, [&](unsigned local) {
+        const GpuId gpu = topo.gpuId(hn, local);
         if (gpu == via_gpu || gpu == hg)
             return;
-        emit(gpu_home_of(static_cast<GpuId>(gpu)));
+        emit(gpu_home_of(gpu));
+    });
+    const NodeId via_node =
+        via == kInvalidGpm ? ~NodeId{0} : topo.nodeOf(via_gpu);
+    forEachBit(node_bits, [&](unsigned node) {
+        if (node == via_node || node == hn)
+            return;
+        emit(node_home_of(static_cast<NodeId>(node)));
     });
 }
 
 /**
- * Enumerate the GPM sharers a GPU home `gh` re-fans an incoming
- * invalidation to (the HMG-only transition of Table I).
+ * Enumerate the sharers an intermediate home `h` (GPU home or node
+ * home) re-fans an incoming invalidation to: its local GPM sharers
+ * directly, and — for a node home, which also tracks the other GPUs of
+ * its node — each sharing GPU's home one tier down. A pure GPU home
+ * never has GPU bits, reducing this to Table I's HMG-only transition.
  */
-template <typename EmitFn>
+template <typename GpuHomeFn, typename EmitFn>
 inline void
-forEachGpmSharer(const SharerTopology &topo, GpmId gh,
-                 std::uint32_t gpm_bits, EmitFn &&emit)
+forEachRefanTarget(const SharerTopology &topo, GpmId h,
+                   std::uint32_t gpm_bits, std::uint32_t gpu_bits,
+                   GpuHomeFn &&gpu_home_of, EmitFn &&emit)
 {
-    const GpuId g = topo.gpuOf(gh);
+    const GpuId g = topo.gpuOf(h);
     forEachBit(gpm_bits, [&](unsigned local) {
         GpmId dst = topo.gpmId(g, local);
-        if (dst != gh)
+        if (dst != h)
             emit(dst);
+    });
+    const NodeId hn = topo.nodeOf(g);
+    forEachBit(gpu_bits, [&](unsigned local) {
+        const GpuId gpu = topo.gpuId(hn, local);
+        if (gpu != g)
+            emit(gpu_home_of(gpu));
     });
 }
 

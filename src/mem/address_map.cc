@@ -31,4 +31,12 @@ AddressMap::gpuHome(GpuId gpu, Addr a) const
     return cfg_.gpmId(gpu, cfg_.localGpmOf(sys_home));
 }
 
+GpmId
+AddressMap::nodeHome(NodeId node, Addr a) const
+{
+    GpmId sys_home = systemHome(a);
+    GpuId gpu = cfg_.gpuId(node, cfg_.localGpuOf(cfg_.gpuOf(sys_home)));
+    return cfg_.gpmId(gpu, cfg_.localGpmOf(sys_home));
+}
+
 } // namespace hmg

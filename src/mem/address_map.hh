@@ -14,7 +14,12 @@
  *    page, as decided by the page-placement policy;
  *  - the *GPU home* of an address within GPU g is the GPM of g whose
  *    local index matches the system home's local index, so the system
- *    home GPM doubles as its own GPU's home (cf. Fig. 6).
+ *    home GPM doubles as its own GPU's home (cf. Fig. 6);
+ *  - the *node home* of an address within node n (multi-node machines)
+ *    is the GPU home of the GPU of n whose local index matches the
+ *    system home GPU's local index — so every node home is the GPU
+ *    home of its own GPU, and the system home serves all three roles
+ *    for its own node and GPU.
  */
 
 #ifndef HMG_MEM_ADDRESS_MAP_HH
@@ -62,6 +67,9 @@ class AddressMap
 
     /** The GPM serving as GPU `gpu`'s home for `a`. */
     GpmId gpuHome(GpuId gpu, Addr a) const;
+
+    /** The GPM serving as node `node`'s home for `a`. */
+    GpmId nodeHome(NodeId node, Addr a) const;
 
   private:
     const SystemConfig &cfg_;

@@ -38,10 +38,22 @@ Network::engOfGpu(GpuId u)
     return lps_ ? lps_->engine(lpOfGpu(u)) : engine_;
 }
 
+Engine &
+Network::engOfNode(NodeId n)
+{
+    return engOfGpu(cfg_.gpuId(n, 0));
+}
+
 std::uint32_t
 Network::lpOfGpu(GpuId u) const
 {
     return lps_ ? lps_->lpOfGpm(cfg_.gpmId(u, 0)) : 0;
+}
+
+std::uint32_t
+Network::lpOfNode(NodeId n) const
+{
+    return lpOfGpu(cfg_.gpuId(n, 0));
 }
 
 LpChannel *
@@ -52,17 +64,39 @@ Network::channel(GpuId src, GpuId dst) const
     return xlp_[std::size_t{src} * cfg_.numGpus + dst].get();
 }
 
+LpChannel *
+Network::nodeChannel(NodeId src, NodeId dst) const
+{
+    if (xlp_node_.empty())
+        return nullptr;
+    return xlp_node_[std::size_t{src} * cfg_.numNodes + dst].get();
+}
+
 void
 Network::init()
 {
     const SystemConfig &cfg = cfg_;
     const double gpm_bpc = cfg.intraGpuPortBytesPerCycle();
     const double gpu_bpc = cfg.interGpuPortBytesPerCycle();
+    const double node_bpc = cfg.interNodePortBytesPerCycle();
     const Tick intra_half = cfg.intraGpuHopLatency / 2;
     const Tick intra_rest = cfg.intraGpuHopLatency - intra_half;
     const Tick inter_half = cfg.interGpuHopLatency / 2;
     const Tick inter_rest = cfg.interGpuHopLatency - inter_half;
+    const Tick node_half = cfg.interNodeHopLatency / 2;
+    const Tick node_rest = cfg.interNodeHopLatency - node_half;
     const std::uint32_t locals = cfg.gpmsPerGpu;
+
+    // In TimeWindow mode a multi-node machine must be cut at node
+    // boundaries (sim/lp.cc clamps its plans accordingly): the node
+    // uplinks are the only links the boundary channels intercept, so a
+    // node split across LPs would push into another LP's ports.
+    if (concurrent() && multiNode())
+        for (std::uint32_t n = 0; n < cfg.numNodes; ++n)
+            for (std::uint32_t lg = 1; lg < cfg.gpusPerNode(); ++lg)
+                hmg_assert(lpOfGpu(cfg.gpuId(n, lg)) == lpOfNode(n) &&
+                           "TimeWindow LP cuts must follow node "
+                           "boundaries on multi-node machines");
 
     // Credit pools are sized to (at least twice) the bandwidth-delay
     // product of the link FEEDING the queue: after a pop returns a
@@ -94,26 +128,51 @@ Network::init()
             pool(gpm_bpc, inter_rest)));
     }
     // A GPU's switch egress is fed by its local GPMs; its switch ingress
-    // by the other GPUs' egresses (slot = source GPU id). In TimeWindow
-    // mode the switch-ingress pool is enlarged by the boundary
-    // channels' extra credit-return round trip — up to two windows
-    // (2 * lookahead = interGpuHopLatency) on top of the link flight —
-    // so a saturated cross-LP link still runs at full bandwidth.
-    const Tick xlp_slack = concurrent() ? 2 * lps_->lookahead() : 0;
+    // by the other GPUs' egresses (slot = source GPU id) and — on a
+    // multi-node machine — by its node's switch ingress for cross-node
+    // traffic (one slot per remote source node, numGpus + srcNode). In
+    // TimeWindow mode the pool of whichever ingress sits behind the
+    // boundary channels is enlarged by their extra credit-return round
+    // trip — up to two windows (2 * lookahead) on top of the link
+    // flight — so a saturated cross-LP link still runs at full
+    // bandwidth. Channels intercept the inter-GPU switch hop on
+    // single-node machines and the node uplinks otherwise.
+    const Tick xlp_slack =
+        (concurrent() && !multiNode()) ? 2 * lps_->lookahead() : 0;
+    const Tick xlp_node_slack =
+        (concurrent() && multiNode()) ? 2 * lps_->lookahead() : 0;
+    const std::uint32_t gpu_in_slots =
+        multiNode() ? cfg.numGpus + cfg.numNodes : cfg.numGpus;
     for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
         gpu_egress_.push_back(std::make_unique<Port>(
             engOfGpu(u), gpu_bpc, inter_half, locals,
             pool(gpu_bpc, intra_half)));
         gpu_ingress_.push_back(std::make_unique<Port>(
-            engOfGpu(u), gpu_bpc, inter_rest, cfg.numGpus,
+            engOfGpu(u), gpu_bpc, inter_rest, gpu_in_slots,
             pool(gpu_bpc, inter_half + xlp_slack)));
     }
 
-    // Cross-LP boundary channels, one per directed GPU pair whose ends
-    // live in different LPs; each feeds the destination switch-ingress
-    // input the serial wiring would have used, with the same credit
-    // pool mirrored on the source side.
-    if (concurrent()) {
+    // The node uplink pair: egress fed by the node's GPU switch
+    // egresses (across the GPU->switch leg), ingress fed by the other
+    // nodes' uplinks (across the first half of the inter-node hop). A
+    // cross-node transfer therefore pays interGpuHopLatency +
+    // interNodeHopLatency of wire on top of queueing.
+    if (multiNode()) {
+        for (std::uint32_t n = 0; n < cfg.numNodes; ++n) {
+            node_egress_.push_back(std::make_unique<Port>(
+                engOfNode(n), node_bpc, node_half, cfg.gpusPerNode(),
+                pool(node_bpc, inter_half)));
+            node_ingress_.push_back(std::make_unique<Port>(
+                engOfNode(n), node_bpc, node_rest, cfg.numNodes,
+                pool(node_bpc, node_half + xlp_node_slack)));
+        }
+    }
+
+    // Cross-LP boundary channels, one per directed GPU (or node) pair
+    // whose ends live in different LPs; each feeds the destination
+    // ingress input the serial wiring would have used, with the same
+    // credit pool mirrored on the source side.
+    if (concurrent() && !multiNode()) {
         xlp_.resize(std::size_t{cfg.numGpus} * cfg.numGpus);
         for (std::uint32_t su = 0; su < cfg.numGpus; ++su) {
             for (std::uint32_t du = 0; du < cfg.numGpus; ++du) {
@@ -123,6 +182,19 @@ Network::init()
                     std::make_unique<LpChannel>(
                         *gpu_ingress_[du], su,
                         gpu_ingress_[du]->capacityBytes());
+            }
+        }
+    }
+    if (concurrent() && multiNode()) {
+        xlp_node_.resize(std::size_t{cfg.numNodes} * cfg.numNodes);
+        for (std::uint32_t sn = 0; sn < cfg.numNodes; ++sn) {
+            for (std::uint32_t dn = 0; dn < cfg.numNodes; ++dn) {
+                if (sn == dn || lpOfNode(sn) == lpOfNode(dn))
+                    continue;
+                xlp_node_[std::size_t{sn} * cfg.numNodes + dn] =
+                    std::make_unique<LpChannel>(
+                        *node_ingress_[dn], sn,
+                        node_ingress_[dn]->capacityBytes());
             }
         }
     }
@@ -153,14 +225,21 @@ Network::init()
     }
     for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
         gpu_egress_[u]->setRoute([this](const Message &m) -> Port::Route {
+            const GpuId su = cfg_.gpuOf(m.src);
             const GpuId du = cfg_.gpuOf(m.dst);
+            // Cross-node traffic climbs into the node uplink; the
+            // branch is never taken on single-node machines (inject()
+            // rejects nothing, but sameNode() is then always true).
+            if (!sameNode(m.src, m.dst))
+                return {node_egress_[cfg_.nodeOf(su)].get(),
+                        cfg_.localGpuOf(su)};
             // Cross-LP switch hop: dispatch into the boundary channel
             // (drained at the window barrier) instead of pushing into
             // another LP's port. channel() is null in serial,
             // deterministic-merge and same-LP cases.
-            if (LpChannel *ch = channel(cfg_.gpuOf(m.src), du))
+            if (LpChannel *ch = channel(su, du))
                 return {nullptr, 0, ch};
-            return {gpu_ingress_[du].get(), cfg_.gpuOf(m.src)};
+            return {gpu_ingress_[du].get(), su};
         });
         for (std::uint32_t l = 0; l < locals; ++l) {
             const GpmId src = cfg.gpmId(u, l);
@@ -181,6 +260,49 @@ Network::init()
             } else {
                 gpu_ingress_[u]->setUpstream(
                     su, [this, su]() { gpu_egress_[su]->pump(); });
+            }
+        }
+        // Cross-node arrivals enter at one slot per source node, fed
+        // by the local node's switch ingress.
+        if (multiNode()) {
+            const NodeId un = cfg.nodeOf(u);
+            for (std::uint32_t sn = 0; sn < cfg.numNodes; ++sn)
+                gpu_ingress_[u]->setUpstream(
+                    cfg.numGpus + sn,
+                    [this, un]() { node_ingress_[un]->pump(); });
+        }
+    }
+    for (std::uint32_t n = 0; multiNode() && n < cfg.numNodes; ++n) {
+        node_egress_[n]->setRoute(
+            [this](const Message &m) -> Port::Route {
+                const NodeId sn = cfg_.nodeOfGpm(m.src);
+                const NodeId dn = cfg_.nodeOfGpm(m.dst);
+                // Cross-LP node hop: the boundary channel feeds the
+                // destination node's switch ingress at the barrier.
+                if (LpChannel *ch = nodeChannel(sn, dn))
+                    return {nullptr, 0, ch};
+                return {node_ingress_[dn].get(), sn};
+            });
+        for (std::uint32_t lg = 0; lg < cfg.gpusPerNode(); ++lg) {
+            const GpuId src = cfg.gpuId(n, lg);
+            node_egress_[n]->setUpstream(
+                lg, [this, src]() { gpu_egress_[src]->pump(); });
+        }
+
+        node_ingress_[n]->setRoute(
+            [this](const Message &m) -> Port::Route {
+                const GpuId du = cfg_.gpuOf(m.dst);
+                return {gpu_ingress_[du].get(),
+                        cfg_.numGpus + cfg_.nodeOfGpm(m.src)};
+            });
+        for (std::uint32_t sn = 0; sn < cfg.numNodes; ++sn) {
+            if (LpChannel *ch = nodeChannel(sn, n)) {
+                node_ingress_[n]->setUpstream(
+                    sn, [ch]() { ch->onDstPop(); });
+            } else {
+                node_ingress_[n]->setUpstream(sn, [this, sn]() {
+                    node_egress_[sn]->pump();
+                });
             }
         }
     }
@@ -227,6 +349,8 @@ Network::inject(Message m)
     intra_bytes_[ti] += m.bytes;
     if (!sameGpu(m.src, m.dst))
         inter_bytes_[ti] += m.bytes;
+    if (!sameNode(m.src, m.dst))
+        inter_node_bytes_[ti] += m.bytes;
 
     const GpmId src = m.src;
     nic_[src].push_back(std::move(m));
@@ -312,6 +436,22 @@ Network::drainChannels(Tick wend)
             }
         }
     }
+    for (std::uint32_t sn = 0; sn < cfg_.numNodes; ++sn) {
+        for (std::uint32_t dn = 0; dn < cfg_.numNodes; ++dn) {
+            LpChannel *ch = nodeChannel(sn, dn);
+            if (!ch)
+                continue;
+            auto [delivered, credits] = ch->drain();
+            res.delivered += delivered;
+            res.credits += credits;
+            if (delivered == 0)
+                ++res.nulls;
+            if (credits > 0) {
+                Port *eg = node_egress_[sn].get();
+                engOfNode(sn).scheduleAt(wend, [eg]() { eg->pump(); });
+            }
+        }
+    }
     return res;
 }
 
@@ -329,6 +469,15 @@ Network::totalIntraGpuBytes() const
 {
     std::uint64_t sum = 0;
     for (const auto &b : intra_bytes_)
+        sum += b.total();
+    return sum;
+}
+
+std::uint64_t
+Network::totalInterNodeBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : inter_node_bytes_)
         sum += b.total();
     return sum;
 }
@@ -352,6 +501,31 @@ Network::interGpuUtilizationPeak() const
     for (const auto &p : gpu_egress_)
         peak = std::max(peak, p->utilization());
     for (const auto &p : gpu_ingress_)
+        peak = std::max(peak, p->utilization());
+    return peak;
+}
+
+double
+Network::interNodeUtilizationAvg() const
+{
+    if (node_egress_.empty())
+        return 0;
+    double sum = 0;
+    for (const auto &p : node_egress_)
+        sum += p->utilization();
+    for (const auto &p : node_ingress_)
+        sum += p->utilization();
+    return sum / static_cast<double>(node_egress_.size() +
+                                     node_ingress_.size());
+}
+
+double
+Network::interNodeUtilizationPeak() const
+{
+    double peak = 0;
+    for (const auto &p : node_egress_)
+        peak = std::max(peak, p->utilization());
+    for (const auto &p : node_ingress_)
         peak = std::max(peak, p->utilization());
     return peak;
 }
@@ -393,6 +567,23 @@ Network::reportStats(StatRecorder &r, const std::string &prefix) const
     r.record(prefix + ".inter_gpu.util_avg", interGpuUtilizationAvg());
     r.record(prefix + ".inter_gpu.util_peak", interGpuUtilizationPeak());
 
+    // Node-tier keys exist only on multi-node machines so single-node
+    // stat maps stay bit-identical to the pre-node-tier transport.
+    if (multiNode()) {
+        r.record(prefix + ".total_inter_node_bytes",
+                 static_cast<double>(totalInterNodeBytes()));
+        for (std::uint32_t n = 0; n < cfg_.numNodes; ++n) {
+            const std::string base =
+                prefix + ".port.node" + std::to_string(n);
+            node_egress_[n]->reportStats(r, base + ".egress");
+            node_ingress_[n]->reportStats(r, base + ".ingress");
+        }
+        r.record(prefix + ".inter_node.util_avg",
+                 interNodeUtilizationAvg());
+        r.record(prefix + ".inter_node.util_peak",
+                 interNodeUtilizationPeak());
+    }
+
     // Only when a plan is active: an inert FaultConfig must add zero
     // stat keys so fault-free stat maps stay bit-identical to pre-fault
     // baselines (tests/fault_test.cc).
@@ -426,6 +617,12 @@ Network::dumpDiagnostic(std::string &out, Tick now) const
         const std::string base = "gpu" + std::to_string(u);
         gpu_egress_[u]->dumpState(out, base + ".egress");
         gpu_ingress_[u]->dumpState(out, base + ".ingress");
+    }
+    for (std::uint32_t n = 0;
+         n < static_cast<std::uint32_t>(node_egress_.size()); ++n) {
+        const std::string base = "node" + std::to_string(n);
+        node_egress_[n]->dumpState(out, base + ".egress");
+        node_ingress_[n]->dumpState(out, base + ".ingress");
     }
     if (faults_)
         faults_->describe(out, now);

@@ -1,17 +1,28 @@
 /**
  * @file
  * The two-tier interconnect: intra-GPU crossbars and the inter-GPU
- * switch (Fig. 1 / Fig. 4 of the paper).
+ * switch (Fig. 1 / Fig. 4 of the paper) — plus an optional third tier
+ * of node switches when the topology declares numNodes > 1.
  *
  * Each GPM owns a pair of directed ports (egress/ingress) into its
  * GPU's crossbar, sized so the per-GPU aggregate matches Table II's
  * 2 TB/s. Each GPU owns a pair of directed ports into the NVSwitch
- * fabric at 200 GB/s each. A GPM-to-GPM transfer traverses:
+ * fabric at 200 GB/s each. With multiple nodes, each node additionally
+ * owns a pair of directed uplink ports into the inter-node switch
+ * fabric (interNodeGBpsPerLink each way). A GPM-to-GPM transfer
+ * traverses:
  *
  *   same GPM:   nothing (handled locally by the caller)
  *   same GPU:   gpmEgress[src] -> gpmIngress[dst]
  *   cross GPU:  gpmEgress[src] -> gpuEgress[srcGpu]
  *               -> gpuIngress[dstGpu] -> gpmIngress[dst]
+ *   cross node: gpmEgress[src] -> gpuEgress[srcGpu]
+ *               -> nodeEgress[srcNode] -> nodeIngress[dstNode]
+ *               -> gpuIngress[dstGpu] -> gpmIngress[dst]
+ *
+ * On a single-node machine the node tier is not built at all — no
+ * ports, no stats keys, no routing branches taken — so the paper's
+ * 4x4 configuration is bit-identical to the pre-node-tier transport.
  *
  * Every hop is a Port (noc/port.hh): a bounded queue per upstream
  * source, deterministic round-robin arbitration among contending
@@ -98,6 +109,12 @@ class Network
         return cfg_.gpuOf(a) == cfg_.gpuOf(b);
     }
 
+    /** True when both GPMs sit on the same node (always, single-node). */
+    bool sameNode(GpmId a, GpmId b) const
+    {
+        return cfg_.nodeOfGpm(a) == cfg_.nodeOfGpm(b);
+    }
+
     // --- injection backpressure (SM store-issue throttle) ---
 
     /** Messages parked in `src`'s NIC queue awaiting egress credit. */
@@ -140,8 +157,16 @@ class Network
         return msg_count_[static_cast<std::size_t>(t)].total();
     }
 
+    /** Bytes of type `t` that crossed inter-node uplinks (0 when
+     *  single-node). */
+    std::uint64_t interNodeBytes(MsgType t) const
+    {
+        return inter_node_bytes_[static_cast<std::size_t>(t)].total();
+    }
+
     std::uint64_t totalInterGpuBytes() const;
     std::uint64_t totalIntraGpuBytes() const;
+    std::uint64_t totalInterNodeBytes() const;
 
     /** Messages fully delivered (arrival tick reached dispatch). */
     std::uint64_t messagesDelivered() const { return delivered_.total(); }
@@ -152,11 +177,19 @@ class Network
     const Port &gpmIngressPort(GpmId g) const { return *gpm_ingress_[g]; }
     const Port &gpuEgressPort(GpuId u) const { return *gpu_egress_[u]; }
     const Port &gpuIngressPort(GpuId u) const { return *gpu_ingress_[u]; }
+    const Port &nodeEgressPort(NodeId n) const { return *node_egress_[n]; }
+    const Port &nodeIngressPort(NodeId n) const
+    {
+        return *node_ingress_[n];
+    }
 
     /** Mean utilization across the 2N inter-GPU link directions. */
     double interGpuUtilizationAvg() const;
     /** Highest utilization among the inter-GPU link directions. */
     double interGpuUtilizationPeak() const;
+    /** Same across the node uplink directions (0 when single-node). */
+    double interNodeUtilizationAvg() const;
+    double interNodeUtilizationPeak() const;
 
     void reportStats(StatRecorder &r, const std::string &prefix) const;
 
@@ -185,12 +218,16 @@ class Network
     // --- per-LP engine resolution (all return engine_ when unpartitioned)
     Engine &engOfGpm(GpmId g);
     Engine &engOfGpu(GpuId u);
+    Engine &engOfNode(NodeId n);
     std::uint32_t lpOfGpu(GpuId u) const;
+    std::uint32_t lpOfNode(NodeId n) const;
     bool concurrent() const { return lps_ && lps_->concurrent(); }
+    bool multiNode() const { return cfg_.numNodes > 1; }
 
     /** Barrier hook: deliver channel outboxes, apply credits. */
     LpDrainResult drainChannels(Tick wend);
     LpChannel *channel(GpuId src, GpuId dst) const;
+    LpChannel *nodeChannel(NodeId src, NodeId dst) const;
 
     Engine &engine_;
     LpDomain *lps_ = nullptr;
@@ -201,10 +238,17 @@ class Network
     std::vector<std::unique_ptr<Port>> gpm_ingress_;
     std::vector<std::unique_ptr<Port>> gpu_egress_;
     std::vector<std::unique_ptr<Port>> gpu_ingress_;
+    /** Node uplink ports; empty on single-node machines. */
+    std::vector<std::unique_ptr<Port>> node_egress_;
+    std::vector<std::unique_ptr<Port>> node_ingress_;
 
     /** Cross-LP boundary queues, [srcGpu * numGpus + dstGpu]; null for
-     *  pairs inside one LP. TimeWindow mode only. */
+     *  pairs inside one LP. TimeWindow mode, single-node only (multi-
+     *  node machines cut at node boundaries and use xlp_node_). */
     std::vector<std::unique_ptr<LpChannel>> xlp_;
+    /** Cross-LP boundary queues at the node tier, [srcNode * numNodes +
+     *  dstNode]. TimeWindow mode, multi-node only. */
+    std::vector<std::unique_ptr<LpChannel>> xlp_node_;
 
     /** Per-link fault injectors; built only when cfg.fault.active(), so
      *  fault-free runs carry no injector state at all. */
@@ -224,6 +268,7 @@ class Network
     // accounting on the destination LP.
     LpCounter intra_bytes_[kNumMsgTypes];
     LpCounter inter_bytes_[kNumMsgTypes];
+    LpCounter inter_node_bytes_[kNumMsgTypes];
     LpCounter msg_count_[kNumMsgTypes];
     LpCounter delivered_;
 };

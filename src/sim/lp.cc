@@ -81,6 +81,10 @@ LpPlan::validateMap(const SystemConfig &cfg,
     // coupled synchronously (sibling-L2 scans on acquire, same-tick
     // crossbar credit returns): a cut between them is a zero-lookahead
     // edge and conservative windows of width zero cannot make progress.
+    // On a multi-node machine the only cross-LP boundary channels the
+    // transport builds are at the node uplinks, so cuts must follow
+    // node boundaries; their lookahead is the uplink's per-direction
+    // propagation.
     Tick min_cut = kTickMax;
     const auto total = static_cast<GpmId>(cfg.totalGpms());
     for (GpmId a = 0; a < total; ++a) {
@@ -96,6 +100,22 @@ LpPlan::validateMap(const SystemConfig &cfg,
                       std::to_string(lp_of_gpm[b]);
                 return false;
             }
+            if (cfg.nodeOfGpm(a) != cfg.nodeOfGpm(b)) {
+                min_cut =
+                    std::min<Tick>(min_cut, cfg.interNodeHopLatency / 2);
+                continue;
+            }
+            if (cfg.numNodes > 1) {
+                why = "intra-node cut: GPMs " + std::to_string(a) +
+                      " and " + std::to_string(b) + " share node " +
+                      std::to_string(cfg.nodeOfGpm(a)) +
+                      " but are mapped to LPs " +
+                      std::to_string(lp_of_gpm[a]) + " and " +
+                      std::to_string(lp_of_gpm[b]) +
+                      "; multi-node machines carry cross-LP traffic "
+                      "only over the node uplinks";
+                return false;
+            }
             // The only inter-GPU coupling is the switch link; its
             // per-direction propagation is half the configured
             // GPM-to-GPM inter-GPU hop latency.
@@ -103,9 +123,13 @@ LpPlan::validateMap(const SystemConfig &cfg,
         }
     }
     if (num_lps > 1 && (min_cut == 0 || min_cut == kTickMax)) {
+        const bool node_tier = cfg.numNodes > 1;
         why = min_cut == 0
-                  ? "inter-GPU hop latency " +
-                        std::to_string(cfg.interGpuHopLatency) +
+                  ? std::string(node_tier ? "inter-node" : "inter-GPU") +
+                        " hop latency " +
+                        std::to_string(node_tier
+                                           ? cfg.interNodeHopLatency
+                                           : cfg.interGpuHopLatency) +
                         " yields zero lookahead"
                   : "partition cuts no edges (every GPM in one LP)";
         return false;
@@ -119,14 +143,21 @@ LpPlan::build(const SystemConfig &cfg)
 {
     LpPlan p;
     std::uint32_t jobs = cfg.lpJobs == 0 ? 1 : cfg.lpJobs;
-    jobs = std::min(jobs, cfg.numGpus);
+    // Cut granularity: GPUs single-node, whole nodes multi-node (see
+    // validateMap — intra-node cuts have no boundary channel).
+    const std::uint32_t grains =
+        cfg.numNodes > 1 ? cfg.numNodes : cfg.numGpus;
+    jobs = std::min(jobs, grains);
     jobs = std::min(jobs, LpCounter::kMaxLps);
     p.numLps = jobs;
     p.lpOfGpm.resize(cfg.totalGpms());
-    // Contiguous GPU blocks: LP of GPU u is floor(u * jobs / numGpus),
-    // never splitting a GPU's GPMs (see validateMap).
-    for (std::uint32_t g = 0; g < cfg.totalGpms(); ++g)
-        p.lpOfGpm[g] = cfg.gpuOf(g) * jobs / cfg.numGpus;
+    // Contiguous blocks: LP of grain i is floor(i * jobs / grains),
+    // never splitting a grain's GPMs (see validateMap).
+    for (std::uint32_t g = 0; g < cfg.totalGpms(); ++g) {
+        const std::uint32_t grain =
+            cfg.numNodes > 1 ? cfg.nodeOfGpm(g) : cfg.gpuOf(g);
+        p.lpOfGpm[g] = grain * jobs / grains;
+    }
     if (jobs <= 1) {
         p.mode = LpMode::Serial;
         return p;

@@ -76,7 +76,13 @@ const char *toString(LpMode m);
  * the cross-LP edges. Partitioning is at GPU granularity only — GPMs of
  * one GPU share synchronous couplings (sibling-L2 scans on acquire, the
  * intra-GPU crossbar's same-tick credit returns), i.e. zero-lookahead
- * edges, which a conservative scheme cannot cut.
+ * edges, which a conservative scheme cannot cut. On a multi-node
+ * machine partitioning coarsens to NODE granularity: the cross-LP
+ * boundary channels live at the node uplinks (noc/network.cc builds
+ * xlp_node_, not xlp_, when numNodes > 1), so a cut inside a node
+ * would have no channel to carry its traffic. The lookahead of a
+ * node-aligned cut is the uplink's per-direction propagation,
+ * interNodeHopLatency / 2.
  */
 struct LpPlan
 {
@@ -89,9 +95,12 @@ struct LpPlan
      * Validate an explicit GPM->LP map against the topology: every edge
      * that crosses LPs must have positive lookahead. Rejects (returning
      * false and a reason) any map that separates two GPMs of one GPU —
-     * a zero-lookahead intra-GPU edge — and any topology whose
-     * inter-GPU hop latency yields zero lookahead. On success
-     * `lookahead_out` is the minimum latency over all cut edges.
+     * a zero-lookahead intra-GPU edge — any multi-node map that
+     * separates two GPUs of one node (the boundary channels exist only
+     * at the node uplinks), and any topology whose cut-tier hop
+     * latency yields zero lookahead. On success `lookahead_out` is the
+     * minimum latency over all cut edges (per-direction: half the
+     * inter-GPU or inter-node hop latency, per tier).
      */
     static bool validateMap(const SystemConfig &cfg,
                             const std::vector<std::uint32_t> &lp_of_gpm,
@@ -99,10 +108,11 @@ struct LpPlan
                             std::string &why);
 
     /**
-     * Build the plan for `cfg`: GPU-granularity blocks, `cfg.lpJobs`
-     * clamped to the GPU count, Serial when one LP results. Fatal when
-     * the requested partition fails validateMap (only possible when the
-     * configured inter-GPU latency is < 2 cycles).
+     * Build the plan for `cfg`: GPU-granularity blocks (node-
+     * granularity blocks when numNodes > 1), `cfg.lpJobs` clamped to
+     * the GPU (node) count, Serial when one LP results. Fatal when the
+     * requested partition fails validateMap (only possible when the
+     * configured cut-tier latency is < 2 cycles).
      */
     static LpPlan build(const SystemConfig &cfg);
 };

@@ -32,6 +32,7 @@ struct DirSnapshot
     bool present = false;
     std::uint32_t gpmBits = 0;
     std::uint32_t gpuBits = 0;
+    std::uint32_t nodeBits = 0;
 };
 
 /** Result of applying a row: what the entry must become. */
@@ -43,6 +44,7 @@ struct ApplyOutcome
     /** Post-update sharer bits (meaningful when keepEntry). */
     std::uint32_t gpmBits = 0;
     std::uint32_t gpuBits = 0;
+    std::uint32_t nodeBits = 0;
 };
 
 /**
@@ -58,19 +60,20 @@ struct ApplyOutcome
  * @param ev       the directory event
  * @param pre      entry state before the event
  * @param gpuHomeOf maps a GPU id to its GPU-home GPM for this sector
+ * @param nodeHomeOf maps a node id to its node-home GPM for this sector
  * @param emitInv  called once per invalidation target, in the
  *                 deterministic order of forEachInvTarget /
- *                 forEachGpmSharer (ascending GPM bits, then ascending
- *                 GPU bits)
+ *                 forEachRefanTarget (ascending GPM bits, then
+ *                 ascending GPU bits, then ascending node bits)
  * @return the row applied plus the post-update entry state; the caller
  *         commits it (remove when !keepEntry, else write the bits).
  */
-template <typename GpuHomeFn, typename EmitInvFn>
+template <typename GpuHomeFn, typename NodeHomeFn, typename EmitInvFn>
 inline ApplyOutcome
 applyDirEvent(const TransitionTable &t, const SharerTopology &topo,
               bool hier, GpmId h, GpmId via, DirEvent ev,
               const DirSnapshot &pre, GpuHomeFn &&gpuHomeOf,
-              EmitInvFn &&emitInv)
+              NodeHomeFn &&nodeHomeOf, EmitInvFn &&emitInv)
 {
     const bool tracked = via != kInvalidGpm && via != h;
     const DirState state = pre.present ? DirState::Valid
@@ -87,14 +90,17 @@ applyDirEvent(const TransitionTable &t, const SharerTopology &topo,
         break;
       case EmitMsg::InvOthers:
         forEachInvTarget(topo, hier, h, tracked ? via : kInvalidGpm,
-                         pre.gpmBits, pre.gpuBits, gpuHomeOf, emitInv);
+                         pre.gpmBits, pre.gpuBits, pre.nodeBits,
+                         gpuHomeOf, nodeHomeOf, emitInv);
         break;
       case EmitMsg::InvAll:
         forEachInvTarget(topo, hier, h, kInvalidGpm, pre.gpmBits,
-                         pre.gpuBits, gpuHomeOf, emitInv);
+                         pre.gpuBits, pre.nodeBits, gpuHomeOf,
+                         nodeHomeOf, emitInv);
         break;
       case EmitMsg::RefanGpm:
-        forEachGpmSharer(topo, h, pre.gpmBits, emitInv);
+        forEachRefanTarget(topo, h, pre.gpmBits, pre.gpuBits, gpuHomeOf,
+                           emitInv);
         break;
     }
 
@@ -105,19 +111,25 @@ applyDirEvent(const TransitionTable &t, const SharerTopology &topo,
       case DirUpdate::None:
         out.gpmBits = pre.gpmBits;
         out.gpuBits = pre.gpuBits;
+        out.nodeBits = pre.nodeBits;
         break;
       case DirUpdate::AddSharer:
         out.gpmBits = pre.present ? pre.gpmBits : 0;
         out.gpuBits = pre.present ? pre.gpuBits : 0;
-        recordSharerBits(topo, hier, h, via, out.gpmBits, out.gpuBits);
+        out.nodeBits = pre.present ? pre.nodeBits : 0;
+        recordSharerBits(topo, hier, h, via, out.gpmBits, out.gpuBits,
+                         out.nodeBits);
         break;
       case DirUpdate::SetSoleSharer:
-        recordSharerBits(topo, hier, h, via, out.gpmBits, out.gpuBits);
+        recordSharerBits(topo, hier, h, via, out.gpmBits, out.gpuBits,
+                         out.nodeBits);
         break;
       case DirUpdate::DropSharer:
         out.gpmBits = pre.gpmBits;
         out.gpuBits = pre.gpuBits;
-        dropSharerBits(topo, hier, h, via, out.gpmBits, out.gpuBits);
+        out.nodeBits = pre.nodeBits;
+        dropSharerBits(topo, hier, h, via, out.gpmBits, out.gpuBits,
+                       out.nodeBits);
         break;
       case DirUpdate::Clear:
         break;

@@ -60,6 +60,7 @@ intraGpuOnly(const char *className)
 struct Pools
 {
     std::uint64_t gpmEgress, gpmIngress, gpuEgress, gpuIngress;
+    std::uint64_t nodeEgress, nodeIngress;
 };
 
 Pools
@@ -67,9 +68,11 @@ poolSizes(const SystemConfig &cfg)
 {
     const double gpm_bpc = cfg.intraGpuPortBytesPerCycle();
     const double gpu_bpc = cfg.interGpuPortBytesPerCycle();
+    const double node_bpc = cfg.interNodePortBytesPerCycle();
     const Tick intra_half = cfg.intraGpuHopLatency / 2;
     const Tick inter_half = cfg.interGpuHopLatency / 2;
     const Tick inter_rest = cfg.interGpuHopLatency - inter_half;
+    const Tick node_half = cfg.interNodeHopLatency / 2;
     const std::uint64_t floor_bytes =
         std::uint64_t{cfg.nocPortQueueCapacity} *
         (cfg.msgHeaderBytes + cfg.cacheLineBytes);
@@ -78,8 +81,9 @@ poolSizes(const SystemConfig &cfg)
             drain_bpc * static_cast<double>(feed_latency + 8));
         return std::max(floor_bytes, 2 * bdp);
     };
-    return {pool(gpm_bpc, 0), pool(gpm_bpc, inter_rest),
-            pool(gpu_bpc, intra_half), pool(gpu_bpc, inter_half)};
+    return {pool(gpm_bpc, 0),          pool(gpm_bpc, inter_rest),
+            pool(gpu_bpc, intra_half), pool(gpu_bpc, inter_half),
+            pool(node_bpc, inter_half), pool(node_bpc, node_half)};
 }
 
 Graph
@@ -89,6 +93,8 @@ buildGraph(const CdgOptions &opts, LintReport &report)
     SystemConfig cfg;
     cfg.numGpus = opts.numGpus;
     cfg.gpmsPerGpu = opts.gpmsPerGpu;
+    cfg.numNodes = opts.numNodes;
+    const bool multiNode = cfg.numNodes > 1;
     const Pools pools = poolSizes(cfg);
     const std::uint32_t gpms = cfg.totalGpms();
 
@@ -124,6 +130,16 @@ buildGraph(const CdgOptions &opts, LintReport &report)
         gpuI[u] = g.addNode(base + ".switch-ingress", false,
                             pools.gpuIngress);
     }
+    std::vector<std::size_t> nodeE, nodeI;
+    if (multiNode) {
+        for (std::uint32_t n = 0; n < cfg.numNodes; ++n) {
+            const std::string base = "node" + std::to_string(n);
+            nodeE.push_back(g.addNode(base + ".uplink-egress", false,
+                                      pools.nodeEgress));
+            nodeI.push_back(g.addNode(base + ".uplink-ingress", false,
+                                      pools.nodeIngress));
+        }
+    }
 
     // Route-progression edges: a head occupying `from` waits for
     // credit in `to` (noc/port.hh's canAccept gate).
@@ -145,12 +161,30 @@ buildGraph(const CdgOptions &opts, LintReport &report)
                            "switch ingress fans to the GPM ingress [" +
                                interClasses + "]"});
     }
+    // Direct switch hops serve same-node GPU pairs; cross-node traffic
+    // detours through the uplink tier (Network::init's route order).
     for (std::uint32_t su = 0; su < cfg.numGpus; ++su)
         for (std::uint32_t du = 0; du < cfg.numGpus; ++du)
-            if (su != du)
+            if (su != du && cfg.nodeOf(su) == cfg.nodeOf(du))
                 g.edges.push_back({gpuE[su], gpuI[du],
                                    "inter-GPU switch hop [" +
                                        interClasses + "]"});
+    if (multiNode) {
+        for (std::uint32_t u = 0; u < cfg.numGpus; ++u) {
+            g.edges.push_back({gpuE[u], nodeE[cfg.nodeOf(u)],
+                               "GPU switch port feeds the node uplink "
+                               "[" + interClasses + "]"});
+            g.edges.push_back({nodeI[cfg.nodeOf(u)], gpuI[u],
+                               "node downlink fans to the GPU switch "
+                               "ingress [" + interClasses + "]"});
+        }
+        for (std::uint32_t sn = 0; sn < cfg.numNodes; ++sn)
+            for (std::uint32_t dn = 0; dn < cfg.numNodes; ++dn)
+                if (sn != dn)
+                    g.edges.push_back({nodeE[sn], nodeI[dn],
+                                       "inter-node switch hop [" +
+                                           interClasses + "]"});
+    }
 
     // Handler-emission edges: consuming class X at a GPM ingress may
     // synchronously emit class Y, which enters at the local NIC. In

@@ -3,9 +3,10 @@
  * Family (b): static message-class deadlock freedom over the transport.
  *
  * Builds the Duato-style channel-dependency graph of the NoC: one node
- * per physical credit pool of a concrete (numGpus x gpmsPerGpu)
- * instance — each GPM's NIC backlog, GPM egress/ingress port and each
- * GPU's switch egress/ingress port — and one edge wherever a message
+ * per physical credit pool of a concrete (numNodes x numGpus x
+ * gpmsPerGpu) instance — each GPM's NIC backlog, GPM egress/ingress
+ * port, each GPU's switch egress/ingress port and (multi-node) each
+ * node's uplink egress/ingress port — and one edge wherever a message
  * *holding* space in one pool may *wait* for space in another:
  *
  *   - route progression: a queued head waits for the next hop's credit
@@ -46,6 +47,9 @@ struct CdgOptions
      *  instance-generic; a small instance keeps diagnostics short. */
     std::uint32_t numGpus = 2;
     std::uint32_t gpmsPerGpu = 2;
+    /** > 1 adds the node-switch tier (mirrors Network::init, which
+     *  builds no node ports at all when single-node). */
+    std::uint32_t numNodes = 1;
     /** Test hook: model a bounded/blocking NIC injection queue (the
      *  escape hatch removed); the analysis must report the cycle. */
     bool seedCdgCycle = false;

@@ -181,9 +181,10 @@ passReachability(const TransitionTable &t, LintReport &report)
 /**
  * Emitted-message budget: every message a row emits must land in a
  * consumer. Most emissions terminate at cache-side handlers that are
- * not table-driven (declared sinks below); the one table-to-table
- * edge is an HMG system-home invalidation, which a GPU home must be
- * able to receive as InvRecv in *both* states — delete those rows and
+ * not table-driven (declared sinks below); the table-to-table edges
+ * are HMG invalidations descending the home chain (system home ->
+ * node home -> GPU home), each of which the lower home must be able
+ * to receive as InvRecv in *both* states — delete those rows and
  * this pass catches it without any state exploration.
  */
 void
@@ -201,7 +202,7 @@ passEmitBudget(const std::vector<TransitionTable> &tables,
         for (std::size_t i = 0; i < t.numRows; ++i) {
             const Transition &r = t.rows[i];
             const char *sink = nullptr;
-            const TransitionTable *consumer = nullptr;
+            std::vector<Role> consumerRoles;
             DirEvent consumerEvent = DirEvent::NumEvents;
             switch (r.emit) {
               case EmitMsg::None:
@@ -210,14 +211,23 @@ passEmitBudget(const std::vector<TransitionTable> &tables,
                 sink = "requester MSHR fill handler";
                 break;
               case EmitMsg::RefanGpm:
-                sink = "GPM L2 invalidation handler";
+                if (t.role == Role::NodeHome) {
+                    // A node home's re-fan addresses both its local
+                    // GPM sharers (cache-side sink) and the GPU homes
+                    // of its tracked GPUs, which re-fan once more.
+                    consumerRoles = {Role::GpuHome};
+                    consumerEvent = DirEvent::InvRecv;
+                } else {
+                    sink = "GPM L2 invalidation handler";
+                }
                 break;
               case EmitMsg::InvOthers:
               case EmitMsg::InvAll:
                 if (t.role == Role::SysHome) {
                     // HMG: system-home invalidations reach remote GPU
-                    // homes, which must re-fan via InvRecv rows.
-                    consumer = tableOf(Role::GpuHome);
+                    // homes (same node) and node homes (other nodes),
+                    // which must re-fan via InvRecv rows.
+                    consumerRoles = {Role::GpuHome, Role::NodeHome};
                     consumerEvent = DirEvent::InvRecv;
                 } else {
                     sink = "GPM L2 invalidation handler";
@@ -226,30 +236,35 @@ passEmitBudget(const std::vector<TransitionTable> &tables,
             }
             if (sink)
                 continue; // terminal: consumed outside the tables
-            if (!consumer) {
-                report.add(tableFinding(
-                    t, i, "missing-consumer",
-                    std::string("row emits ") + toString(r.emit) +
-                        " but no table exists for the consuming role"));
-                continue;
-            }
-            for (DirState s : {DirState::Invalid, DirState::Valid}) {
-                for (bool tracked : {false, true}) {
-                    if (findTransition(*consumer, s, consumerEvent,
-                                       tracked))
-                        continue;
-                    Finding f = tableFinding(
+            for (Role role : consumerRoles) {
+                const TransitionTable *consumer = tableOf(role);
+                if (!consumer) {
+                    report.add(tableFinding(
                         t, i, "missing-consumer",
                         std::string("row emits ") + toString(r.emit) +
-                            " toward " + consumer->name +
-                            ", which has no row consuming (" +
-                            toString(s) + ", " +
-                            toString(consumerEvent) +
-                            ", tracked=" + (tracked ? "1" : "0") + ")");
-                    f.counterexample.push_back(
-                        "emitting row: " + rowLabel(t, i) + "  \"" +
-                        r.note + "\"");
-                    report.add(std::move(f));
+                            " but no table exists for consuming role " +
+                            toString(role)));
+                    continue;
+                }
+                for (DirState s : {DirState::Invalid, DirState::Valid}) {
+                    for (bool tracked : {false, true}) {
+                        if (findTransition(*consumer, s, consumerEvent,
+                                           tracked))
+                            continue;
+                        Finding f = tableFinding(
+                            t, i, "missing-consumer",
+                            std::string("row emits ") + toString(r.emit) +
+                                " toward " + consumer->name +
+                                ", which has no row consuming (" +
+                                toString(s) + ", " +
+                                toString(consumerEvent) +
+                                ", tracked=" + (tracked ? "1" : "0") +
+                                ")");
+                        f.counterexample.push_back(
+                            "emitting row: " + rowLabel(t, i) + "  \"" +
+                            r.note + "\"");
+                        report.add(std::move(f));
+                    }
                 }
             }
         }

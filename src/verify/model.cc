@@ -54,8 +54,9 @@ toString(Workload w)
 namespace
 {
 
+constexpr std::uint32_t kMaxNodes = 2;
 constexpr std::uint32_t kMaxGpus = 4;
-constexpr std::uint32_t kMaxGpms = 4;
+constexpr std::uint32_t kMaxGpms = 8;
 constexpr std::uint32_t kMaxLines = 3;
 constexpr std::uint32_t kMaxThreads = 4;
 constexpr std::uint32_t kMaxRegs = 3;
@@ -110,9 +111,13 @@ struct MState
     std::uint8_t cache[kMaxGpms][kMaxLines];     //!< 0 = none, else ver+1
     std::uint8_t sysP[kMaxLines];                //!< system-home entry
     std::uint8_t sysGpm[kMaxLines];
-    std::uint8_t sysGpu[kMaxLines];
+    std::uint8_t sysGpu[kMaxLines];              //!< local GPU indices
+    std::uint8_t sysNode[kMaxLines];             //!< node bits (multi-node)
     std::uint8_t ghP[kMaxGpus][kMaxLines];       //!< GPU-home entries (HMG)
     std::uint8_t ghGpm[kMaxGpus][kMaxLines];
+    std::uint8_t nhP[kMaxNodes][kMaxLines];      //!< node-home entries
+    std::uint8_t nhGpm[kMaxNodes][kMaxLines];
+    std::uint8_t nhGpu[kMaxNodes][kMaxLines];
     std::uint8_t pc[kMaxThreads];
     std::uint8_t waiting[kMaxThreads];           //!< blocked on a load
     std::uint8_t pendG[kMaxThreads];             //!< WTs short of GPU level
@@ -124,8 +129,9 @@ struct MState
 };
 
 static_assert(sizeof(MState) ==
-                  kMaxLines * 4 + kMaxGpms * kMaxLines +
-                      kMaxGpus * kMaxLines * 2 + kMaxThreads * 4 +
+                  kMaxLines * 5 + kMaxGpms * kMaxLines +
+                      kMaxGpus * kMaxLines * 2 +
+                      kMaxNodes * kMaxLines * 3 + kMaxThreads * 4 +
                       kMaxThreads * kMaxRegs + 1 + kMaxGpms * kMaxGpms +
                       kMaxGpms * kMaxGpms * kChanCap * sizeof(Msg),
               "MState must stay padding-free for byte hashing");
@@ -172,6 +178,37 @@ class Explorer
     {
         return topo_.gpmId(g, topo_.localGpmOf(hOf(l)));
     }
+    GpmId
+    nhOfLine(NodeId n, std::uint8_t l) const
+    {
+        const GpmId h = hOf(l);
+        const GpuId g =
+            topo_.gpuId(n, topo_.localGpuOf(topo_.gpuOf(h)));
+        return topo_.gpmId(g, topo_.localGpmOf(h));
+    }
+    bool multiNode() const { return cfg_.hier && cfg_.numNodes > 1; }
+    bool
+    isNodeHome(GpmId g, std::uint8_t l) const
+    {
+        return multiNode() && nhOfLine(topo_.nodeOfGpm(g), l) == g;
+    }
+    /**
+     * The next home up the chain from intermediate home `from`: its
+     * node home when one stands strictly between `from` and the system
+     * home, else the system home itself (cf. HwProtocol::
+     * nodeHopBetween).
+     */
+    GpmId
+    upFrom(GpmId from, std::uint8_t l) const
+    {
+        const GpmId h = hOf(l);
+        if (multiNode()) {
+            const GpmId nh = nhOfLine(topo_.nodeOfGpm(from), l);
+            if (nh != from && nh != h)
+                return nh;
+        }
+        return h;
+    }
 
     void setupTables();
     void setupWorkload();
@@ -180,7 +217,8 @@ class Explorer
     DirSnapshot readEntry(const MState &s, GpmId node,
                           std::uint8_t l) const;
     void writeEntry(MState &s, GpmId node, std::uint8_t l, bool present,
-                    std::uint32_t gpm, std::uint32_t gpu) const;
+                    std::uint32_t gpm, std::uint32_t gpu,
+                    std::uint32_t node_bits) const;
     bool entryPresentAt(const MState &s, GpmId node, std::uint8_t l) const;
     void applyAt(MState &s, GpmId node, GpmId via, std::uint8_t l,
                  DirEvent ev);
@@ -201,6 +239,8 @@ class Explorer
     bool invFromGpuInFlight(const MState &s, GpuId g) const;
     bool anyInvInFlight(const MState &s) const;
     bool wtInFlight(const MState &s, GpuId g, std::uint8_t l) const;
+    bool wtFromNodeInFlight(const MState &s, NodeId n,
+                            std::uint8_t l) const;
 
     MckConfig cfg_;
     SharerTopology topo_{};
@@ -215,7 +255,13 @@ class Explorer
 
 Explorer::Explorer(const MckConfig &cfg) : cfg_(cfg)
 {
-    topo_ = {cfg_.numGpus, cfg_.gpmsPerGpu};
+    hmg_assert(cfg_.numNodes >= 1 && cfg_.numNodes <= kMaxNodes);
+    hmg_assert(cfg_.numGpus % cfg_.numNodes == 0);
+    // The node-tier workloads hardcode the 2x2x2 GPM placement.
+    if (cfg_.numNodes > 1)
+        hmg_assert(cfg_.hier && cfg_.numGpus == 4 &&
+                   cfg_.gpmsPerGpu == 2);
+    topo_ = {cfg_.numGpus, cfg_.gpmsPerGpu, cfg_.numNodes};
     numGpms_ = cfg_.numGpus * cfg_.gpmsPerGpu;
     hmg_assert(cfg_.numGpus <= kMaxGpus && numGpms_ <= kMaxGpms);
     hmg_assert(cfg_.dirEntriesPerNode >= 1);
@@ -269,6 +315,86 @@ Explorer::setupWorkload()
     auto Acq = [](Scope s) { return Op{OpK::Acq, 0, s, 0}; };
     auto Rel = [](Scope s) { return Op{OpK::Rel, 0, s, 0}; };
     const Scope gpu = Scope::Gpu, sys = Scope::Sys, cta = Scope::Cta;
+
+    if (cfg_.numNodes > 1) {
+        // 2 nodes x 2 GPUs x 2 GPMs: node 0 = gpms 0-3 (gpus 0-1),
+        // node 1 = gpms 4-7 (gpus 2-3). For a line homed at gpm0, GPU
+        // homes are gpms 0/2/4/6 and node 1's node home is gpm4.
+        // Placements are chosen so every workload exercises a
+        // requester -> GPU home -> node home -> system home chain with
+        // all four hops on distinct GPMs (plus the collapsed variants).
+        switch (cfg_.workload) {
+          case Workload::Free:
+            // Both lines homed at gpm0: one-entry directories replace
+            // at the system home, at node 1's node home (gpm4, via
+            // gpm5/gpm7 traffic) and at gpm7's GPU home (gpm6).
+            cfg_.numLines = 2;
+            homeOf_[0] = 0;
+            homeOf_[1] = 0;
+            T(0, {St(0), Rel(gpu)});
+            T(3, {Ld(0, cta, 0), Ld(1, cta, 1)});
+            T(7, {Ld(0, cta, 0), Ld(1, cta, 1)});
+            T(5, {St(1), Rel(sys)});
+            break;
+          case Workload::MpSys:
+            // Writer on node 0 next to the data's home; reader on
+            // node 1 at its own GPU home, so its data load and the
+            // writer's flag store each walk the full three-level
+            // chain (6 -> nh 4 -> 0 and 1's gh 0 -> nh 2 -> 6).
+            cfg_.numLines = 2;
+            homeOf_[0] = 0; // data (writer-node home)
+            homeOf_[1] = 6; // flag (reader's GPM)
+            T(1, {St(0), Rel(sys), St(1)});
+            T(6, {Ld(0, cta, 0), Ld(1, cta, 1), Acq(sys), Ld(0, cta, 2)});
+            break;
+          case Workload::MpGpu:
+            // Both threads on GPU 3 (node 1); data homed on the other
+            // *node*, so the .gpu release must rely on the GPU home's
+            // fresh copy held on the remote-node path.
+            cfg_.numLines = 2;
+            homeOf_[0] = 0; // data (remote-node home)
+            homeOf_[1] = 6; // flag (writer-local home)
+            T(6, {St(0), Rel(gpu), St(1)});
+            T(7, {Ld(0, cta, 0), Ld(1, cta, 1), Acq(gpu), Ld(0, cta, 2)});
+            break;
+          case Workload::MpGpuCross:
+            // Deliberately mis-scoped: .gpu fences across *nodes*.
+            // Data homed on the reader's GPU (node 1), with the writer
+            // its own GPU home *and* node home for the data line, so
+            // the .gpu release completes locally while the
+            // write-through is still crossing to gpm5 on a channel
+            // disjoint from the flag path (1 -> 0 -> 4). The forbidden
+            // outcome must stay reachable.
+            cfg_.numLines = 2;
+            homeOf_[0] = 5; // data (reader-side home, node 1)
+            homeOf_[1] = 0; // flag
+            T(1, {St(0), Rel(gpu), St(1)});
+            T(4, {Ld(0, cta, 0), Ld(1, cta, 1), Acq(gpu), Ld(0, cta, 2)});
+            break;
+          case Workload::SbSys:
+            // x homed on node 0, y on node 1; each .sys load crosses
+            // the node boundary and must miss through to the far
+            // system home.
+            cfg_.numLines = 2;
+            homeOf_[0] = 0; // x
+            homeOf_[1] = 4; // y
+            T(1, {St(0), Rel(sys), Ld(1, sys, 0)});
+            T(5, {St(1), Rel(sys), Ld(0, sys, 0)});
+            break;
+          case Workload::WrcSys:
+            // Three threads spanning both nodes; t5's flag2 store
+            // walks the full 5 -> 4 -> 6 -> 2 chain.
+            cfg_.numLines = 3;
+            homeOf_[0] = 0; // data (node 0)
+            homeOf_[1] = 6; // flag1 (node 1)
+            homeOf_[2] = 2; // flag2 (node 0, other GPU)
+            T(1, {St(0), Rel(sys), St(1)});
+            T(5, {Ld(1, cta, 0), Acq(sys), Rel(sys), St(2)});
+            T(3, {Ld(0, cta, 0), Ld(2, cta, 1), Acq(sys), Ld(0, cta, 2)});
+            break;
+        }
+        return;
+    }
 
     switch (cfg_.workload) {
       case Workload::Free:
@@ -341,6 +467,8 @@ Explorer::tableAt(GpmId node, std::uint8_t l) const
     }
     if (node == hOf(l))
         return tabs_[std::size_t(Role::SysHome)];
+    if (isNodeHome(node, l))
+        return tabs_[std::size_t(Role::NodeHome)];
     hmg_assert(ghOfLine(topo_.gpuOf(node), l) == node);
     return tabs_[std::size_t(Role::GpuHome)];
 }
@@ -349,19 +477,33 @@ DirSnapshot
 Explorer::readEntry(const MState &s, GpmId node, std::uint8_t l) const
 {
     if (!cfg_.hier || node == hOf(l))
-        return {s.sysP[l] != 0, s.sysGpm[l], s.sysGpu[l]};
+        return {s.sysP[l] != 0, s.sysGpm[l], s.sysGpu[l], s.sysNode[l]};
+    if (isNodeHome(node, l)) {
+        const NodeId n = topo_.nodeOfGpm(node);
+        return {s.nhP[n][l] != 0, s.nhGpm[n][l], s.nhGpu[n][l], 0};
+    }
     const GpuId g = topo_.gpuOf(node);
-    return {s.ghP[g][l] != 0, s.ghGpm[g][l], 0};
+    return {s.ghP[g][l] != 0, s.ghGpm[g][l], 0, 0};
 }
 
 void
 Explorer::writeEntry(MState &s, GpmId node, std::uint8_t l, bool present,
-                     std::uint32_t gpm, std::uint32_t gpu) const
+                     std::uint32_t gpm, std::uint32_t gpu,
+                     std::uint32_t node_bits) const
 {
     if (!cfg_.hier || node == hOf(l)) {
         s.sysP[l] = present ? 1 : 0;
         s.sysGpm[l] = static_cast<std::uint8_t>(gpm);
         s.sysGpu[l] = static_cast<std::uint8_t>(gpu);
+        s.sysNode[l] = static_cast<std::uint8_t>(node_bits);
+        return;
+    }
+    hmg_assert(node_bits == 0); // only the system home tracks nodes
+    if (isNodeHome(node, l)) {
+        const NodeId n = topo_.nodeOfGpm(node);
+        s.nhP[n][l] = present ? 1 : 0;
+        s.nhGpm[n][l] = static_cast<std::uint8_t>(gpm);
+        s.nhGpu[n][l] = static_cast<std::uint8_t>(gpu);
         return;
     }
     const GpuId g = topo_.gpuOf(node);
@@ -375,6 +517,8 @@ Explorer::entryPresentAt(const MState &s, GpmId node, std::uint8_t l) const
 {
     if (node == hOf(l))
         return s.sysP[l] != 0;
+    if (isNodeHome(node, l))
+        return s.nhP[topo_.nodeOfGpm(node)][l] != 0;
     if (cfg_.hier && ghOfLine(topo_.gpuOf(node), l) == node)
         return s.ghP[topo_.gpuOf(node)][l] != 0;
     return false;
@@ -403,28 +547,32 @@ Explorer::applyAt(MState &s, GpmId node, GpmId via, std::uint8_t l,
     ApplyOutcome out = applyDirEvent(
         tab, topo_, cfg_.hier, node, via, ev, pre,
         [&](GpuId g) { return ghOfLine(g, l); },
+        [&](NodeId n) { return nhOfLine(n, l); },
         [&](GpmId tgt) { send(s, node, tgt, Msg{MInv, l, 0, 0}); });
 
     // Commit, mirroring core/hw_protocol.cc's directory adapter:
     // valid-but-empty entries are only dropped by an explicit re-fan.
     if (!out.keepEntry) {
-        if (pre.present &&
-            (ev == DirEvent::InvRecv || pre.gpmBits || pre.gpuBits))
-            writeEntry(s, node, l, false, 0, 0);
+        if (pre.present && (ev == DirEvent::InvRecv || pre.gpmBits ||
+                            pre.gpuBits || pre.nodeBits))
+            writeEntry(s, node, l, false, 0, 0, 0);
         return;
     }
     switch (out.row->update) {
       case DirUpdate::SetSoleSharer:
-        if (pre.present && (pre.gpmBits || pre.gpuBits))
-            writeEntry(s, node, l, false, 0, 0);
+        if (pre.present &&
+            (pre.gpmBits || pre.gpuBits || pre.nodeBits))
+            writeEntry(s, node, l, false, 0, 0, 0);
         [[fallthrough]];
       case DirUpdate::AddSharer:
         if (!readEntry(s, node, l).present)
             evictFor(s, node, l);
-        writeEntry(s, node, l, true, out.gpmBits, out.gpuBits);
+        writeEntry(s, node, l, true, out.gpmBits, out.gpuBits,
+                   out.nodeBits);
         break;
       default:
-        writeEntry(s, node, l, pre.present, out.gpmBits, out.gpuBits);
+        writeEntry(s, node, l, pre.present, out.gpmBits, out.gpuBits,
+                   out.nodeBits);
         break;
     }
 }
@@ -446,13 +594,14 @@ Explorer::evictFor(MState &s, GpmId node, std::uint8_t line)
     hmg_assert(victim >= 0);
     const auto vl = static_cast<std::uint8_t>(victim);
     const DirSnapshot pre = readEntry(s, node, vl);
-    if (pre.gpmBits || pre.gpuBits)
+    if (pre.gpmBits || pre.gpuBits || pre.nodeBits)
         applyDirEvent(
             tableAt(node, vl), topo_, cfg_.hier, node, kInvalidGpm,
             DirEvent::Replace, pre,
             [&](GpuId g) { return ghOfLine(g, vl); },
+            [&](NodeId n) { return nhOfLine(n, vl); },
             [&](GpmId tgt) { send(s, node, tgt, Msg{MInv, vl, 0, 0}); });
-    writeEntry(s, node, vl, false, 0, 0);
+    writeEntry(s, node, vl, false, 0, 0, 0);
 }
 
 bool
@@ -516,11 +665,14 @@ Explorer::threadStep(const MState &s, int t, Succ &sc)
         const GpmId gh = ghOfLine(topo_.gpuOf(p), l);
         if (p == gh) {
             // Writer is its own GPU home: GPU level is reached in the
-            // issuing event; only the system-level hop remains.
+            // issuing event; only the upper hops remain (the node home
+            // when one stands between gh and h, then the system home).
+            const GpmId up = upFrom(gh, l);
             applyAt(out, gh, p, l, DirEvent::Store);
-            send(out, gh, h, Msg{MWtF, l, ver, std::uint8_t(p)});
+            send(out, gh, up, Msg{MWtF, l, ver, std::uint8_t(p)});
             out.pendS[t]++;
-            sc.label = who + what + " (at gpu home) -> WTFwd " + gpmName(h);
+            sc.label = who + what + " (at gpu home) -> WTFwd " +
+                       gpmName(up);
             return true;
         }
         send(out, p, gh, Msg{MWt, l, ver, std::uint8_t(p)});
@@ -552,7 +704,7 @@ Explorer::threadStep(const MState &s, int t, Succ &sc)
                        std::to_string(s.cache[p][l] - 1) + " (local hit)";
             return true;
         }
-        const GpmId dst = atGh ? h : gh;
+        const GpmId dst = atGh ? upFrom(gh, l) : gh;
         send(out, p, dst,
              Msg{MReadReq, l, std::uint8_t(op.scope), std::uint8_t(p)});
         out.waiting[t] = 1;
@@ -599,8 +751,10 @@ Explorer::deliver(MState &s, GpmId src, GpmId dst, const Msg &m)
     switch (m.kind) {
       case MReadReq:
         if (cfg_.hier && dst != h) {
-            // dst is the requester's GPU home; serve if the scope may
-            // hit here, else consult the system home (Section V-B).
+            // dst is the requester's GPU home (or, for a requester
+            // that is its own GPU home, its node home); serve if the
+            // scope may hit at an intermediate level, else consult the
+            // next home up the chain (Section V-B).
             if (loadMayHit(static_cast<Scope>(m.ver),
                            CacheRole::GpuHome) &&
                 s.cache[dst][l]) {
@@ -609,7 +763,8 @@ Explorer::deliver(MState &s, GpmId src, GpmId dst, const Msg &m)
                      Msg{MResp, l, std::uint8_t(s.cache[dst][l] - 1),
                          m.a});
             } else {
-                send(s, dst, h, Msg{MReadReqF, l, m.ver, m.a});
+                send(s, dst, upFrom(dst, l),
+                     Msg{MReadReqF, l, m.ver, m.a});
             }
             break;
         }
@@ -618,8 +773,23 @@ Explorer::deliver(MState &s, GpmId src, GpmId dst, const Msg &m)
         break;
 
       case MReadReqF:
-        // src is the forwarding GPU home; only its identity is
-        // recorded here (Section V-B, "Loads").
+        if (cfg_.hier && dst != h) {
+            // dst is the node home, src the forwarding GPU home: same
+            // serve-or-forward decision one tier up.
+            if (loadMayHit(static_cast<Scope>(m.ver),
+                           CacheRole::GpuHome) &&
+                s.cache[dst][l]) {
+                applyAt(s, dst, src, l, DirEvent::LoadMiss);
+                send(s, dst, src,
+                     Msg{MRespF, l, std::uint8_t(s.cache[dst][l] - 1),
+                         m.a});
+            } else {
+                send(s, dst, h, Msg{MReadReqF, l, m.ver, m.a});
+            }
+            break;
+        }
+        // src is the forwarding home (GPU or node home); only its
+        // identity is recorded here (Section V-B, "Loads").
         applyAt(s, h, src, l, DirEvent::LoadMiss);
         send(s, h, src, Msg{MRespF, l, s.mem[l], m.a});
         break;
@@ -629,8 +799,16 @@ Explorer::deliver(MState &s, GpmId src, GpmId dst, const Msg &m)
         resume(s, dst, m.ver);
         break;
 
-      case MRespF:
-        fillCache(s, dst, l, m.ver); // GPU home fills from the response
+      case MRespF: {
+        fillCache(s, dst, l, m.ver); // the home fills from the response
+        const GpmId gh = ghOfLine(topo_.gpuOf(m.a), l);
+        if (cfg_.hier && dst != gh) {
+            // dst is the node home on the downward path: record the
+            // GPU home it serves and pass the response one tier down.
+            applyAt(s, dst, gh, l, DirEvent::LoadMiss);
+            send(s, dst, gh, Msg{MRespF, l, m.ver, m.a});
+            break;
+        }
         if (m.a == dst) {
             resume(s, dst, m.ver);
             break;
@@ -638,6 +816,7 @@ Explorer::deliver(MState &s, GpmId src, GpmId dst, const Msg &m)
         applyAt(s, dst, m.a, l, DirEvent::LoadMiss);
         send(s, dst, m.a, Msg{MResp, l, m.ver, m.a});
         break;
+      }
 
       case MWt: {
         const int t = thrAt_[m.a];
@@ -657,7 +836,7 @@ Explorer::deliver(MState &s, GpmId src, GpmId dst, const Msg &m)
             applyAt(s, dst, m.a, l, DirEvent::Store);
             hmg_assert(s.pendG[t]);
             s.pendG[t]--;
-            send(s, dst, h, Msg{MWtF, l, m.ver, m.a});
+            send(s, dst, upFrom(dst, l), Msg{MWtF, l, m.ver, m.a});
         }
         break;
       }
@@ -665,8 +844,19 @@ Explorer::deliver(MState &s, GpmId src, GpmId dst, const Msg &m)
       case MWtF: {
         const int t = thrAt_[m.a];
         hmg_assert(t >= 0);
+        if (cfg_.hier && dst != h) {
+            // dst is the node home: its FIFO inbound channels
+            // serialize same-node write-throughs in arrival order, and
+            // the order it forwards them to the system home is the
+            // order they land there — so, as at the GPU home, the fill
+            // is unconditional (mirrors storeAtNodeHome).
+            s.cache[dst][l] = std::uint8_t(m.ver + 1);
+            applyAt(s, dst, src, l, DirEvent::Store); // via = GPU home
+            send(s, dst, h, Msg{MWtF, l, m.ver, m.a});
+            break;
+        }
         s.mem[l] = m.ver;
-        applyAt(s, h, src, l, DirEvent::Store); // via = the GPU home
+        applyAt(s, h, src, l, DirEvent::Store); // via = forwarding home
         hmg_assert(s.pendS[t]);
         s.pendS[t]--;
         break;
@@ -777,6 +967,22 @@ Explorer::wtInFlight(const MState &s, GpuId g, std::uint8_t l) const
     return false;
 }
 
+bool
+Explorer::wtFromNodeInFlight(const MState &s, NodeId n,
+                             std::uint8_t l) const
+{
+    for (GpmId a = 0; a < numGpms_; ++a)
+        for (GpmId b = 0; b < numGpms_; ++b)
+            for (std::uint8_t i = 0; i < s.chanN[a][b]; ++i) {
+                const Msg &m = s.chanQ[a][b][i];
+                if ((m.kind != MWt && m.kind != MWtF) || m.line != l)
+                    continue;
+                if (topo_.nodeOf(topo_.gpuOf(m.a)) == n)
+                    return true;
+            }
+    return false;
+}
+
 std::string
 Explorer::coverageViolation(const MState &s) const
 {
@@ -797,16 +1003,54 @@ Explorer::coverageViolation(const MState &s) const
             } else if (topo_.gpuOf(p) == topo_.gpuOf(h)) {
                 covered = s.sysP[l] &&
                           ((s.sysGpm[l] >> topo_.localGpmOf(p)) & 1);
-            } else {
+            } else if (topo_.nodeOfGpm(p) == topo_.nodeOfGpm(h)) {
                 const GpuId g = topo_.gpuOf(p);
                 const bool gpuBit =
-                    s.sysP[l] && ((s.sysGpu[l] >> g) & 1);
+                    s.sysP[l] &&
+                    ((s.sysGpu[l] >> topo_.localGpuOf(g)) & 1);
                 if (p == ghOfLine(g, l))
                     covered = gpuBit;
                 else
                     covered = gpuBit && s.ghP[g][l] &&
                               ((s.ghGpm[g][l] >> topo_.localGpmOf(p)) &
                                1);
+            } else {
+                // Remote node: walk the three-level chain — node bit
+                // at the system home, then (unless p is the node home
+                // itself) the node home's entry, then (unless p is its
+                // GPU home) the GPU home's entry.
+                const NodeId n = topo_.nodeOfGpm(p);
+                const GpuId g = topo_.gpuOf(p);
+                const GpmId nh = nhOfLine(n, l);
+                // The sys->node link is transiently excused while a
+                // write-through from node n is in flight: the node
+                // home fills from pass-through write-throughs (and may
+                // serve descendants from that copy) before the
+                // forwarded write-through lands at the system home and
+                // establishes the node bit. The sub-node links are
+                // still required — the copy must be reachable from the
+                // node home's own directory.
+                const bool nodeBit =
+                    (s.sysP[l] && ((s.sysNode[l] >> n) & 1)) ||
+                    wtFromNodeInFlight(s, n, l);
+                if (p == nh) {
+                    covered = nodeBit;
+                } else if (g == topo_.gpuOf(nh)) {
+                    covered = nodeBit && s.nhP[n][l] &&
+                              ((s.nhGpm[n][l] >> topo_.localGpmOf(p)) &
+                               1);
+                } else {
+                    const bool gpuBit =
+                        nodeBit && s.nhP[n][l] &&
+                        ((s.nhGpu[n][l] >> topo_.localGpuOf(g)) & 1);
+                    if (p == ghOfLine(g, l))
+                        covered = gpuBit;
+                    else
+                        covered = gpuBit && s.ghP[g][l] &&
+                                  ((s.ghGpm[g][l] >>
+                                    topo_.localGpmOf(p)) &
+                                   1);
+                }
             }
             if (!covered)
                 return "sharer-tracking violation: " + gpmName(p) +

@@ -4,7 +4,8 @@
  * protocols, driven by the declarative transition tables of spec.hh.
  *
  * The model is a small, finite abstraction of the machine the timing
- * simulator builds: 2 GPUs x 2 GPMs, 1-2 cache lines, one logical
+ * simulator builds: 2 GPUs x 2 GPMs (or 2 nodes x 2 GPUs x 2 GPMs with
+ * numNodes = 2), 1-3 cache lines, one logical
  * thread per GPM, per-(src,dst) FIFO message channels, and directory
  * entries stepped through verify::applyDirEvent — i.e. through exactly
  * the rows core/hw_protocol.cc executes. Breadth-first exploration of
@@ -71,6 +72,13 @@ const char *toString(Workload w);
 struct MckConfig
 {
     bool hier = true;              //!< true = HMG tables, false = NHCC
+    /**
+     * 1 = the paper's two-level home chain; 2 = a 2-node machine whose
+     * home chain has a live node tier (requires hier, numGpus = 4,
+     * gpmsPerGpu = 2 — the smallest shape where requester, GPU home,
+     * node home and system home are four distinct GPMs).
+     */
+    std::uint32_t numNodes = 1;
     std::uint32_t numGpus = 2;
     std::uint32_t gpmsPerGpu = 2;
     std::uint32_t numLines = 2;

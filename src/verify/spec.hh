@@ -86,7 +86,9 @@ enum class EmitMsg : std::uint8_t
     DataResp,    //!< the load flow ships the line back (no dir traffic)
     InvOthers,   //!< invalidate every sharer outside the writer's domain
     InvAll,      //!< invalidate every sharer (replacement)
-    RefanGpm,    //!< HMG-only: re-fan the invalidation to GPM sharers
+    RefanGpm,    //!< HMG-only: re-fan the invalidation one tier down
+                 //!< (GPM sharers; a node home also re-fans to the
+                 //!< GPU homes of its tracked GPUs)
 };
 
 /** Which directory a table describes. */
@@ -94,7 +96,8 @@ enum class Role : std::uint8_t
 {
     FlatHome,  //!< NHCC's single home (flat GPM sharer bits)
     GpuHome,   //!< HMG per-GPU home (local GPM bits only)
-    SysHome,   //!< HMG system home (GPM bits + GPU bits)
+    NodeHome,  //!< HMG per-node home (GPM bits + local GPU bits)
+    SysHome,   //!< HMG system home (GPM + GPU + node bits)
     NumRoles,
 };
 

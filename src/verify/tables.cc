@@ -76,6 +76,22 @@ constexpr Transition kGpuHomeRows[] = {
      false, false, "Invalidation with no tracked local sharers: drop"},
 };
 
+constexpr Transition kNodeHomeRows[] = {
+    HMG_COMMON_HOME_ROWS,
+    // A node home is the same automaton one tier up: a system-level
+    // invalidation arriving here re-fans to the local GPM sharers it
+    // tracks *and* to the GPU homes of its tracked same-node GPUs,
+    // which re-fan again (the three-wave chain Section V-C's release
+    // marker rounds drain). Still transient-free, still ack-free.
+    {DirState::Valid, DirEvent::InvRecv, Guard::Always,
+     DirState::Invalid, DirUpdate::Clear, EmitMsg::RefanGpm,
+     false, false,
+     "HMG multi-node: node home re-fans the invalidation one tier down"},
+    {DirState::Invalid, DirEvent::InvRecv, Guard::Always,
+     DirState::Invalid, DirUpdate::None, EmitMsg::None,
+     false, false, "Invalidation with no tracked node sharers: drop"},
+};
+
 #undef HMG_COMMON_HOME_ROWS
 
 constexpr TransitionTable kTables[] = {
@@ -83,6 +99,8 @@ constexpr TransitionTable kTables[] = {
      sizeof(kFlatHomeRows) / sizeof(kFlatHomeRows[0])},
     {Role::GpuHome, "hmg-gpu-home", kGpuHomeRows,
      sizeof(kGpuHomeRows) / sizeof(kGpuHomeRows[0])},
+    {Role::NodeHome, "hmg-node-home", kNodeHomeRows,
+     sizeof(kNodeHomeRows) / sizeof(kNodeHomeRows[0])},
     {Role::SysHome, "hmg-sys-home", kSysHomeRows,
      sizeof(kSysHomeRows) / sizeof(kSysHomeRows[0])},
 };
@@ -115,9 +133,10 @@ receivable(Role role, DirState s, DirEvent e)
         // Replacement is only ever applied to a displaced valid victim.
         return s == DirState::Valid;
       case DirEvent::InvRecv:
-        // Only a GPU home owns re-fan state; elsewhere an arriving
-        // invalidation is pure cache-side work.
-        return role == Role::GpuHome;
+        // Only the intermediate homes (GPU home, node home) own re-fan
+        // state; elsewhere an arriving invalidation is pure cache-side
+        // work.
+        return role == Role::GpuHome || role == Role::NodeHome;
       case DirEvent::NumEvents:
         break;
     }
@@ -187,6 +206,7 @@ toString(Role r)
     switch (r) {
       case Role::FlatHome: return "FlatHome";
       case Role::GpuHome:  return "GpuHome";
+      case Role::NodeHome: return "NodeHome";
       case Role::SysHome:  return "SysHome";
       case Role::NumRoles: break;
     }
@@ -248,8 +268,10 @@ checkTable(const TransitionTable &t)
         if (r.emit == EmitMsg::InvAll && r.event != DirEvent::Replace)
             complain(rowName(t, r) + " blanket-invalidates outside a "
                      "replacement");
-        if (r.emit == EmitMsg::RefanGpm && t.role != Role::GpuHome)
-            complain(rowName(t, r) + " re-fans at a non-GPU-home role");
+        if (r.emit == EmitMsg::RefanGpm && t.role != Role::GpuHome &&
+            t.role != Role::NodeHome)
+            complain(rowName(t, r) + " re-fans at a role with no home "
+                     "tier below it");
         if (r.event == DirEvent::Store && r.guard == Guard::Always)
             complain(rowName(t, r) + " ignores the writer-tracking "
                      "guard stores require");
@@ -314,6 +336,13 @@ enum MsgClassId : std::uint8_t
     kRelMarkerRelay, // relay GPM -> its GPU's other GPMs
     kRelAck,         // marker target -> releaser / relay
     kDowngrade,      // evictor -> home
+    // Node tier (multi-node HMG): each cross-node hop of the home
+    // chain requester -> GPU home -> node home -> system home is its
+    // own resource class, exactly as the gh -> h hop already was.
+    kReadReqNfwd,    // node home -> system home
+    kReadRespNode,   // node home -> GPU home (relay down)
+    kWriteThroughNfwd, // node home -> system home
+    kInvRefanNode,   // node home -> its tracked GPU homes
     kNumMsgClasses
 };
 
@@ -325,6 +354,8 @@ constexpr MsgClass kMsgClasses[] = {
     {"AtomicReq", true},      {"AtomicResp", true},
     {"RelMarker.fan", true},  {"RelMarker.relay", true},
     {"RelAck", true},         {"Downgrade", true},
+    {"ReadReq.nfwd", true},   {"ReadResp.node", true},
+    {"WriteThrough.nfwd", true}, {"Inv.nrefan", true},
 };
 static_assert(sizeof(kMsgClasses) / sizeof(kMsgClasses[0]) ==
               kNumMsgClasses);
@@ -350,6 +381,23 @@ constexpr MsgDep kMsgDeps[] = {
     {kRelMarkerFan, kRelAck, "target acks after its inv ledger drains"},
     {kRelMarkerFan, kRelMarkerRelay, "relay fans within its GPU"},
     {kRelMarkerRelay, kRelAck, "relayed target acks"},
+    // Node tier: the same up-the-chain / down-the-chain edges one hop
+    // higher. Every new edge points strictly along the home chain, so
+    // the graph stays a DAG by construction — and the checker proves it.
+    {kReadReqFwd, kReadReqNfwd, "node-home miss consults the system home"},
+    {kReadReqFwd, kReadRespNode, "hit at the node home"},
+    {kReadReqNfwd, kReadRespSys, "system home answers"},
+    {kReadReqNfwd, kInvFan, "directory replacement on sharer allocate"},
+    {kReadRespSys, kReadRespNode, "node home relays the line down"},
+    {kReadRespNode, kReadRespHome, "GPU home relays the line down"},
+    {kReadRespNode, kAtomicResp, "GPU-home atomic performs after fetch"},
+    {kReadRespNode, kWriteThroughFwd, "atomic result writes through"},
+    {kReadRespNode, kInvFan, "atomic invalidates local sharers"},
+    {kWriteThroughFwd, kWriteThroughNfwd,
+     "node home forwards to the system home"},
+    {kWriteThroughNfwd, kInvFan, "system home invalidates stale sharers"},
+    {kInvFan, kInvRefanNode, "node home re-fans toward its GPU homes"},
+    {kInvRefanNode, kInvRefan, "GPU home re-fans to its GPM sharers"},
 };
 
 } // namespace

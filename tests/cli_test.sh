@@ -2,10 +2,13 @@
 # CLI hardening test: every malformed or out-of-range flag must be
 # rejected with a one-line error and a nonzero exit, never a silent
 # atoi()-style zero or a default silently substituted (the old
-# --placement behaviour). Run as: cli_test.sh <path-to-hmgsim>
+# --placement behaviour). Run as: cli_test.sh <path-to-hmgsim> [repo-root]
 set -u
 
-HMGSIM=${1:?usage: cli_test.sh <path-to-hmgsim>}
+HMGSIM=${1:?usage: cli_test.sh <path-to-hmgsim> [repo-root]}
+# Topology example files live relative to the repo root; default to the
+# directory above this script so the test runs standalone too.
+ROOT=${2:-$(cd "$(dirname "$0")/.." && pwd)}
 fails=0
 
 # expect_reject <description> <args...>: nonzero exit + an error line.
@@ -83,6 +86,50 @@ expect_reject "flap gpu out of range" --workload bfs --fault-flap 64:egress:0:0
 # individually in range.
 expect_reject "prob sum > 1" --workload bfs \
     --fault-drop 0.5 --fault-corrupt 0.4 --fault-delay 0.2
+
+# --topology: the file owns every geometry knob; mixing it with a
+# legacy geometry flag must be rejected by flag name, a missing or
+# malformed file must be a one-line fatal, and node counts that don't
+# divide the GPU count must die in validation.
+TOPO_DIR="$ROOT/examples/topologies"
+expect_reject "missing topology file" --topology /nonexistent/t.json
+expect_reject "topology + --gpus conflict" \
+    --topology "$TOPO_DIR/dgx_4x4.json" --gpus 8
+expect_reject "topology + --nodes conflict" \
+    --topology "$TOPO_DIR/two_node_2x2x2.json" --nodes 2
+expect_reject "topology + --l2-mb conflict" \
+    --topology "$TOPO_DIR/dgx_4x4.json" --l2-mb 24
+expect_reject "zero nodes" --nodes 0
+expect_reject "nodes not dividing gpus" --nodes 3 --workload bfs
+
+TMP_TOPO=$(mktemp /tmp/cli_topo_XXXXXX.json)
+trap 'rm -f "$TMP_TOPO"' EXIT
+printf '{ "nodes": 2, "warpSpeed": 9 }\n' > "$TMP_TOPO"
+expect_reject "topology with unknown key" --topology "$TMP_TOPO"
+printf '{ "nodes": 0 }\n' > "$TMP_TOPO"
+expect_reject "topology with zero tier" --topology "$TMP_TOPO"
+printf 'not json at all\n' > "$TMP_TOPO"
+expect_reject "malformed topology file" --topology "$TMP_TOPO"
+
+expect_accept "baseline topology file runs" \
+    --topology "$TOPO_DIR/dgx_4x4.json" --workload bfs --scale 0.05
+expect_accept "three-level topology file runs" \
+    --topology "$TOPO_DIR/two_node_2x2x2.json" --workload bfs --scale 0.05
+expect_accept "topology + non-geometry flags compose" \
+    --topology "$TOPO_DIR/two_node_2x2x2.json" --protocol hmg \
+    --workload bfs --scale 0.05 --seed 7
+
+# The baseline file must be a no-op: identical statistics to the
+# default configuration, proven on the full stats dump.
+base=$("$HMGSIM" --workload bfs --scale 0.05 --stats 2>&1)
+topo=$("$HMGSIM" --topology "$TOPO_DIR/dgx_4x4.json" \
+       --workload bfs --scale 0.05 --stats 2>&1)
+if [ "$base" = "$topo" ]; then
+    echo "ok:   dgx_4x4.json is bit-identical to the default config"
+else
+    echo "FAIL: dgx_4x4.json changed the default statistics"
+    fails=$((fails + 1))
+fi
 
 if [ "$fails" -ne 0 ]; then
     echo "cli_test: $fails failure(s)"

@@ -174,6 +174,67 @@ TEST(ConfigValidation, RejectsInconsistentConfigs)
     dies([](SystemConfig &c) { c.dirEntriesPerGpm = 12 * 1024 + 1; });
     dies([](SystemConfig &c) { c.interGpuGBpsPerLink = -1; });
     dies([](SystemConfig &c) { c.smIssueWidth = 0; });
+    // ---- node tier ----
+    dies([](SystemConfig &c) { c.numNodes = 0; });
+    dies([](SystemConfig &c) { c.numNodes = 3; }); // 4 GPUs % 3 != 0
+    dies([](SystemConfig &c) {
+        c.numGpus = 64; // 64 GPUs on one node: GPU sharer mask is 32-bit
+        c.smsPerGpu = 8;
+        c.l2BytesPerGpu = 4 * 1024 * 1024;
+    });
+    dies([](SystemConfig &c) {
+        c.numNodes = 33; // node sharer mask is 32-bit too
+        c.numGpus = 33;
+        c.smsPerGpu = 8;
+        c.l2BytesPerGpu = 4 * 1024 * 1024;
+    });
+    dies([](SystemConfig &c) {
+        // NHCC's flat mask caps the whole machine at 32 GPMs.
+        c.protocol = Protocol::Nhcc;
+        c.numNodes = 2;
+        c.numGpus = 8;
+        c.gpmsPerGpu = 8;
+        c.smsPerGpu = 8;
+        c.l2BytesPerGpu = 8 * 1024 * 1024;
+    });
+    dies([](SystemConfig &c) {
+        // LP node-cut lookahead is interNodeHopLatency/2: a 1-cycle
+        // uplink would make it zero.
+        c.numNodes = 2;
+        c.numGpus = 4;
+        c.interNodeHopLatency = 1;
+    });
+}
+
+TEST(ConfigValidation, AcceptsMultiNodeShapes)
+{
+    // The shapes the three-level model checker, the CI litmus leg and
+    // the scale-out benches run must all validate under HMG.
+    {
+        SystemConfig cfg; // 2 nodes x 2 GPUs x 2 GPMs
+        cfg.protocol = Protocol::Hmg;
+        cfg.numNodes = 2;
+        cfg.numGpus = 4;
+        cfg.gpmsPerGpu = 2;
+        cfg.smsPerGpu = 8;
+        cfg.l2BytesPerGpu = 2 * 1024 * 1024;
+        cfg.validate();
+        EXPECT_EQ(cfg.gpusPerNode(), 2u);
+        EXPECT_EQ(cfg.totalGpms(), 8u);
+    }
+    {
+        SystemConfig cfg; // 8 nodes x 8 GPUs x 4 GPMs = 64 GPUs
+        cfg.protocol = Protocol::Hmg;
+        cfg.numNodes = 8;
+        cfg.numGpus = 64;
+        cfg.gpmsPerGpu = 4;
+        cfg.smsPerGpu = 16;
+        cfg.l2BytesPerGpu = 4 * 1024 * 1024;
+        cfg.dirEntriesPerGpm = 4096;
+        cfg.validate();
+        EXPECT_EQ(cfg.gpusPerNode(), 8u);
+        EXPECT_EQ(cfg.totalGpms(), 256u);
+    }
 }
 
 TEST(ConfigValidation, AcceptsPaperVariants)

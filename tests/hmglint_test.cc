@@ -89,7 +89,8 @@ TEST(TableLint, CleanOnShippedTables)
         ADD_FAILURE() << f.table << " row " << f.row << " ["
                       << f.check << "]: " << f.message;
     EXPECT_TRUE(r.clean());
-    EXPECT_EQ(r.stats().at("table.tables"), 3u);
+    // NHCC flat + HMG sys/node/GPU home tiers.
+    EXPECT_EQ(r.stats().at("table.tables"), 4u);
 }
 
 TEST(TableLint, SeededDeadRowCaughtWithMaskingRow)
@@ -135,7 +136,8 @@ TEST(CdgLint, RealTransportIsAcyclic)
     // reason the remaining graph is acyclic, not an empty graph.
     EXPECT_GT(r.stats().at("cdg.escape_edges"), 0u);
     EXPECT_GT(r.stats().at("cdg.edges"), 0u);
-    EXPECT_EQ(r.stats().at("cdg.msg_classes"), 14u);
+    // 14 two-level hop classes + the node-uplink tier's 4.
+    EXPECT_EQ(r.stats().at("cdg.msg_classes"), 18u);
 }
 
 TEST(CdgLint, LargerInstanceStillAcyclic)

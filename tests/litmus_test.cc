@@ -325,5 +325,108 @@ INSTANTIATE_TEST_SUITE_P(
         return n;
     });
 
+// ------------------------------------------------------------------
+// Three-level litmus: the same scoped guarantees on the minimal
+// 2-node x 2-GPU x 2-GPM machine, where a sys-scope release must climb
+// requester -> GPU home -> node home -> system home and the acquire
+// path crosses the node switches. The coherence checker is interposed
+// throughout. GPM g holds SMs {2g, 2g+1}; node 0 owns GPMs 0..3,
+// node 1 owns GPMs 4..7.
+// ------------------------------------------------------------------
+
+class ThreeLevelLitmusTest : public ::testing::TestWithParam<Protocol>
+{
+  protected:
+    static SystemConfig
+    threeLevelConfig(Protocol p)
+    {
+        SystemConfig cfg = testing::smallConfig(p);
+        cfg.numNodes = 2;
+        cfg.numGpus = 4;
+        cfg.checkCoherence = true;
+        return cfg;
+    }
+
+    static CoherenceChecker &
+    checker(DirectDrive &d)
+    {
+        auto *c = dynamic_cast<CoherenceChecker *>(&d.sys.model());
+        EXPECT_NE(c, nullptr);
+        return *c;
+    }
+};
+
+TEST_P(ThreeLevelLitmusTest, MessagePassingSysScopeAcrossNodes)
+{
+    DirectDrive d(GetParam(), threeLevelConfig(GetParam()));
+    // Writer on node 0, reader on node 1, data homed on the reader's
+    // node, flag homed on the writer's — every message crosses the
+    // node uplinks in at least one direction.
+    runMessagePassing(d, /*writer=*/0, /*reader=*/8, Scope::Sys,
+                      /*data_home=*/6, /*flag_home=*/2);
+    EXPECT_GT(checker(d).checksPerformed(), 0u);
+}
+
+TEST_P(ThreeLevelLitmusTest, MessagePassingGpuScopeOnRemoteNode)
+{
+    DirectDrive d(GetParam(), threeLevelConfig(GetParam()));
+    // Both threads live on node 1's GPU 2; a .gpu-scope release must
+    // not need the (remote) system home on node 0 for visibility
+    // within the GPU.
+    runMessagePassing(d, /*writer=*/8, /*reader=*/10, Scope::Gpu,
+                      /*data_home=*/1, /*flag_home=*/5);
+    EXPECT_GT(checker(d).checksPerformed(), 0u);
+}
+
+TEST_P(ThreeLevelLitmusTest, StoreBufferingSysScopeAcrossNodes)
+{
+    DirectDrive d(GetParam(), threeLevelConfig(GetParam()));
+    d.place(kData, 0);
+    d.place(kFlag, 7);
+    Version x1 = d.store(2, kData);
+    d.release(2, Scope::Sys);
+    Version r1 = d.load(2, kFlag, Scope::Sys);
+    Version y1 = d.store(12, kFlag);
+    d.release(12, Scope::Sys);
+    Version r2 = d.load(12, kData, Scope::Sys);
+    EXPECT_FALSE(r1 == 0 && r2 == 0) << "SB forbidden outcome";
+    EXPECT_EQ(r2, x1);
+    (void)y1;
+    EXPECT_GT(checker(d).checksPerformed(), 0u);
+}
+
+TEST_P(ThreeLevelLitmusTest, RepeatedRoundsAcrossNodesUnderChecker)
+{
+    DirectDrive d(GetParam(), threeLevelConfig(GetParam()));
+    d.place(kData, 5);
+    d.place(kFlag, 3);
+    for (int round = 0; round < 3; ++round) {
+        Version v1 = d.store(1, kData);
+        d.release(1, Scope::Sys);
+        Version v2 = d.store(1, kFlag);
+        Version seen = 0;
+        int spins = 0;
+        while (seen < v2) {
+            seen = d.load(15, kFlag, Scope::Sys);
+            ASSERT_LT(++spins, 100);
+        }
+        d.acquire(15, Scope::Sys);
+        EXPECT_GE(d.load(15, kData), v1);
+    }
+    EXPECT_GT(checker(d).checksPerformed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CheckedProtocols, ThreeLevelLitmusTest,
+    ::testing::Values(Protocol::SwNonHier, Protocol::SwHier,
+                      Protocol::Nhcc, Protocol::Hmg),
+    [](const ::testing::TestParamInfo<Protocol> &info) {
+        std::string n = toString(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
 } // namespace
 } // namespace hmg

@@ -24,7 +24,7 @@ TEST(VerifyTables, AllTablesAckFreeTransientFreeComplete)
 {
     std::size_t count = 0;
     const TransitionTable *tables = allTables(count);
-    ASSERT_EQ(count, 3u);
+    ASSERT_EQ(count, 4u); // NHCC flat + HMG sys/node/GPU home tiers
     for (std::size_t i = 0; i < count; ++i) {
         auto problems = checkTable(tables[i]);
         for (const auto &p : problems)

@@ -88,5 +88,12 @@ echo "=== hmgcheck: exhaustive state-space exploration ==="
 BUILD_BIN=build/tools/hmgcheck
 budget 600 "hmgcheck nhcc" "$BUILD_BIN" --protocol nhcc
 budget 600 "hmgcheck hmg" "$BUILD_BIN" --protocol hmg
+# The three-level home chain on the minimal 2x2x2 multi-node instance:
+# requester, GPU home, node home and system home are four distinct GPMs.
+budget 600 "hmgcheck hmg 3-level" "$BUILD_BIN" --protocol hmg --nodes 2
+
+echo "=== hmglint: deadlock freedom at the 64-GPU scale-out shape ==="
+budget 120 "hmglint cdg scaleout" build/tools/hmglint --cdg \
+    --topology examples/topologies/scaleout_8x8x4.json
 
 echo "ci: PASS"

@@ -19,6 +19,7 @@
  * demonstrating the checker can detect real scope bugs.
  *
  *   hmgcheck --protocol hmg
+ *   hmgcheck --protocol hmg --nodes 2           (3-level home chain)
  *   hmgcheck --protocol nhcc --workload mp_sys --trace
  *   hmgcheck --protocol hmg --seed-bad-row      (counterexample demo)
  */
@@ -43,6 +44,7 @@ using namespace hmg;
 struct Options
 {
     bool hier = true;
+    std::uint32_t numNodes = 1;
     std::string workload = "all";
     std::uint32_t dirCap = 1;
     bool seedBadRow = false;
@@ -58,6 +60,10 @@ usage()
     std::printf(
         "hmgcheck — exhaustive model checker for the coherence tables\n\n"
         "  --protocol P      nhcc|hmg (default hmg)\n"
+        "  --nodes N         1 = the paper's two-level home chain;\n"
+        "                    2 = a 2-node x 2-GPU x 2-GPM machine whose\n"
+        "                    home chain has a live node tier (requires\n"
+        "                    --protocol hmg; default 1)\n"
         "  --workload W      free|mp_sys|mp_gpu|mp_gpu_cross|sb_sys|\n"
         "                    wrc_sys|all (default all)\n"
         "  --dir-cap N       directory entries per model node (default 1,\n"
@@ -92,6 +98,8 @@ parse(int argc, char **argv)
                 o.hier = false;
             else
                 hmg_fatal("unknown protocol '%s' (nhcc|hmg)", p.c_str());
+        } else if (a == "--nodes") {
+            o.numNodes = static_cast<std::uint32_t>(std::atoi(need(i)));
         } else if (a == "--workload")
             o.workload = need(i);
         else if (a == "--dir-cap")
@@ -114,6 +122,11 @@ parse(int argc, char **argv)
             hmg_fatal("unknown option '%s'", a.c_str());
         }
     }
+    if (o.numNodes != 1 && o.numNodes != 2)
+        hmg_fatal("--nodes must be 1 or 2, got %u", o.numNodes);
+    if (o.numNodes == 2 && !o.hier)
+        hmg_fatal("--nodes 2 requires --protocol hmg: the flat NHCC "
+                  "protocol has no node-home tier to exercise");
     return o;
 }
 
@@ -161,7 +174,13 @@ runStatic(const Options &o)
     // one proves the transport instance (ports x classes) can't
     // deadlock either. Shared with `hmglint --cdg`.
     verify::lint::LintReport cdg;
-    verify::lint::analyzeCdg(verify::lint::CdgOptions{}, cdg);
+    verify::lint::CdgOptions cdgOpts;
+    if (o.numNodes == 2) {
+        cdgOpts.numGpus = 4;
+        cdgOpts.gpmsPerGpu = 2;
+        cdgOpts.numNodes = 2;
+    }
+    verify::lint::analyzeCdg(cdgOpts, cdg);
     if (!o.quiet)
         std::printf("static  channel-dep graph: %s\n",
                     cdg.clean()
@@ -180,6 +199,13 @@ runWorkload(const Options &o, verify::Workload w)
 {
     verify::MckConfig cfg;
     cfg.hier = o.hier;
+    cfg.numNodes = o.numNodes;
+    if (o.numNodes == 2) {
+        // The smallest shape where requester, GPU home, node home and
+        // system home are four distinct GPMs (see MckConfig).
+        cfg.numGpus = 4;
+        cfg.gpmsPerGpu = 2;
+    }
     cfg.dirEntriesPerNode = o.dirCap;
     cfg.workload = w;
     cfg.seedBadRow = o.seedBadRow;
@@ -271,9 +297,11 @@ main(int argc, char **argv)
     Options o = parse(argc, argv);
 
     if (!o.quiet)
-        std::printf("hmgcheck: protocol %s, %s directory entr%s per "
-                    "node\n",
-                    o.hier ? "hmg" : "nhcc", o.dirCap == 1 ? "one" : "N",
+        std::printf("hmgcheck: protocol %s, %s home chain, %s directory "
+                    "entr%s per node\n",
+                    o.hier ? "hmg" : "nhcc",
+                    o.numNodes > 1 ? "three-level (2x2x2)" : "two-level",
+                    o.dirCap == 1 ? "one" : "N",
                     o.dirCap == 1 ? "y" : "ies");
 
     bool ok = runStatic(o);

@@ -35,6 +35,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "common/topology.hh"
 #include "verify/lint/cdg.hh"
 #include "verify/lint/determinism.hh"
 #include "verify/lint/lint.hh"
@@ -53,6 +54,7 @@ struct Options
     bool determinism = false;
     bool statkeys = false;
     std::string root = ".";
+    std::string topology;
     bool json = false;
     bool quiet = false;
     bool seedDeadRow = false;
@@ -73,6 +75,10 @@ usage()
         "                    (default: all four families)\n"
         "  --root DIR        repository root for source scans\n"
         "                    (default .)\n"
+        "  --topology FILE   build the CDG over the machine shape of a\n"
+        "                    topology JSON file instead of the default\n"
+        "                    small instance (node tier included when\n"
+        "                    the file declares nodes > 1)\n"
         "  --json            machine-readable report on stdout\n"
         "  --quiet           findings only, no summary\n"
         "  --seed-dead-row   test hook: append a guard-shadowed row;\n"
@@ -103,6 +109,8 @@ parse(int argc, char **argv)
             o.statkeys = true;
         else if (a == "--root")
             o.root = need(i);
+        else if (a == "--topology")
+            o.topology = need(i);
         else if (a == "--json")
             o.json = true;
         else if (a == "--quiet")
@@ -140,6 +148,12 @@ main(int argc, char **argv)
     }
     if (o.cdg) {
         lint::CdgOptions copts;
+        if (!o.topology.empty()) {
+            const hmg::Topology t = hmg::Topology::loadFile(o.topology);
+            copts.numGpus = t.totalGpus();
+            copts.gpmsPerGpu = t.gpmsPerGpu;
+            copts.numNodes = t.nodes;
+        }
         copts.seedCdgCycle = o.seedCdgCycle;
         lint::analyzeCdg(copts, report);
     }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/topology.hh"
 #include "gpu/simulator.hh"
 #include "sim/sweep.hh"
 #include "sim/watchdog.hh"
@@ -154,7 +155,12 @@ usage()
         "  --deterministic         with --lp-jobs: single-threaded\n"
         "                          (tick, insertion-order) merge that is\n"
         "                          bit-identical to the serial engine\n"
-        "  --gpus N --gpms N       topology overrides\n"
+        "  --topology FILE         load a declarative machine shape\n"
+        "                          (JSON: tiers, per-tier link rates and\n"
+        "                          latencies, memories); conflicts with\n"
+        "                          the individual geometry flags below\n"
+        "  --nodes N --gpus N      topology overrides (--gpus is the\n"
+        "  --gpms N                machine total; --nodes must divide it)\n"
         "  --l2-mb N               L2 capacity per GPU (MB)\n"
         "  --dir-entries N         directory entries per GPM\n"
         "  --dir-lines N           cache lines per directory entry\n"
@@ -196,6 +202,12 @@ parse(int argc, char **argv)
             hmg_fatal("missing value for %s", argv[i]);
         return argv[++i];
     };
+    // A declarative --topology file owns every knob the individual
+    // geometry flags also set; mixing the two would silently shadow
+    // one with the other, so it is rejected by name instead.
+    std::string topology_path;
+    std::string geometry_flag;
+    auto geom = [&](const std::string &flag) { geometry_flag = flag; };
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--workload")
@@ -216,19 +228,29 @@ parse(int argc, char **argv)
                 parseU64("--lp-jobs", need(i), 1, 4096));
         else if (a == "--deterministic")
             o.cfg.lpDeterministic = true;
-        else if (a == "--gpus")
+        else if (a == "--topology")
+            topology_path = need(i);
+        else if (a == "--nodes") {
+            o.cfg.numNodes = static_cast<std::uint32_t>(
+                parseU64("--nodes", need(i), 1, 1024));
+            geom(a);
+        } else if (a == "--gpus") {
             o.cfg.numGpus = static_cast<std::uint32_t>(
                 parseU64("--gpus", need(i), 1, 1024));
-        else if (a == "--gpms")
+            geom(a);
+        } else if (a == "--gpms") {
             o.cfg.gpmsPerGpu = static_cast<std::uint32_t>(
                 parseU64("--gpms", need(i), 1, 1024));
-        else if (a == "--l2-mb")
+            geom(a);
+        } else if (a == "--l2-mb") {
             o.cfg.l2BytesPerGpu =
                 parseU64("--l2-mb", need(i), 1, 1 << 20) * 1024 * 1024;
-        else if (a == "--dir-entries")
+            geom(a);
+        } else if (a == "--dir-entries") {
             o.cfg.dirEntriesPerGpm = static_cast<std::uint32_t>(
                 parseU64("--dir-entries", need(i), 1, UINT32_MAX));
-        else if (a == "--dir-lines")
+            geom(a);
+        } else if (a == "--dir-lines")
             o.cfg.dirLinesPerEntry = static_cast<std::uint32_t>(
                 parseU64("--dir-lines", need(i), 1, UINT32_MAX));
         else if (a == "--inter-bw") {
@@ -236,6 +258,7 @@ parse(int argc, char **argv)
                 parseF64("--inter-bw", need(i), 0.0, 1e9);
             if (o.cfg.interGpuGBpsPerLink <= 0.0)
                 hmg_fatal("--inter-bw wants a positive bandwidth");
+            geom(a);
         } else if (a == "--placement") {
             const std::string p = need(i);
             if (p == "first-touch")
@@ -293,6 +316,14 @@ parse(int argc, char **argv)
             usage();
             hmg_fatal("unknown option '%s'", a.c_str());
         }
+    }
+    if (!topology_path.empty()) {
+        if (!geometry_flag.empty())
+            hmg_fatal("--topology conflicts with %s: the topology file "
+                      "already declares that knob (edit the file, or "
+                      "drop --topology and use the flags)",
+                      geometry_flag.c_str());
+        hmg::Topology::loadFile(topology_path).applyTo(o.cfg);
     }
     o.cfg.protocol = parseProtocol(o.protocol);
     return o;
