@@ -38,6 +38,8 @@ MemoryState::write(Addr line_addr, Version version, bool serialized)
 std::uint64_t
 MemoryState::linesWritten() const
 {
+    // lp-ok: post-run aggregation — the sweep joins every LP worker
+    // before it reads stats, so nothing races this shard walk.
     std::uint64_t n = 0;
     for (const Shard &s : shards_)
         n += s.lines.size();
@@ -47,6 +49,8 @@ MemoryState::linesWritten() const
 void
 MemoryState::clear()
 {
+    // lp-ok: reset runs between simulations, before any LP worker
+    // exists; the unlocked shard wipe cannot race.
     for (Shard &s : shards_)
         s.lines.clear();
     next_version_.store(0, std::memory_order_relaxed);

@@ -80,6 +80,8 @@ PageTable::isPlaced(Addr addr) const
 std::size_t
 PageTable::pageCount() const
 {
+    // lp-ok: post-run aggregation — the sweep joins every LP worker
+    // before it reads stats, so nothing races this shard walk.
     std::size_t n = 0;
     for (const Shard &s : shards_)
         n += s.home.size();
@@ -89,6 +91,8 @@ PageTable::pageCount() const
 std::uint64_t
 PageTable::pagesOn(GpmId gpm) const
 {
+    // lp-ok: post-run aggregation — the sweep joins every LP worker
+    // before it reads stats, so nothing races this shard walk.
     std::uint64_t n = 0;
     for (const Shard &s : shards_) {
         for (const auto &[page, home] : s.home) {
@@ -103,6 +107,8 @@ PageTable::pagesOn(GpmId gpm) const
 void
 PageTable::clear()
 {
+    // lp-ok: reset runs between simulations, before any LP worker
+    // exists; the unlocked shard wipe cannot race.
     for (Shard &s : shards_)
         s.home.clear();
 }

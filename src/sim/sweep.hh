@@ -75,9 +75,10 @@ class SweepRunner
      */
     std::vector<SimResult> run(const std::vector<SweepCell> &cells);
 
-    /** det-ok: job count affects wall-clock only; cell results are
-     *  independent of it (each cell gets a fresh Simulator).
-     *  HMG_JOBS env override, else std::thread::hardware_concurrency(). */
+    /** Job count affects wall-clock only; cell results are independent
+     *  of it (each cell gets a fresh Simulator). HMG_JOBS env override,
+     *  else the hardware thread count. The entropy sources behind this
+     *  carry their own justifications at the definition (sweep.cc). */
     static unsigned defaultJobs();
 
   private:

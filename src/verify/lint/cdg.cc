@@ -87,7 +87,9 @@ poolSizes(const SystemConfig &cfg)
 }
 
 Graph
-buildGraph(const CdgOptions &opts, LintReport &report)
+buildGraph(const CdgOptions &opts,
+           const std::vector<ProtocolStall> &stalls,
+           const char *family, LintReport &report)
 {
     Graph g;
     SystemConfig cfg;
@@ -198,7 +200,7 @@ buildGraph(const CdgOptions &opts, LintReport &report)
     for (std::size_t d = 0; d < depCount; ++d) {
         if (deps[d].from >= count || deps[d].to >= count) {
             Finding f;
-            f.family = "cdg";
+            f.family = family;
             f.check = "bad-dep";
             f.file = "src/verify/tables.cc";
             f.message = "msgDeps()[" + std::to_string(d) +
@@ -206,13 +208,23 @@ buildGraph(const CdgOptions &opts, LintReport &report)
             report.add(std::move(f));
             continue;
         }
+        // A protocol stall on the emitting class means its handler no
+        // longer consumes unconditionally; the escape cut is invalid
+        // for this dependency and the edge stays blocking.
+        const ProtocolStall *stall = nullptr;
+        for (const ProtocolStall &s : stalls)
+            if (s.triggerClass == deps[d].from)
+                stall = &s;
         for (std::uint32_t m = 0; m < gpms; ++m) {
-            Edge e{gpmI[m], nic[m],
-                   std::string("handling ") +
-                       classes[deps[d].from].name + " emits " +
-                       classes[deps[d].to].name + " (" + deps[d].why +
-                       ")"};
-            if (opts.seedCdgCycle)
+            std::string label = std::string("handling ") +
+                                classes[deps[d].from].name + " emits " +
+                                classes[deps[d].to].name + " (" +
+                                deps[d].why + ")";
+            if (stall)
+                label += "; ingress held by transient " +
+                         stall->transient + " awaiting " + stall->awaits;
+            Edge e{gpmI[m], nic[m], std::move(label)};
+            if (opts.seedCdgCycle || stall)
                 g.edges.push_back(std::move(e));
             else
                 g.escapes.push_back(std::move(e));
@@ -268,6 +280,36 @@ minimalCycle(const Graph &g)
     return best;
 }
 
+/** Append the minimal-cycle finding (if any) for a built graph. */
+void
+reportCycle(const Graph &g, const char *family,
+            const std::string &prefix, const std::string &suffix,
+            LintReport &report)
+{
+    const std::vector<const Edge *> cycle = minimalCycle(g);
+    if (cycle.empty())
+        return;
+
+    Finding f;
+    f.family = family;
+    f.check = "cycle";
+    f.file = "src/noc/network.cc";
+    f.message = prefix + " of length " + std::to_string(cycle.size()) +
+                suffix;
+    for (const Edge *e : cycle) {
+        const Node &from = g.nodes[e->from];
+        const Node &to = g.nodes[e->to];
+        auto cap = [](const Node &n) {
+            return n.unbounded ? std::string("unbounded")
+                               : std::to_string(n.capacityBytes) + "B";
+        };
+        f.counterexample.push_back(from.name + " (" + cap(from) +
+                                   ") --[" + e->label + "]--> " +
+                                   to.name + " (" + cap(to) + ")");
+    }
+    report.add(std::move(f));
+}
+
 } // namespace
 
 void
@@ -291,40 +333,39 @@ analyzeCdg(const CdgOptions &opts, LintReport &report)
         report.add(std::move(f));
     }
 
-    Graph g = buildGraph(opts, report);
+    Graph g = buildGraph(opts, {}, "cdg", report);
     report.stat("cdg.nodes", g.nodes.size());
     report.stat("cdg.edges", g.edges.size());
     report.stat("cdg.escape_edges", g.escapes.size());
     report.stat("cdg.msg_classes", count);
 
-    const std::vector<const Edge *> cycle = minimalCycle(g);
-    if (cycle.empty())
-        return;
+    reportCycle(g, "cdg", "channel-dependency cycle",
+                opts.seedCdgCycle
+                    ? " under a bounded injection queue: every pool in "
+                      "the loop can fill while waiting on the next, so "
+                      "the transport can deadlock"
+                    : ": the credit pools below can deadlock",
+                report);
+}
 
-    Finding f;
-    f.family = "cdg";
-    f.check = "cycle";
-    f.file = "src/noc/network.cc";
-    f.message =
-        "channel-dependency cycle of length " +
-        std::to_string(cycle.size()) +
-        (opts.seedCdgCycle
-             ? " under a bounded injection queue: every pool in the "
-               "loop can fill while waiting on the next, so the "
-               "transport can deadlock"
-             : ": the credit pools below can deadlock");
-    for (const Edge *e : cycle) {
-        const Node &from = g.nodes[e->from];
-        const Node &to = g.nodes[e->to];
-        auto cap = [](const Node &n) {
-            return n.unbounded ? std::string("unbounded")
-                               : std::to_string(n.capacityBytes) + "B";
-        };
-        f.counterexample.push_back(from.name + " (" + cap(from) +
-                                   ") --[" + e->label + "]--> " +
-                                   to.name + " (" + cap(to) + ")");
-    }
-    report.add(std::move(f));
+void
+analyzeComposedCdg(const CdgOptions &opts,
+                   const std::vector<ProtocolStall> &stalls,
+                   LintReport &report)
+{
+    Graph g = buildGraph(opts, stalls, "composed", report);
+    report.stat("composed.nodes", g.nodes.size());
+    report.stat("composed.edges", g.edges.size());
+    report.stat("composed.escape_edges", g.escapes.size());
+    report.stat("composed.protocol_stalls", stalls.size());
+
+    std::string suffix;
+    if (!stalls.empty())
+        suffix = ": the protocol stall at " + stalls.front().transient +
+                 " invalidates the unbounded-NIC escape and the credit "
+                 "pools below close a deadlock loop";
+    reportCycle(g, "composed", "composed protocol-transport dependency "
+                               "cycle", suffix, report);
 }
 
 } // namespace hmg::verify::lint

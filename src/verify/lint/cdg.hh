@@ -35,6 +35,8 @@
 #define HMG_VERIFY_LINT_CDG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "verify/lint/lint.hh"
 
@@ -55,8 +57,40 @@ struct CdgOptions
     bool seedCdgCycle = false;
 };
 
+/**
+ * One protocol-side stall edge, derived by the liveness family
+ * (liveness.cc) from the transition tables: a directory row that
+ * enters a transient state (or collects acks) while *handling*
+ * `triggerClass` holds its GPM ingress until `awaits` is delivered.
+ * Composing these with the transport CDG turns "handler consumes
+ * unconditionally" — the premise the escape-edge cut rests on — into
+ * a checked fact rather than an assumption.
+ */
+struct ProtocolStall
+{
+    /** msgClasses() index whose handler executes the stalling row. */
+    std::uint8_t triggerClass;
+    /** The stalling transient, e.g. "hmg-gpu-home[Valid,InvRecv,...]". */
+    std::string transient;
+    /** What the stall awaits (human description of the completion). */
+    std::string awaits;
+};
+
 /** Build the channel-dependency graph and prove acyclicity. */
 void analyzeCdg(const CdgOptions &opts, LintReport &report);
+
+/**
+ * The composed protocol∘transport proof: rebuild the CDG with each
+ * stalled handler's emission edges kept as *blocking* (its ingress no
+ * longer consumes unconditionally, so the unbounded-NIC escape cut is
+ * invalid for those classes) and prove the composed graph acyclic.
+ * With an empty stall list this degenerates to the pure transport CDG
+ * — exactly HMG's compositional deadlock argument, now derived from
+ * the tables instead of asserted. Findings use family "composed".
+ */
+void analyzeComposedCdg(const CdgOptions &opts,
+                        const std::vector<ProtocolStall> &stalls,
+                        LintReport &report);
 
 } // namespace hmg::verify::lint
 

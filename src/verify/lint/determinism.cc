@@ -389,7 +389,7 @@ simSyncTokens()
     };
 }
 
-/** Raw-text tokens whose proximity marks a det-ok as load-bearing. */
+/** Code-view tokens whose proximity marks a det-ok as load-bearing. */
 const std::vector<std::string> &
 suppressibleMarkers()
 {
@@ -619,10 +619,11 @@ analyzeDeterminism(const DeterminismOptions &opts, LintReport &report)
         }
     }
 
-    // Pass 4 (D6): stale suppressions. A det-ok is load-bearing when
-    // a suppressible construct sits in its window — matched against
-    // the RAW text, so a justification whose construct lives in an
-    // attached doc comment (e.g. naming hardware_concurrency) counts.
+    // Pass 4 (D6): stale suppressions. A det-ok is load-bearing only
+    // when a suppressible construct sits in its window in the CODE
+    // view — prose in a neighbouring comment naming a construct does
+    // not keep a suppression alive, or annotations would survive the
+    // deletion of the code they excuse.
     std::uint64_t suppressions = 0;
     for (const SrcFile &f : files) {
         for (int ln : f.suppressLines) {
@@ -638,9 +639,7 @@ analyzeDeterminism(const DeterminismOptions &opts, LintReport &report)
                     break;
                 }
                 for (const std::string &m : suppressibleMarkers()) {
-                    // Deliberately lenient: a justification that
-                    // *names* its construct in prose counts as used.
-                    if (f.raw[l - 1].find(m) != std::string::npos) {
+                    if (f.code[l - 1].find(m) != std::string::npos) {
                         used = true;
                         break;
                     }

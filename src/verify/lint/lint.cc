@@ -100,6 +100,90 @@ LintReport::toJson() const
 }
 
 std::string
+LintReport::toSarif() const
+{
+    // Rule table: one reportingDescriptor per distinct family/check.
+    std::vector<std::string> rules;
+    auto ruleIndex = [&](const Finding &f) {
+        const std::string id = f.family + "/" + f.check;
+        for (std::size_t i = 0; i < rules.size(); ++i)
+            if (rules[i] == id)
+                return i;
+        rules.push_back(id);
+        return rules.size() - 1;
+    };
+    std::vector<std::size_t> ruleOf;
+    ruleOf.reserve(findings_.size());
+    for (const Finding &f : findings_)
+        ruleOf.push_back(ruleIndex(f));
+
+    std::string out =
+        "{\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-"
+        "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"hmglint\",\n"
+        "          \"informationUri\": "
+        "\"https://example.invalid/hmg\",\n"
+        "          \"rules\": [";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += i ? ",\n            {" : "\n            {";
+        out += "\"id\": \"" + jsonEscape(rules[i]) + "\"}";
+    }
+    out += rules.empty() ? "]\n" : "\n          ]\n";
+    out += "        }\n"
+           "      },\n"
+           "      \"results\": [";
+    for (std::size_t i = 0; i < findings_.size(); ++i) {
+        const Finding &f = findings_[i];
+        out += i ? ",\n        {" : "\n        {";
+        out += "\"ruleId\": \"" + jsonEscape(f.family) + "/" +
+               jsonEscape(f.check) + "\", ";
+        out += "\"ruleIndex\": " + std::to_string(ruleOf[i]) + ", ";
+        out += std::string("\"level\": \"") + toString(f.severity) +
+               "\", ";
+        out += "\"message\": {\"text\": \"" + jsonEscape(f.message) +
+               "\"}, ";
+        out += "\"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"" +
+               jsonEscape(f.file) + "\"}";
+        if (f.line > 0)
+            out += ", \"region\": {\"startLine\": " +
+                   std::to_string(f.line) + "}";
+        out += "}}], ";
+        out += "\"properties\": {";
+        out += "\"family\": \"" + jsonEscape(f.family) + "\", ";
+        out += "\"check\": \"" + jsonEscape(f.check) + "\", ";
+        out += "\"table\": \"" + jsonEscape(f.table) + "\", ";
+        out += "\"row\": " + std::to_string(f.row) + ", ";
+        out += "\"counterexample\": [";
+        for (std::size_t j = 0; j < f.counterexample.size(); ++j) {
+            if (j)
+                out += ", ";
+            out += "\"" + jsonEscape(f.counterexample[j]) + "\"";
+        }
+        out += "]}}";
+    }
+    out += findings_.empty() ? "],\n" : "\n      ],\n";
+    out += "      \"properties\": {\"stats\": {";
+    std::size_t i = 0;
+    for (const auto &[k, v] : stats_) {
+        if (i++)
+            out += ", ";
+        out += "\"" + jsonEscape(k) + "\": " + std::to_string(v);
+    }
+    out += "}}\n"
+           "    }\n"
+           "  ]\n"
+           "}\n";
+    return out;
+}
+
+std::string
 LintReport::toText() const
 {
     std::string out;

@@ -85,6 +85,14 @@ class LintReport
 
     /** The whole report as a JSON object (findings + stats). */
     std::string toJson() const;
+    /**
+     * The report as a SARIF 2.1.0 log (one run, one result per
+     * finding, one reportingDescriptor per family/check pair), so CI
+     * systems and editors with SARIF ingestion consume findings
+     * without a bespoke parser. Carries the same findings as toJson()
+     * — counterexamples ride in each result's property bag.
+     */
+    std::string toSarif() const;
     /** Human-readable diagnostics, one finding per paragraph. */
     std::string toText() const;
 

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Family (e): the static LP-safety lockset analyzer.
+ *
+ * Partitioned (PDES) runs touch a handful of genuinely shared
+ * structures from several LP worker threads; everything else is
+ * LP-affine by construction (DESIGN.md §10). The discipline for the
+ * shared few is documented next to each declaration — shard-hashed
+ * maps behind per-shard mutexes taken when `concurrent_`, relaxed
+ * atomic counters with explicit memory orders, cross-LP work handed
+ * over only by value-capturing posted closures — but tsan can only
+ * check the schedules a run happens to execute. This family checks
+ * the discipline on every path, statically:
+ *
+ *  - E1 shard-guarded fields: a mutex member followed by data members
+ *    in the same aggregate registers those fields as guarded. Every
+ *    later `.field` / `->field` use must sit in a function whose
+ *    extent takes a lock (lock_guard / scoped_lock / unique_lock /
+ *    MaybeLock naming the mutex) — the whole extent, because the
+ *    repo's idiom defines the touching lambda *before* the
+ *    `if (concurrent_) { lock_guard }` dispatch — or carry an
+ *    `lp-ok:` annotation arguing why no LP worker can be live.
+ *  - E2 atomic members: method calls on registered atomic members
+ *    must spell an explicit std::memory_order (the documented
+ *    discipline: orders are an argument, never an implicit seq_cst),
+ *    and raw operations (++ / -- / assignment) on them are flagged —
+ *    they hide a seq_cst RMW behind innocent syntax.
+ *  - E3 posted-closure boundary: a closure handed to post() crosses
+ *    an LP boundary and outlives the posting scope; blanket reference
+ *    captures (`[&]` / `[&,`) are flagged.
+ *  - E4 stale suppressions: an `lp-ok:` that no longer suppresses a
+ *    finding within its window is itself a finding, exactly like
+ *    det-ok staleness — annotations must not outlive the hazard they
+ *    justify.
+ *
+ * Annotation grammar (DESIGN.md §14): `lp-ok: <why no LP worker can
+ * observe this unlocked/unordered access>`, in a comment on the
+ * access line or up to 4 lines above it.
+ *
+ * `seedLockset` plants the canonical defect — an unlocked read of a
+ * shard-guarded map — in a virtual translation unit, proving the
+ * analyzer still catches what the annotations exist to excuse.
+ */
+
+#ifndef HMG_VERIFY_LINT_LOCKSET_HH
+#define HMG_VERIFY_LINT_LOCKSET_HH
+
+#include <string>
+
+#include "verify/lint/lint.hh"
+
+namespace hmg::verify::lint
+{
+
+struct LocksetOptions
+{
+    /** Repository root; `src/` beneath it is scanned. */
+    std::string root = ".";
+    /** Test hook: inject a virtual file with an unlocked access to a
+     *  shard-guarded field; the analysis must report the site. */
+    bool seedLockset = false;
+};
+
+/** Run the LP-safety lockset analysis. */
+void analyzeLockset(const LocksetOptions &opts, LintReport &report);
+
+} // namespace hmg::verify::lint
+
+#endif // HMG_VERIFY_LINT_LOCKSET_HH

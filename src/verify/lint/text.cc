@@ -1,6 +1,9 @@
 #include "verify/lint/text.hh"
 
+#include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 
 namespace hmg::verify::lint
 {
@@ -118,6 +121,45 @@ hasAnnotation(const std::string &commentLine,
         pos += marker.size();
     }
     return false;
+}
+
+bool
+loadSourceTree(const std::string &root, std::vector<SourceFile> &files,
+               std::string &error)
+{
+    namespace fs = std::filesystem;
+    const fs::path srcRoot = fs::path(root) / "src";
+    if (!fs::is_directory(srcRoot)) {
+        error = "no src/ directory under the analysis root";
+        return false;
+    }
+
+    std::vector<std::string> paths;
+    for (const auto &e : fs::recursive_directory_iterator(srcRoot)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".cc" || ext == ".hh")
+            paths.push_back(e.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    const fs::path rootNorm = fs::path(root).lexically_normal();
+    for (const std::string &p : paths) {
+        SourceFile f;
+        const std::string rel = fs::path(p)
+                                    .lexically_normal()
+                                    .lexically_relative(rootNorm)
+                                    .generic_string();
+        f.rel = rel.empty() || rel.rfind("..", 0) == 0 ? p : rel;
+        std::ifstream in(p);
+        std::string line;
+        while (std::getline(in, line))
+            f.raw.push_back(line);
+        splitViews(f.raw, f.code, f.comments);
+        files.push_back(std::move(f));
+    }
+    return true;
 }
 
 } // namespace hmg::verify::lint

@@ -48,6 +48,27 @@ std::size_t findToken(const std::string &s, const std::string &tok,
 bool hasAnnotation(const std::string &commentLine,
                    const std::string &marker);
 
+/**
+ * One loaded source file with geometry-preserving views (raw text,
+ * code-only, comment-only), shared by the tree-scanning families.
+ */
+struct SourceFile
+{
+    std::string rel; //!< path relative to the analysis root
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+    std::vector<std::string> comments;
+};
+
+/**
+ * Load every first-party translation unit (.cc/.hh) under `root`/src,
+ * sorted by path so analysis output never depends on directory
+ * iteration order. Returns false with `error` set when `root`/src is
+ * not a directory.
+ */
+bool loadSourceTree(const std::string &root,
+                    std::vector<SourceFile> &files, std::string &error);
+
 } // namespace hmg::verify::lint
 
 #endif // HMG_VERIFY_LINT_TEXT_HH

@@ -2,13 +2,17 @@
 # CLI hardening test: every malformed or out-of-range flag must be
 # rejected with a one-line error and a nonzero exit, never a silent
 # atoi()-style zero or a default silently substituted (the old
-# --placement behaviour). Run as: cli_test.sh <path-to-hmgsim> [repo-root]
+# --placement behaviour).
+# Run as: cli_test.sh <path-to-hmgsim> [repo-root] [path-to-hmglint]
 set -u
 
-HMGSIM=${1:?usage: cli_test.sh <path-to-hmgsim> [repo-root]}
+HMGSIM=${1:?usage: cli_test.sh <path-to-hmgsim> [repo-root] [path-to-hmglint]}
 # Topology example files live relative to the repo root; default to the
 # directory above this script so the test runs standalone too.
 ROOT=${2:-$(cd "$(dirname "$0")/.." && pwd)}
+# hmglint shares hmgsim's flag contract; its checks run only when the
+# binary's path is supplied (ctest passes it, standalone may not).
+HMGLINT=${3:-}
 fails=0
 
 # expect_reject <description> <args...>: nonzero exit + an error line.
@@ -118,6 +122,60 @@ expect_accept "three-level topology file runs" \
 expect_accept "topology + non-geometry flags compose" \
     --topology "$TOPO_DIR/two_node_2x2x2.json" --protocol hmg \
     --workload bfs --scale 0.05 --seed 7
+
+# hmglint holds the same contract as hmgsim: a topology file owns the
+# geometry knobs, so mixing it with a legacy geometry flag is rejected
+# by flag name (not silently shadowed), strict numeric parsing applies,
+# and the two machine output formats are mutually exclusive.
+if [ -n "$HMGLINT" ]; then
+    lint_reject() {
+        local desc=$1
+        shift
+        local out
+        out=$("$HMGLINT" "$@" 2>&1)
+        local rc=$?
+        if [ "$rc" -eq 0 ]; then
+            echo "FAIL: $desc: exit 0, expected rejection ($*)"
+            fails=$((fails + 1))
+            return
+        fi
+        if ! printf '%s' "$out" | grep -q "fatal:"; then
+            echo "FAIL: $desc: no error line on stderr ($*)"
+            fails=$((fails + 1))
+            return
+        fi
+        echo "ok:   $desc"
+    }
+    lint_accept() {
+        local desc=$1
+        shift
+        if ! "$HMGLINT" "$@" > /dev/null 2>&1; then
+            echo "FAIL: $desc: nonzero exit ($*)"
+            fails=$((fails + 1))
+            return
+        fi
+        echo "ok:   $desc"
+    }
+
+    lint_accept "hmglint --help exits 0" --help
+    lint_reject "hmglint unknown option" --frobnicate
+    lint_reject "hmglint missing value" --cdg --gpus
+    lint_reject "hmglint zero gpus" --cdg --gpus 0
+    lint_reject "hmglint non-numeric gpms" --cdg --gpms many
+    lint_reject "hmglint huge nodes" --cdg --nodes 99999999999999999999
+    lint_reject "hmglint topology + --gpus conflict" \
+        --cdg --topology "$TOPO_DIR/dgx_4x4.json" --gpus 8
+    lint_reject "hmglint topology + --nodes conflict" \
+        --cdg --topology "$TOPO_DIR/scaleout_8x8x4.json" --nodes 2
+    lint_reject "hmglint missing topology file" \
+        --cdg --topology /nonexistent/t.json
+    lint_reject "hmglint --json + --sarif conflict" \
+        --tables --json --sarif
+    lint_accept "hmglint --cdg with explicit geometry" \
+        --cdg --gpus 4 --gpms 2 --nodes 2
+    lint_accept "hmglint --liveness over a topology file" \
+        --liveness --topology "$TOPO_DIR/dgx_4x4.json"
+fi
 
 # The baseline file must be a no-op: identical statistics to the
 # default configuration, proven on the full stats dump.

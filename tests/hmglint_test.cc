@@ -11,6 +11,7 @@
  * of the (clean) repository.
  */
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -21,6 +22,8 @@
 #include "verify/lint/cdg.hh"
 #include "verify/lint/determinism.hh"
 #include "verify/lint/lint.hh"
+#include "verify/lint/liveness.hh"
+#include "verify/lint/lockset.hh"
 #include "verify/lint/statkeys.hh"
 #include "verify/lint/table_lint.hh"
 
@@ -458,6 +461,278 @@ TEST(StatKeysLint, AbsoluteKeyCollidingWithComposedRootFlagged)
 }
 
 // ===================================================================
+// Family (d): transient-state liveness + the composed proof.
+// ===================================================================
+
+TEST(LivenessLint, ShippedTablesHaveNoTransientStalls)
+{
+    LintReport r;
+    analyzeLiveness(LivenessOptions{}, r);
+    for (const Finding &f : r.findings())
+        ADD_FAILURE() << "[" << f.check << "] " << f.message;
+    EXPECT_TRUE(r.clean());
+    // The non-blocking claim discharged structurally: every row of
+    // every table resolves in place, so the wait-for graph is empty
+    // and the composed graph degenerates to the pure transport CDG.
+    EXPECT_EQ(r.stats().at("liveness.transient_rows"), 0u);
+    EXPECT_EQ(r.stats().at("liveness.ack_rows"), 0u);
+    EXPECT_EQ(r.stats().at("liveness.wait_edges"), 0u);
+    EXPECT_EQ(r.stats().at("composed.protocol_stalls"), 0u);
+    EXPECT_GT(r.stats().at("composed.edges"), 0u);
+}
+
+TEST(LivenessLint, ScaleoutShapeComposedProofAcyclic)
+{
+    // The largest example topology's shape: 8 nodes x 8 GPUs x 4 GPMs.
+    LivenessOptions o;
+    o.numGpus = 64;
+    o.gpmsPerGpu = 4;
+    o.numNodes = 8;
+    LintReport r;
+    analyzeLiveness(o, r);
+    EXPECT_TRUE(r.clean()) << r.toText();
+}
+
+TEST(LivenessLint, SeededTransientRowCaughtAsLivelock)
+{
+    LivenessOptions o;
+    o.seedLivelock = true;
+    LintReport r;
+    analyzeLiveness(o, r);
+    const Finding *f = findCheck(r, "livelock");
+    ASSERT_NE(f, nullptr) << "seeded transient row not reported";
+    EXPECT_EQ(f->table, std::string("hmg-gpu-home"));
+    EXPECT_EQ(f->file, std::string("src/verify/tables.cc"));
+    EXPECT_NE(f->message.find("livelock cycle"), std::string::npos);
+    // The counterexample spells the length-2 cycle: the stall, the
+    // held ingress its completion needs, and the closing argument.
+    ASSERT_EQ(f->counterexample.size(), 3u);
+    EXPECT_NE(f->counterexample[0].find("stalls awaiting"),
+              std::string::npos);
+    EXPECT_NE(f->counterexample[1].find("holds"), std::string::npos);
+    EXPECT_NE(f->counterexample[2].find("cycle closes"),
+              std::string::npos);
+    EXPECT_EQ(r.stats().at("liveness.transient_rows"), 1u);
+}
+
+TEST(LivenessLint, SeededStallClosesComposedTransportCycle)
+{
+    // The same seeded stall must also surface in the composed proof:
+    // the protocol edge invalidates the unbounded-NIC escape and the
+    // credit pools close a full-system deadlock loop.
+    LivenessOptions o;
+    o.seedLivelock = true;
+    LintReport r;
+    analyzeLiveness(o, r);
+    const Finding *f = findCheck(r, "cycle");
+    ASSERT_NE(f, nullptr) << "composed cycle not reported";
+    EXPECT_EQ(f->family, std::string("composed"));
+    EXPECT_NE(f->message.find("composed protocol-transport"),
+              std::string::npos);
+    ASSERT_GE(f->counterexample.size(), 3u);
+    for (const std::string &edge : f->counterexample)
+        EXPECT_NE(edge.find("-->"), std::string::npos) << edge;
+    // The loop must close on itself.
+    const std::string firstNode =
+        f->counterexample.front().substr(0,
+            f->counterexample.front().find(' '));
+    EXPECT_NE(f->counterexample.back().find("--> " + firstNode),
+              std::string::npos);
+    EXPECT_GT(r.stats().at("composed.protocol_stalls"), 0u);
+}
+
+TEST(LivenessLint, OutputIsDeterministic)
+{
+    LivenessOptions o;
+    o.seedLivelock = true;
+    LintReport a, b;
+    analyzeLiveness(o, a);
+    analyzeLiveness(o, b);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+// ===================================================================
+// Family (e): the LP-safety lockset analyzer — real tree, then
+// per-rule fixtures.
+// ===================================================================
+
+TEST(LocksetLint, CleanOnRealTree)
+{
+    LocksetOptions o;
+    o.root = HMG_SOURCE_ROOT;
+    LintReport r;
+    analyzeLockset(o, r);
+    for (const Finding &f : r.findings())
+        ADD_FAILURE() << f.file << ":" << f.line << " [" << f.check
+                      << "]: " << f.message;
+    EXPECT_TRUE(r.clean());
+    // The scan saw the discipline it polices: the two shard-guarded
+    // maps (MemoryState, PageTable), the barrier/counter atomics, the
+    // posted-closure sites, and the lp-ok justifications.
+    EXPECT_GE(r.stats().at("lockset.guarded_fields"), 2u);
+    EXPECT_GE(r.stats().at("lockset.guarded_uses"), 10u);
+    EXPECT_GE(r.stats().at("lockset.atomic_members"), 4u);
+    EXPECT_GE(r.stats().at("lockset.atomic_uses"), 10u);
+    EXPECT_GE(r.stats().at("lockset.post_sites"), 5u);
+    EXPECT_GE(r.stats().at("lockset.suppressions"), 5u);
+}
+
+TEST(LocksetLint, SeededUnlockedAccessCaught)
+{
+    LocksetOptions o;
+    o.root = HMG_SOURCE_ROOT;
+    o.seedLockset = true;
+    LintReport r;
+    analyzeLockset(o, r);
+    const Finding *f = findCheck(r, "unlocked-access");
+    ASSERT_NE(f, nullptr) << "seeded unlocked access not reported";
+    EXPECT_EQ(f->file, std::string("src/mem/__seed_lockset__.cc"));
+    EXPECT_NE(f->message.find("unlocked access"), std::string::npos);
+    ASSERT_EQ(f->counterexample.size(), 3u);
+    EXPECT_NE(f->counterexample[0].find("guarded by mutex 'mu'"),
+              std::string::npos);
+}
+
+TEST(LocksetLint, UnlockedUseFlaggedLockedUseClean)
+{
+    FixtureTree t("lockset_e1");
+    t.write("src/shard.hh",
+            "struct Shard\n"
+            "{\n"
+            "    std::mutex mu;\n"
+            "    std::unordered_map<int, int> lines;\n"
+            "};\n");
+    t.write("src/shard.cc",
+            "#include \"shard.hh\"\n"
+            "int peek(Shard &s)\n"
+            "{\n"
+            "    return s.lines.size();\n"
+            "}\n"
+            "int safe(Shard &s)\n"
+            "{\n"
+            "    std::lock_guard<std::mutex> g(s.mu);\n"
+            "    return s.lines.count(1);\n"
+            "}\n");
+    LocksetOptions o;
+    o.root = t.root();
+    LintReport r;
+    analyzeLockset(o, r);
+    EXPECT_EQ(countCheck(r, "unlocked-access"), 1) << r.toText();
+    const Finding *f = findCheck(r, "unlocked-access");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->file, std::string("src/shard.cc"));
+    EXPECT_EQ(f->line, 4);
+}
+
+TEST(LocksetLint, LpOkSuppressesAndStaysLoadBearing)
+{
+    FixtureTree t("lockset_lpok");
+    t.write("src/shard.hh",
+            "struct Shard\n"
+            "{\n"
+            "    std::mutex mu;\n"
+            "    std::unordered_map<int, int> lines;\n"
+            "};\n");
+    t.write("src/shard.cc",
+            "#include \"shard.hh\"\n"
+            "int peek(Shard &s)\n"
+            "{\n"
+            "    // lp-ok: stats path, runs after workers joined\n"
+            "    return s.lines.size();\n"
+            "}\n");
+    LocksetOptions o;
+    o.root = t.root();
+    LintReport r;
+    analyzeLockset(o, r);
+    // Neither an unlocked-access nor a stale-suppression: the
+    // annotation excuses the access, the access keeps it alive.
+    EXPECT_TRUE(r.clean()) << r.toText();
+    EXPECT_EQ(r.stats().at("lockset.suppressions"), 1u);
+}
+
+TEST(LocksetLint, StaleLpOkFlagged)
+{
+    FixtureTree t("lockset_stale");
+    t.write("src/plain.cc",
+            "// lp-ok: once excused an unlocked walk, since deleted\n"
+            "int plain() { return 42; }\n");
+    LocksetOptions o;
+    o.root = t.root();
+    LintReport r;
+    analyzeLockset(o, r);
+    const Finding *f = findCheck(r, "stale-suppression");
+    ASSERT_NE(f, nullptr) << r.toText();
+    EXPECT_EQ(f->file, std::string("src/plain.cc"));
+    EXPECT_EQ(f->line, 1);
+}
+
+TEST(LocksetLint, AtomicDisciplineFlagged)
+{
+    FixtureTree t("lockset_e2");
+    t.write("src/ctr.hh",
+            "struct Ctr\n"
+            "{\n"
+            "    std::atomic<int> hits{0};\n"
+            "};\n");
+    t.write("src/ctr.cc",
+            "#include \"ctr.hh\"\n"
+            "int sample(Ctr &c)\n"
+            "{\n"
+            "    return c.hits.load();\n"
+            "}\n"
+            "int good(Ctr &c)\n"
+            "{\n"
+            "    return c.hits.load(std::memory_order_relaxed);\n"
+            "}\n"
+            "void bump(Ctr &c)\n"
+            "{\n"
+            "    c.hits++;\n"
+            "}\n");
+    LocksetOptions o;
+    o.root = t.root();
+    LintReport r;
+    analyzeLockset(o, r);
+    EXPECT_EQ(countCheck(r, "implicit-seq-cst"), 1) << r.toText();
+    EXPECT_EQ(countCheck(r, "atomic-raw-access"), 1) << r.toText();
+    const Finding *seqcst = findCheck(r, "implicit-seq-cst");
+    ASSERT_NE(seqcst, nullptr);
+    EXPECT_EQ(seqcst->line, 4);
+    const Finding *raw = findCheck(r, "atomic-raw-access");
+    ASSERT_NE(raw, nullptr);
+    EXPECT_EQ(raw->line, 12);
+}
+
+TEST(LocksetLint, PostedBlanketRefCaptureFlagged)
+{
+    FixtureTree t("lockset_e3");
+    t.write("src/sched.cc",
+            "void schedule(Engine &e, int x)\n"
+            "{\n"
+            "    e.post(0, [&]() { consume(x); });\n"
+            "    e.post(0, [x]() { consume(x); });\n"
+            "}\n");
+    LocksetOptions o;
+    o.root = t.root();
+    LintReport r;
+    analyzeLockset(o, r);
+    EXPECT_EQ(countCheck(r, "posted-ref-capture"), 1) << r.toText();
+    const Finding *f = findCheck(r, "posted-ref-capture");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->line, 3);
+    EXPECT_EQ(r.stats().at("lockset.post_sites"), 2u);
+}
+
+TEST(LocksetLint, OutputIsDeterministic)
+{
+    LocksetOptions o;
+    o.root = HMG_SOURCE_ROOT;
+    LintReport a, b;
+    analyzeLockset(o, a);
+    analyzeLockset(o, b);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+// ===================================================================
 // Report plumbing.
 // ===================================================================
 
@@ -482,3 +757,114 @@ TEST(LintReport, JsonEscapesAndCounts)
     EXPECT_NE(j.find("a\\\"b.cc"), std::string::npos);
     EXPECT_NE(j.find("line1\\nline2\\ttab"), std::string::npos);
 }
+
+TEST(LintReport, SarifCarriesSameFindingsAsJson)
+{
+    LintReport r;
+    Finding f;
+    f.family = "lockset";
+    f.check = "unlocked-access";
+    f.file = "src/x.cc";
+    f.line = 42;
+    f.message = "unlocked access to 'lines'";
+    f.counterexample = {"declared at src/x.hh:3", "no lock in extent"};
+    r.add(std::move(f));
+    Finding w;
+    w.family = "liveness";
+    w.check = "ack-stall";
+    w.severity = Severity::Warning;
+    w.file = "src/verify/tables.cc";
+    w.table = "hmg-gpu-home";
+    w.row = 9;
+    w.message = "row awaits acks";
+    r.add(std::move(w));
+    r.stat("lockset.files", 7);
+
+    const std::string sarif = r.toSarif();
+    // SARIF 2.1.0 skeleton.
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"hmglint\""), std::string::npos);
+    // One reportingDescriptor per family/check, results referencing
+    // them by id and index.
+    EXPECT_NE(sarif.find("\"id\": \"lockset/unlocked-access\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"id\": \"liveness/ack-stall\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleIndex\": 0"), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleIndex\": 1"), std::string::npos);
+    // Severity mapping and locations.
+    EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 42"), std::string::npos);
+    // Round-trip: every message, file and counterexample line of the
+    // JSON report appears in the SARIF log too.
+    for (const Finding &g : r.findings()) {
+        EXPECT_NE(sarif.find(jsonEscape(g.message)), std::string::npos);
+        EXPECT_NE(sarif.find(jsonEscape(g.file)), std::string::npos);
+        for (const std::string &c : g.counterexample)
+            EXPECT_NE(sarif.find(jsonEscape(c)), std::string::npos);
+    }
+    // Stats ride in the run-level property bag.
+    EXPECT_NE(sarif.find("\"lockset.files\": 7"), std::string::npos);
+}
+
+TEST(LintReport, SarifIsByteDeterministic)
+{
+    LivenessOptions o;
+    o.seedLivelock = true;
+    LintReport a, b;
+    analyzeLiveness(o, a);
+    analyzeLiveness(o, b);
+    EXPECT_EQ(a.toSarif(), b.toSarif());
+}
+
+// ===================================================================
+// Incremental mode: the warm run must replay the cold run's stdout
+// byte for byte (the repeat-run guarantee, extended to the cache).
+// ===================================================================
+
+#ifdef HMG_HMGLINT_BIN
+namespace
+{
+
+std::string
+capture(const std::string &cmd, int &exitCode)
+{
+    std::string out;
+    FILE *p = popen(cmd.c_str(), "r");
+    if (!p) {
+        exitCode = -1;
+        return out;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), p)) > 0)
+        out.append(buf, n);
+    exitCode = pclose(p);
+    return out;
+}
+
+} // namespace
+
+TEST(IncrementalCache, WarmRunReplaysColdBytes)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "hmglint_cache_test";
+    fs::remove_all(dir);
+    const fs::path cache = dir / "lint.cache";
+    const std::string cmd = std::string(HMG_HMGLINT_BIN) + " --root " +
+                            HMG_SOURCE_ROOT + " --incremental" +
+                            " --cache-file " + cache.string() +
+                            " 2>/dev/null";
+    int cold_rc = -1, warm_rc = -1;
+    const std::string cold = capture(cmd, cold_rc);
+    EXPECT_TRUE(fs::exists(cache)) << "cold run wrote no cache";
+    const std::string warm = capture(cmd, warm_rc);
+    EXPECT_EQ(cold_rc, 0);
+    EXPECT_EQ(warm_rc, 0);
+    EXPECT_FALSE(cold.empty());
+    EXPECT_EQ(cold, warm);
+    fs::remove_all(dir);
+}
+#endif

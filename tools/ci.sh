@@ -31,13 +31,28 @@ budget() {
     fi
 }
 
+# require_version <tool> <minimum> <actual>: an installed analyzer
+# older than the pin is a hard failure — silently linting with a stale
+# rule set is how findings rot — while an absent one is still a loud
+# skip (the reference container ships neither).
+require_version() {
+    local tool=$1 min=$2 actual=$3
+    if [ "$(printf '%s\n%s\n' "$min" "$actual" | sort -V | head -1)" \
+         != "$min" ]; then
+        echo "ci: $tool $actual is older than the pinned minimum $min" >&2
+        exit 1
+    fi
+}
+
 echo "=== lint (clang-tidy) ==="
 budget 1800 "clang-tidy lint" tools/run_lint.sh
 
-# Optional extra static analyzers: both are skipped (not failed) when
-# the container doesn't ship them, mirroring the clang-tidy policy.
-echo "=== lint (cppcheck, optional) ==="
+# Extra static analyzers: required when installed (with pinned minimum
+# versions), skipped loudly when the container doesn't ship them.
+echo "=== lint (cppcheck, required when installed) ==="
 if command -v cppcheck >/dev/null 2>&1; then
+    CPPCHECK_VER=$(cppcheck --version | sed 's/^Cppcheck //;s/ .*//')
+    require_version cppcheck 2.7 "$CPPCHECK_VER"
     budget 900 "cppcheck" cppcheck --quiet --error-exitcode=1 \
         --enable=warning,portability --inline-suppr \
         --suppress=internalAstError -I src src tools
@@ -45,9 +60,12 @@ else
     echo "ci: cppcheck not found; skipping"
 fi
 
-echo "=== lint (shellcheck, optional) ==="
+echo "=== lint (shellcheck, required when installed) ==="
 if command -v shellcheck >/dev/null 2>&1; then
-    budget 120 "shellcheck" shellcheck tools/*.sh
+    SHELLCHECK_VER=$(shellcheck --version |
+        sed -n 's/^version: //p')
+    require_version shellcheck 0.8.0 "$SHELLCHECK_VER"
+    budget 120 "shellcheck" shellcheck tools/*.sh tests/*.sh
 else
     echo "ci: shellcheck not found; skipping"
 fi
@@ -62,8 +80,30 @@ done
 
 # hmglint needs a built binary, so the static-analysis stages sit after
 # the default preset's build (which produced build/tools/hmglint).
-echo "=== hmglint: tables + cdg + determinism + statkeys ==="
+echo "=== hmglint: all six analysis families ==="
 budget 120 "hmglint" build/tools/hmglint --root .
+
+echo "=== hmglint: protocol liveness + composed deadlock proof ==="
+budget 120 "hmglint liveness" build/tools/hmglint --liveness --root .
+
+echo "=== hmglint: LP-safety lockset discipline ==="
+budget 120 "hmglint lockset" build/tools/hmglint --lockset --root .
+
+# SARIF artifact for ingestion by code-scanning UIs; the incremental
+# warm run right after must replay the report byte-identically from
+# the cache the artifact run just populated.
+echo "=== hmglint: SARIF artifact + incremental replay ==="
+mkdir -p build/artifacts
+budget 120 "hmglint sarif" sh -c \
+    'build/tools/hmglint --root . --sarif --incremental \
+         --cache-file build/artifacts/hmglint.cache \
+         > build/artifacts/hmglint.sarif'
+budget 120 "hmglint incremental replay" sh -c \
+    'build/tools/hmglint --root . --sarif --incremental \
+         --cache-file build/artifacts/hmglint.cache \
+         > build/artifacts/hmglint.warm.sarif
+     cmp build/artifacts/hmglint.sarif build/artifacts/hmglint.warm.sarif'
+echo "ci: SARIF artifact at build/artifacts/hmglint.sarif"
 
 echo "=== lint (determinism) ==="
 budget 120 "determinism lint" tools/lint_determinism.sh
@@ -94,6 +134,12 @@ budget 600 "hmgcheck hmg 3-level" "$BUILD_BIN" --protocol hmg --nodes 2
 
 echo "=== hmglint: deadlock freedom at the 64-GPU scale-out shape ==="
 budget 120 "hmglint cdg scaleout" build/tools/hmglint --cdg \
+    --topology examples/topologies/scaleout_8x8x4.json
+
+echo "=== hmglint: composed protocol∘transport proof per topology ==="
+budget 120 "hmglint liveness dgx" build/tools/hmglint --liveness \
+    --topology examples/topologies/dgx_4x4.json
+budget 120 "hmglint liveness scaleout" build/tools/hmglint --liveness \
     --topology examples/topologies/scaleout_8x8x4.json
 
 echo "ci: PASS"

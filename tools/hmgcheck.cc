@@ -32,6 +32,7 @@
 
 #include "common/log.hh"
 #include "verify/lint/cdg.hh"
+#include "verify/lint/liveness.hh"
 #include "verify/model.hh"
 #include "verify/retry_model.hh"
 #include "verify/spec.hh"
@@ -188,6 +189,29 @@ runStatic(const Options &o)
                         : "FAILED");
     if (!cdg.clean()) {
         std::printf("%s", cdg.toText().c_str());
+        ok = false;
+    }
+
+    // Liveness + the composed protocol∘transport proof: derive the
+    // transient-state wait-for graph from the tables, prove static
+    // livelock freedom, then re-run the CDG with protocol stalls
+    // holding their ingress — the full-system dependency graph must
+    // stay acyclic before exploration is even worth starting. Shared
+    // with `hmglint --liveness`.
+    verify::lint::LintReport live;
+    verify::lint::LivenessOptions liveOpts;
+    liveOpts.numGpus = cdgOpts.numGpus;
+    liveOpts.gpmsPerGpu = cdgOpts.gpmsPerGpu;
+    liveOpts.numNodes = cdgOpts.numNodes;
+    verify::lint::analyzeLiveness(liveOpts, live);
+    if (!o.quiet)
+        std::printf("static  liveness+composed: %s\n",
+                    live.clean()
+                        ? "no transient stalls; composed "
+                          "protocol-transport graph acyclic"
+                        : "FAILED");
+    if (!live.clean()) {
+        std::printf("%s", live.toText().c_str());
         ok = false;
     }
     return ok;
